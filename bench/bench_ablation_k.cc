@@ -1,0 +1,116 @@
+// Ablation A1 (DESIGN.md): the K in Shortest-Union(K). The paper picks
+// K = 2 as "a good tradeoff between path diversity and path length"; this
+// bench quantifies that tradeoff on the DRing:
+//   * structural: mean path count and mean path length of SU(K),
+//   * behavioral: median/p99 FCT for uniform (stretch-sensitive) and
+//     adjacent rack-to-rack (diversity-sensitive) traffic, K = 1..4.
+// K=1 is plain ECMP shortest-path routing.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fct_experiment.h"
+#include "routing/paths.h"
+#include "util/table.h"
+#include "workload/flows.h"
+
+namespace spineless {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const core::Scenario s = bench::scenario_from(flags);
+  bench::print_header("Ablation: Shortest-Union(K) sweep on DRing", s,
+                      flags);
+
+  const topo::DRing dring = s.dring();
+  const topo::Graph& g = dring.graph;
+  const int k_max = static_cast<int>(flags.get_int("k_max", 4));
+
+  // Structural census over all ToR pairs.
+  Table census({"K", "mean #paths", "mean path len", "max path len"});
+  for (int k = 1; k <= k_max; ++k) {
+    double count = 0, len = 0;
+    int max_len = 0;
+    std::int64_t pairs = 0, paths = 0;
+    for (topo::NodeId a = 0; a < g.num_switches(); ++a) {
+      for (topo::NodeId b = 0; b < g.num_switches(); ++b) {
+        if (a == b) continue;
+        const auto su = routing::shortest_union_paths(g, a, b, k, 4096);
+        count += static_cast<double>(su.size());
+        for (const auto& p : su) {
+          len += routing::path_length(p);
+          max_len = std::max(max_len, routing::path_length(p));
+        }
+        paths += static_cast<std::int64_t>(su.size());
+        ++pairs;
+      }
+    }
+    census.add_row({std::to_string(k),
+                    Table::fmt(count / static_cast<double>(pairs), 1),
+                    Table::fmt(len / static_cast<double>(paths), 2),
+                    std::to_string(max_len)});
+  }
+  std::printf("Path census (all ToR pairs):\n%s\n",
+              census.to_string().c_str());
+
+  // Behavioral sweep.
+  const double base_load =
+      workload::spine_offered_load_bps(s.x, s.y, 10e9, 0.3);
+  Table fct({"K", "uniform p50 (ms)", "uniform p99 (ms)", "adjacent R2R p50",
+             "adjacent R2R p99"});
+  const topo::NodeId adj = g.neighbors(0)[0].neighbor;
+  for (int k = 1; k <= k_max; ++k) {
+    core::FctConfig cfg;
+    cfg.net.mode = sim::RoutingMode::kShortestUnion;
+    cfg.net.su_k = k;
+    cfg.flowgen.window = 2 * units::kMillisecond;
+    cfg.seed = s.seed + 3;
+
+    const auto uni_tm = workload::RackTm::uniform(g);
+    cfg.flowgen.offered_load_bps = base_load;
+    const auto uni = core::run_fct_experiment(g, uni_tm, cfg);
+
+    const auto r2r_tm = workload::RackTm::rack_to_rack(g, 0, adj);
+    cfg.flowgen.offered_load_bps =
+        base_load * workload::participating_fraction(g, r2r_tm);
+    const auto r2r = core::run_fct_experiment(g, r2r_tm, cfg);
+
+    fct.add_row({std::to_string(k), Table::fmt(uni.median_ms()),
+                 Table::fmt(uni.p99_ms()), Table::fmt(r2r.median_ms()),
+                 Table::fmt(r2r.p99_ms())});
+    std::fprintf(stderr, "  K=%d done\n", k);
+  }
+  std::printf("FCT sweep (DRing, Shortest-Union(K)):\n%s\n",
+              fct.to_string().c_str());
+
+  // Splitting ablation: equal-cost hashing vs path-count-weighted (WCMP-
+  // style) splitting for K = 2.
+  Table split({"SU(2) splitting", "uniform p50", "uniform p99",
+               "adjacent R2R p50", "adjacent R2R p99"});
+  for (const bool weighted : {false, true}) {
+    core::FctConfig cfg;
+    cfg.net.mode = sim::RoutingMode::kShortestUnion;
+    cfg.net.weighted_su = weighted;
+    cfg.flowgen.window = 2 * units::kMillisecond;
+    cfg.seed = s.seed + 3;
+
+    const auto uni_tm = workload::RackTm::uniform(g);
+    cfg.flowgen.offered_load_bps = base_load;
+    const auto uni = core::run_fct_experiment(g, uni_tm, cfg);
+    const auto r2r_tm = workload::RackTm::rack_to_rack(g, 0, adj);
+    cfg.flowgen.offered_load_bps =
+        base_load * workload::participating_fraction(g, r2r_tm);
+    const auto r2r = core::run_fct_experiment(g, r2r_tm, cfg);
+    split.add_row({weighted ? "weighted (path counts)" : "equal-cost hash",
+                   Table::fmt(uni.median_ms()), Table::fmt(uni.p99_ms()),
+                   Table::fmt(r2r.median_ms()), Table::fmt(r2r.p99_ms())});
+  }
+  std::printf("%s", split.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace spineless
+
+int main(int argc, char** argv) { return spineless::run(argc, argv); }

@@ -1,0 +1,76 @@
+// Extension A2 (DESIGN.md; the paper's §7 "coarse-grained adaptive
+// routing"): neither ECMP nor Shortest-Union(2) wins everywhere — ECMP's
+// shorter paths help uniform traffic, SU(2)'s diversity rescues
+// low-diversity patterns. The adaptive policy picks per TM from the
+// demand-weighted shortest-path diversity, and should track the better of
+// the two fixed schemes on every TM.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/adaptive.h"
+#include "core/fct_experiment.h"
+#include "util/table.h"
+#include "workload/flows.h"
+
+namespace spineless {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const core::Scenario s = bench::scenario_from(flags);
+  bench::print_header("Extension: coarse-grained adaptive routing (DRing)",
+                      s, flags);
+
+  const topo::DRing dring = s.dring();
+  const topo::Graph& g = dring.graph;
+  const double base_load =
+      workload::spine_offered_load_bps(s.x, s.y, 10e9, 0.3);
+
+  struct TmCase {
+    std::string name;
+    workload::RackTm tm;
+  };
+  std::vector<TmCase> tms;
+  tms.push_back({"uniform", workload::RackTm::uniform(g)});
+  tms.push_back(
+      {"adjacent R2R",
+       workload::RackTm::rack_to_rack(g, 0, g.neighbors(0)[0].neighbor)});
+  tms.push_back({"FB skewed", workload::RackTm::fb_like_skewed(g, s.seed)});
+  tms.push_back(
+      {"FB uniform", workload::RackTm::fb_like_uniform(g, s.seed)});
+
+  Table t({"TM", "diversity", "concentration", "chosen", "ecmp p99 (ms)",
+           "su2 p99 (ms)", "adaptive p99 (ms)"});
+  for (const auto& c : tms) {
+    core::FctConfig cfg;
+    cfg.flowgen.window = 2 * units::kMillisecond;
+    cfg.flowgen.offered_load_bps =
+        base_load * workload::participating_fraction(g, c.tm);
+    cfg.seed = s.seed + 31;
+
+    auto run_mode = [&](sim::RoutingMode mode) {
+      cfg.net.mode = mode;
+      return core::run_fct_experiment(g, c.tm, cfg);
+    };
+    const auto ecmp = run_mode(sim::RoutingMode::kEcmp);
+    const auto su2 = run_mode(sim::RoutingMode::kShortestUnion);
+    const auto chosen_mode = core::choose_routing(g, c.tm);
+    const auto adaptive = run_mode(chosen_mode);
+
+    t.add_row({c.name, Table::fmt(core::weighted_path_diversity(g, c.tm), 1),
+               Table::fmt(core::demand_concentration(g, c.tm), 2),
+               chosen_mode == sim::RoutingMode::kEcmp ? "ecmp" : "su2",
+               Table::fmt(ecmp.p99_ms()), Table::fmt(su2.p99_ms()),
+               Table::fmt(adaptive.p99_ms())});
+    std::fprintf(stderr, "  %s done\n", c.name.c_str());
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace spineless
+
+int main(int argc, char** argv) { return spineless::run(argc, argv); }

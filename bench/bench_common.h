@@ -1,0 +1,48 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench supports two scales:
+//  * default  — a medium configuration (same switch roles, 3:1
+//    oversubscription, ~1/2 the port count) that finishes in seconds;
+//  * --scale=paper or SPINELESS_PAPER_SCALE=1 — the paper's §5.1
+//    configuration (leaf-spine(48,16), 3072 servers, 12-supernode DRing).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/scenario.h"
+#include "util/flags.h"
+
+namespace spineless::bench {
+
+inline core::Scenario scenario_from(const Flags& flags) {
+  core::Scenario s;
+  if (flags.paper_scale()) {
+    s = core::Scenario::paper();
+  } else {
+    // Medium default: leaf-spine(24, 8) -> 32 racks, 768 servers; flat
+    // equivalents use the same 48 switches... (x + 2y = 40 switches).
+    s.x = 24;
+    s.y = 8;
+    s.dring_supernodes = 10;
+  }
+  s.x = static_cast<int>(flags.get_int("x", s.x));
+  s.y = static_cast<int>(flags.get_int("y", s.y));
+  s.dring_supernodes = static_cast<int>(
+      flags.get_int("supernodes", s.dring_supernodes));
+  s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  return s;
+}
+
+inline void print_header(const char* title, const core::Scenario& s,
+                         const Flags& flags) {
+  std::printf("== %s ==\n", title);
+  std::printf(
+      "scenario: leaf-spine(x=%d, y=%d) | %d switches x %d ports | "
+      "%d servers | DRing m=%d | scale=%s\n\n",
+      s.x, s.y, s.num_switches(), s.ports_per_switch(),
+      s.leaf_spine_servers(), s.dring_supernodes,
+      flags.paper_scale() ? "paper" : "medium");
+}
+
+}  // namespace spineless::bench

@@ -1,0 +1,155 @@
+// Extension A3 (DESIGN.md; the paper's §7 "impact of failures"): link
+// failures in a flat network under the BGP+VRF scheme. For increasing
+// random failure fractions:
+//   * BGP reconvergence rounds after the batch of failures,
+//   * reachability (host-VRF routes still present),
+//   * surviving Shortest-Union path diversity (min/mean FIB paths),
+//   * packet-level FCT impact using the post-failure topology.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fct_experiment.h"
+#include "ctrl/bgp.h"
+#include "util/table.h"
+#include "workload/flows.h"
+
+namespace spineless {
+namespace {
+
+// Removes the given links from a graph (rebuild without them).
+topo::Graph without_links(const topo::Graph& g,
+                          const std::set<topo::LinkId>& dead) {
+  topo::Graph out(g.num_switches(), g.ports_per_switch(), g.name());
+  for (topo::LinkId l = 0; l < g.num_links(); ++l) {
+    if (!dead.count(l)) out.add_link(g.link(l).a, g.link(l).b);
+  }
+  for (topo::NodeId n = 0; n < g.num_switches(); ++n)
+    out.set_servers(n, g.servers(n));
+  return out;
+}
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const core::Scenario s = bench::scenario_from(flags);
+  bench::print_header("Extension: impact of link failures (DRing + BGP/VRF)",
+                      s, flags);
+
+  const topo::DRing dring = s.dring();
+  const topo::Graph& g = dring.graph;
+  const double base_load =
+      workload::spine_offered_load_bps(s.x, s.y, 10e9, 0.3);
+
+  Table t({"failed links", "fraction", "BGP rounds", "reachable pairs",
+           "min FIB paths", "mean FIB paths", "uniform p99 (ms)"});
+  for (const double frac : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    const auto n_fail =
+        static_cast<std::size_t>(frac * static_cast<double>(g.num_links()));
+    Rng rng(s.seed + 77);
+    std::set<topo::LinkId> dead;
+    for (std::size_t idx : rng.sample_without_replacement(
+             static_cast<std::size_t>(g.num_links()), n_fail))
+      dead.insert(static_cast<topo::LinkId>(idx));
+
+    // Control plane: fail on the live BGP mesh and reconverge.
+    ctrl::BgpVrfNetwork bgp(g, 2);
+    bgp.converge();
+    for (topo::LinkId l : dead) bgp.fail_link(l);
+    const int rounds = n_fail == 0 ? 0 : bgp.converge();
+
+    std::int64_t reachable = 0, total_pairs = 0;
+    std::int64_t path_sum = 0;
+    int min_paths = 1 << 30;
+    for (topo::NodeId a = 0; a < g.num_switches(); ++a) {
+      for (topo::NodeId b = 0; b < g.num_switches(); ++b) {
+        if (a == b) continue;
+        ++total_pairs;
+        if (!bgp.reachable(a, b)) continue;
+        ++reachable;
+        const auto paths = bgp.fib_paths(a, b, 512);
+        path_sum += static_cast<std::int64_t>(paths.size());
+        min_paths = std::min(min_paths, static_cast<int>(paths.size()));
+      }
+    }
+
+    // Data plane on the degraded topology (if it stays connected).
+    std::string p99 = "(partitioned)";
+    const topo::Graph degraded = without_links(g, dead);
+    if (degraded.connected()) {
+      core::FctConfig cfg;
+      cfg.net.mode = sim::RoutingMode::kShortestUnion;
+      cfg.flowgen.window = 2 * units::kMillisecond;
+      cfg.flowgen.offered_load_bps = base_load;
+      cfg.seed = s.seed + 13;
+      const auto res = core::run_fct_experiment(
+          degraded, workload::RackTm::uniform(degraded), cfg);
+      p99 = Table::fmt(res.p99_ms());
+    }
+
+    t.add_row({std::to_string(n_fail), Table::fmt(frac, 2),
+               std::to_string(rounds),
+               Table::fmt(100.0 * static_cast<double>(reachable) /
+                              static_cast<double>(total_pairs),
+                          1) +
+                   "%",
+               std::to_string(reachable ? min_paths : 0),
+               Table::fmt(reachable ? static_cast<double>(path_sum) /
+                                          static_cast<double>(reachable)
+                                    : 0.0,
+                          1),
+               p99});
+    std::fprintf(stderr, "  frac=%.2f done\n", frac);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Part 2: the convergence window at the data plane. A busy fabric loses
+  // 2% of its links mid-experiment; the table sweeps how long the control
+  // plane takes to install the post-failure routes (packets offered to
+  // dead links blackhole until then).
+  std::printf("Convergence-window sweep (2%% of links fail at t=0.5ms):\n");
+  Table w({"reconvergence delay", "p50 (ms)", "p99 (ms)", "completed",
+           "blackhole drops", "no-route drops"});
+  const auto n_fail =
+      static_cast<std::size_t>(0.02 * static_cast<double>(g.num_links()));
+  for (const Time delay :
+       {Time{0}, 100 * units::kMicrosecond, units::kMillisecond,
+        10 * units::kMillisecond}) {
+    Rng rng(s.seed + 78);
+    workload::TmSampler sampler(g, workload::RackTm::uniform(g));
+    workload::FlowGenConfig fg;
+    fg.offered_load_bps = base_load;
+    fg.window = 2 * units::kMillisecond;
+    const auto flows = workload::generate_flows(sampler, fg, rng);
+
+    sim::NetworkConfig net_cfg;
+    net_cfg.mode = sim::RoutingMode::kShortestUnion;
+    sim::Simulator simulator;
+    sim::Network net(g, net_cfg);
+    sim::FlowDriver driver(net, sim::TcpConfig{});
+    for (const auto& f : flows)
+      driver.add_flow(simulator, f.src, f.dst, f.bytes, f.start);
+    for (std::size_t idx : rng.sample_without_replacement(
+             static_cast<std::size_t>(g.num_links()), n_fail)) {
+      net.schedule_link_failure(simulator, static_cast<topo::LinkId>(idx),
+                                units::kMillisecond / 2, delay);
+    }
+    simulator.run_until(fg.window * 50);
+    const auto fct = driver.fct_ms();
+    w.add_row({Table::fmt(units::to_millis(delay), 1) + " ms",
+               Table::fmt(fct.median()), Table::fmt(fct.p99()),
+               std::to_string(driver.completed_flows()) + "/" +
+                   std::to_string(driver.num_flows()),
+               std::to_string(net.stats().queue_drops),
+               std::to_string(net.stats().no_route_drops)});
+    std::fprintf(stderr, "  delay=%.1fms done\n", units::to_millis(delay));
+  }
+  std::printf("%s", w.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace spineless
+
+int main(int argc, char** argv) { return spineless::run(argc, argv); }

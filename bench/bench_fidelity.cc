@@ -1,0 +1,81 @@
+// F1 (DESIGN.md): simulator fidelity. Runs the Figure-4 workloads through
+// both engines — packet-level TCP and the event-driven fluid model — with
+// identical flows and paths, and reports FCT percentiles plus the speedup.
+//
+// Expected: medians agree within tens of percent (the fluid model has no
+// slow start, so small flows finish "too fast" by roughly an RTT), tails
+// diverge where loss/RTO dynamics dominate, and the ordering across
+// topologies is preserved — justifying fluid for wide sweeps (Fig. 5) and
+// packet for tail claims (Fig. 4).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fct_experiment.h"
+#include "util/table.h"
+#include "workload/flows.h"
+
+namespace spineless {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const core::Scenario s = bench::scenario_from(flags);
+  bench::print_header("Fidelity: packet-level TCP vs flow-level fluid",
+                      s, flags);
+
+  const topo::DRing dring = s.dring();
+  const topo::Graph& g = dring.graph;
+  const double base_load =
+      workload::spine_offered_load_bps(s.x, s.y, 10e9, 0.3);
+
+  struct TmCase {
+    std::string name;
+    workload::RackTm tm;
+  };
+  std::vector<TmCase> tms;
+  tms.push_back({"uniform", workload::RackTm::uniform(g)});
+  tms.push_back({"FB skewed", workload::RackTm::fb_like_skewed(g, s.seed)});
+  tms.push_back({"permutation", workload::RackTm::permutation(g, s.seed)});
+
+  Table t({"TM", "engine", "p50 (ms)", "p99 (ms)", "completed",
+           "wall (ms)"});
+  for (const auto& c : tms) {
+    core::FctConfig cfg;
+    cfg.net.mode = sim::RoutingMode::kShortestUnion;
+    cfg.flowgen.window = 2 * units::kMillisecond;
+    cfg.flowgen.offered_load_bps =
+        base_load * workload::participating_fraction(g, c.tm);
+    cfg.seed = s.seed + 9;
+
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    const auto packet = core::run_fct_experiment(g, c.tm, cfg);
+    const auto t1 = Clock::now();
+    const auto fluid = core::run_fct_experiment_fluid(g, c.tm, cfg);
+    const auto t2 = Clock::now();
+
+    auto wall_ms = [](auto a, auto b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    t.add_row({c.name, "packet TCP", Table::fmt(packet.median_ms()),
+               Table::fmt(packet.p99_ms()),
+               std::to_string(packet.completed) + "/" +
+                   std::to_string(packet.flows),
+               Table::fmt(wall_ms(t0, t1), 0)});
+    t.add_row({c.name, "fluid", Table::fmt(fluid.median_ms()),
+               Table::fmt(fluid.p99_ms()),
+               std::to_string(fluid.completed) + "/" +
+                   std::to_string(fluid.flows),
+               Table::fmt(wall_ms(t1, t2), 0)});
+    std::fprintf(stderr, "  %s done\n", c.name.c_str());
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace spineless
+
+int main(int argc, char** argv) { return spineless::run(argc, argv); }

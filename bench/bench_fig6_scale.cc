@@ -1,0 +1,81 @@
+// Figure 6 reproduction (E3 in DESIGN.md): effect of scale. 99th-percentile
+// FCT of DRing relative to an equal-equipment RRG under uniform traffic, as
+// supernodes are added. Paper config: 6 ToRs per supernode, 60-port
+// switches with 36 server links (network degree 24); racks sweep 40 -> 90.
+// The default medium config halves the port counts (n=3, 30 ports,
+// 18 servers, degree 12) and sweeps racks 15 -> 36.
+//
+// Expected shape (paper Fig. 6): ratio near (or below) 1 at small scale,
+// rising clearly above 1 as racks are added — DRing's O(1) bisection
+// cannot keep up while the RRG's grows.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fct_experiment.h"
+#include "util/table.h"
+#include "workload/flows.h"
+
+namespace spineless {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool paper = flags.paper_scale();
+  const int tors_per_supernode =
+      static_cast<int>(flags.get_int("n", paper ? 6 : 3));
+  const int servers_per_tor =
+      static_cast<int>(flags.get_int("servers", paper ? 36 : 18));
+  const int net_degree = 4 * tors_per_supernode;
+  const int ports = net_degree + servers_per_tor;
+  const int m_lo = static_cast<int>(flags.get_int("m_lo", paper ? 7 : 5));
+  const int m_hi = static_cast<int>(flags.get_int("m_hi", paper ? 15 : 15));
+  // Per-host offered load; chosen so the DRing approaches its (constant)
+  // bisection limit toward the top of the sweep.
+  const double per_host_bps = flags.get_double("per_host_gbps", 3.0) * 1e9;
+
+  std::printf("== Figure 6: DRing vs RRG, effect of scale ==\n");
+  std::printf(
+      "%d ToRs/supernode, %d-port switches, %d server links (degree %d), "
+      "%.1f Gbps offered per host, scale=%s\n\n",
+      tors_per_supernode, ports, servers_per_tor, net_degree,
+      per_host_bps / 1e9, paper ? "paper" : "medium");
+
+  Table t({"racks", "hosts", "DRing p99 (ms)", "RRG p99 (ms)",
+           "FCT(DRing)/FCT(RRG)"});
+  for (int m = m_lo; m <= m_hi; ++m) {
+    const topo::DRing dring =
+        topo::make_dring(m, tors_per_supernode, servers_per_tor, ports);
+    const int racks = dring.graph.num_switches();
+    const topo::Graph rrg =
+        topo::make_rrg(racks, net_degree, servers_per_tor,
+                       /*seed=*/static_cast<std::uint64_t>(m) * 7 + 1);
+
+    core::FctConfig cfg;
+    cfg.flowgen.offered_load_bps =
+        per_host_bps * dring.graph.total_servers();
+    cfg.flowgen.window = flags.get_int("window_ms", 2) * units::kMillisecond;
+    cfg.seed = 3;
+
+    cfg.net.mode = sim::RoutingMode::kShortestUnion;
+    const auto dr = core::run_fct_experiment(
+        dring.graph, workload::RackTm::uniform(dring.graph), cfg);
+    const auto rr = core::run_fct_experiment(
+        rrg, workload::RackTm::uniform(rrg), cfg);
+
+    t.add_row({std::to_string(racks),
+               std::to_string(dring.graph.total_servers()),
+               Table::fmt(dr.p99_ms()), Table::fmt(rr.p99_ms()),
+               Table::fmt(dr.p99_ms() / rr.p99_ms(), 2)});
+    std::fprintf(stderr, "  racks=%d done (DRing drops=%ld, RRG drops=%ld)\n",
+                 racks, static_cast<long>(dr.queue_drops),
+                 static_cast<long>(rr.queue_drops));
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace spineless
+
+int main(int argc, char** argv) { return spineless::run(argc, argv); }

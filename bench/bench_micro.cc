@@ -1,0 +1,102 @@
+// M1 (DESIGN.md): google-benchmark micro benchmarks for the hot paths —
+// routing-table computation, path enumeration, BGP convergence, max-min
+// water-filling, and raw packet-simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include "ctrl/bgp.h"
+#include "flowsim/maxmin.h"
+#include "routing/ecmp.h"
+#include "routing/paths.h"
+#include "routing/vrf.h"
+#include "sim/tcp.h"
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace spineless {
+namespace {
+
+void BM_EcmpTableCompute(benchmark::State& state) {
+  const auto d = topo::make_dring(static_cast<int>(state.range(0)), 4, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::EcmpTable::compute(d.graph));
+  }
+  state.SetLabel(std::to_string(d.graph.num_switches()) + " switches");
+}
+BENCHMARK(BM_EcmpTableCompute)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_VrfTableCompute(benchmark::State& state) {
+  const auto d = topo::make_dring(10, 4, 8);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::VrfTable::compute(d.graph, k));
+  }
+}
+BENCHMARK(BM_VrfTableCompute)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ShortestUnionEnumeration(benchmark::State& state) {
+  const auto d = topo::make_dring(10, 4, 8);
+  const topo::Graph& g = d.graph;
+  for (auto _ : state) {
+    for (topo::NodeId b = 1; b < 20; ++b) {
+      benchmark::DoNotOptimize(
+          routing::shortest_union_paths(g, 0, b, 2, 4096));
+    }
+  }
+}
+BENCHMARK(BM_ShortestUnionEnumeration);
+
+void BM_BgpConvergence(benchmark::State& state) {
+  const auto d = topo::make_dring(static_cast<int>(state.range(0)), 2, 4);
+  for (auto _ : state) {
+    ctrl::BgpVrfNetwork bgp(d.graph, 2);
+    benchmark::DoNotOptimize(bgp.converge());
+  }
+  state.SetLabel(std::to_string(d.graph.num_switches()) + " routers");
+}
+BENCHMARK(BM_BgpConvergence)->Arg(5)->Arg(8)->Arg(12);
+
+void BM_MaxMinWaterFill(benchmark::State& state) {
+  Rng rng(1);
+  const int resources = 500;
+  std::vector<double> caps(resources, 10e9);
+  flowsim::MaxMinProblem problem(caps);
+  for (int f = 0; f < static_cast<int>(state.range(0)); ++f) {
+    std::vector<int> route;
+    for (int h = 0; h < 4; ++h)
+      route.push_back(static_cast<int>(rng.uniform(resources)));
+    problem.add_flow(std::move(route));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.solve());
+  }
+}
+BENCHMARK(BM_MaxMinWaterFill)->Arg(1000)->Arg(5000);
+
+// End-to-end simulator throughput: events/sec driving TCP flows across a
+// DRing. The counter is the figure of merit.
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto d = topo::make_dring(5, 2, 4);
+    sim::Simulator simulator;
+    sim::NetworkConfig cfg;
+    sim::Network net(d.graph, cfg);
+    sim::FlowDriver driver(net, sim::TcpConfig{});
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+      const auto src = static_cast<topo::HostId>(
+          rng.uniform(static_cast<std::uint64_t>(d.graph.total_servers())));
+      auto dst = static_cast<topo::HostId>(
+          rng.uniform(static_cast<std::uint64_t>(d.graph.total_servers())));
+      if (dst == src) dst = (dst + 1) % d.graph.total_servers();
+      driver.add_flow(simulator, src, dst, 200'000, 0);
+    }
+    simulator.run_until(units::kSecond);
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(simulator.events_processed()),
+        benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+}  // namespace spineless

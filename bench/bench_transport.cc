@@ -1,0 +1,107 @@
+// Transport ablation (extension): the paper runs standard TCP (§5.3); this
+// bench checks how much of Figure 4's story depends on that choice by
+// re-running the skewed and incast-heavy patterns with DCTCP (ECN marking
+// at 20 packets + proportional window law) on the same DRing + SU(2).
+// Expected: DCTCP trims tails (smaller queues) without changing who wins —
+// the topology/routing conclusions are transport-robust.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fct_experiment.h"
+#include "sim/incast_driver.h"
+#include "util/table.h"
+#include "workload/cs_model.h"
+#include "workload/flows.h"
+
+namespace spineless {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const core::Scenario s = bench::scenario_from(flags);
+  bench::print_header("Transport ablation: TCP NewReno vs DCTCP (DRing, "
+                      "Shortest-Union(2))", s, flags);
+
+  const topo::DRing dring = s.dring();
+  const topo::Graph& g = dring.graph;
+  const double base_load =
+      workload::spine_offered_load_bps(s.x, s.y, 10e9, 0.3);
+
+  struct TmCase {
+    std::string name;
+    workload::RackTm tm;
+  };
+  std::vector<TmCase> tms;
+  tms.push_back({"uniform", workload::RackTm::uniform(g)});
+  tms.push_back({"FB skewed", workload::RackTm::fb_like_skewed(g, s.seed)});
+  {
+    Rng rng(s.seed + 4);
+    const int n = g.total_servers();
+    const auto sets = workload::make_cs_sets(g, n / 4, n / 16, rng);
+    tms.push_back({"CS skewed (incast-y)", workload::cs_rack_tm(g, sets)});
+  }
+
+  Table t({"TM", "transport", "p50 (ms)", "p99 (ms)", "drops",
+           "max queue (pkts)"});
+  for (const auto& c : tms) {
+    for (const bool dctcp : {false, true}) {
+      core::FctConfig cfg;
+      cfg.net.mode = sim::RoutingMode::kShortestUnion;
+      cfg.net.ecn_threshold_bytes = dctcp ? 20 * sim::kDataPacketBytes : 0;
+      cfg.tcp.dctcp = dctcp;
+      cfg.flowgen.window = 2 * units::kMillisecond;
+      cfg.flowgen.offered_load_bps =
+          base_load * workload::participating_fraction(g, c.tm);
+      cfg.seed = s.seed + 23;
+      const auto r = core::run_fct_experiment(g, c.tm, cfg);
+      t.add_row({c.name, dctcp ? "DCTCP" : "TCP NewReno",
+                 Table::fmt(r.median_ms()), Table::fmt(r.p99_ms()),
+                 std::to_string(r.queue_drops),
+                 std::to_string(r.max_queue_bytes / sim::kDataPacketBytes)});
+      std::fprintf(stderr, "  [%s | %s] done\n", c.name.c_str(),
+                   dctcp ? "dctcp" : "reno");
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Partition-aggregate fan-in sweep: the incast case DCTCP was built for.
+  std::printf("Partition-aggregate queries (30 KB/worker, shallow 40-pkt "
+              "buffers), QCT:\n");
+  Table q({"fan-in", "TCP p50 (ms)", "TCP p99 (ms)", "DCTCP p50 (ms)",
+           "DCTCP p99 (ms)"});
+  for (const int workers : {8, 16, 32, 64}) {
+    double p50[2], p99[2];
+    for (const bool dctcp : {false, true}) {
+      sim::NetworkConfig net_cfg;
+      net_cfg.queue_bytes = 40 * sim::kDataPacketBytes;
+      net_cfg.ecn_threshold_bytes = dctcp ? 10 * sim::kDataPacketBytes : 0;
+      net_cfg.mode = sim::RoutingMode::kShortestUnion;
+      sim::TcpConfig tcp;
+      tcp.dctcp = dctcp;
+      sim::Simulator simulator;
+      sim::Network net(g, net_cfg);
+      sim::IncastDriver driver(net, tcp);
+      Rng rng(s.seed + 6);
+      const auto queries = workload::generate_incast_queries(
+          g, /*queries=*/20, workers, 30'000, 2 * units::kMillisecond, rng);
+      for (const auto& query : queries) driver.add_query(simulator, query);
+      simulator.run_until(60 * units::kSecond);
+      const auto qct = driver.qct_ms();
+      p50[dctcp] = qct.median();
+      p99[dctcp] = qct.p99();
+      std::fprintf(stderr, "  [incast w=%d | %s] done=%zu/%zu\n", workers,
+                   dctcp ? "dctcp" : "reno", driver.completed_queries(),
+                   driver.num_queries());
+    }
+    q.add_row({std::to_string(workers), Table::fmt(p50[0]),
+               Table::fmt(p99[0]), Table::fmt(p50[1]), Table::fmt(p99[1])});
+  }
+  std::printf("%s", q.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace spineless
+
+int main(int argc, char** argv) { return spineless::run(argc, argv); }

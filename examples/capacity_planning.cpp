@@ -1,0 +1,67 @@
+// Capacity planning with the fluid model: "if C of my hosts talk to S
+// others, what per-flow throughput should I expect?" — the C-S model of
+// §5.2 used as an operator tool. Compares the installed leaf-spine against
+// a candidate DRing rewiring across a few canonical patterns and reports
+// where each is NIC-bound vs fabric-bound.
+//
+//   ./capacity_planning [--x=24 --y=8]
+#include <cstdio>
+#include <iostream>
+
+#include "core/spineless.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace spineless;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  core::Scenario s = core::Scenario::small();
+  s.x = static_cast<int>(flags.get_int("x", 24));
+  s.y = static_cast<int>(flags.get_int("y", 8));
+
+  const topo::Graph leaf_spine = s.leaf_spine();
+  const topo::DRing dring = s.dring();
+  const int hosts = std::min(leaf_spine.total_servers(),
+                             dring.graph.total_servers());
+
+  struct Pattern {
+    const char* name;
+    int c, srv;
+  };
+  const Pattern patterns[] = {
+      {"incast (32 -> 1)", 32, 1},
+      {"outcast (1 -> 32)", 1, 32},
+      {"rack burst (16 -> 1/2 DC)", 16, hosts / 2},
+      {"shuffle (1/4 -> 1/4)", hosts / 4, hosts / 4},
+      {"bisection (1/2 -> 1/2)", hosts / 2, hosts / 2 - 1},
+  };
+
+  std::printf("Capacity planning, %d-host fabric (per-flow max-min rates, "
+              "Gbps):\n\n", hosts);
+  Table t({"pattern", "C", "S", "leaf-spine ecmp", "DRing ecmp",
+           "DRing su2", "DRing/LS"});
+  for (const auto& p : patterns) {
+    core::ThroughputConfig cfg;
+    cfg.seed = 5;
+    cfg.mode = sim::RoutingMode::kEcmp;
+    const auto ls = core::run_cs_throughput(leaf_spine, p.c, p.srv, cfg);
+    const auto dr_ecmp =
+        core::run_cs_throughput(dring.graph, p.c, p.srv, cfg);
+    cfg.mode = sim::RoutingMode::kShortestUnion;
+    const auto dr_su2 =
+        core::run_cs_throughput(dring.graph, p.c, p.srv, cfg);
+    t.add_row({p.name, std::to_string(p.c), std::to_string(p.srv),
+               Table::fmt(ls.mean_bps / 1e9, 2),
+               Table::fmt(dr_ecmp.mean_bps / 1e9, 2),
+               Table::fmt(dr_su2.mean_bps / 1e9, 2),
+               Table::fmt(dr_su2.mean_bps / ls.mean_bps, 2)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nReading the table: incast/outcast are NIC-bound (no topology can\n"
+      "help); the skewed patterns show the flat network's ~%.0fx UDF gain;\n"
+      "full-bisection shuffles stress the fabric itself.\n",
+      topo::leaf_spine_udf(s.x, s.y));
+  return 0;
+}

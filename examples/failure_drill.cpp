@@ -1,0 +1,66 @@
+// Failure drill: what operators rehearse — a link dies under load. Shows
+// the three-act structure: (1) the control plane reconverges (BGP rounds),
+// (2) the data plane blackholes for the convergence window, (3) traffic
+// settles on the surviving Shortest-Union paths.
+//
+//   ./failure_drill [--window_us=1000]
+#include <cstdio>
+
+#include "core/spineless.h"
+#include "util/flags.h"
+
+using namespace spineless;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const Time window =
+      flags.get_int("window_us", 1000) * units::kMicrosecond;
+
+  const topo::DRing dring = topo::make_dring(8, 2, 8);
+  const topo::Graph& g = dring.graph;
+  const topo::LinkId victim = g.neighbors(0)[0].link;
+  std::printf("Fabric: DRing %d racks. Failing link rack%d <-> rack%d "
+              "mid-run; reconvergence window %lld us.\n\n",
+              g.num_switches(), g.link(victim).a, g.link(victim).b,
+              static_cast<long long>(window / units::kMicrosecond));
+
+  // Act 1: the control plane's view.
+  ctrl::BgpVrfNetwork bgp(g, 2);
+  bgp.converge();
+  const auto before = bgp.fib_paths(g.link(victim).a, g.link(victim).b);
+  bgp.fail_link(victim);
+  const int rounds = bgp.converge();
+  const auto after = bgp.fib_paths(g.link(victim).a, g.link(victim).b);
+  std::printf("Control plane: %zu -> %zu usable paths between the "
+              "endpoints, reconverged in %d eBGP rounds.\n",
+              before.size(), after.size(), rounds);
+
+  // Act 2 + 3: the data plane under a uniform load.
+  sim::NetworkConfig cfg;
+  cfg.mode = sim::RoutingMode::kShortestUnion;
+  sim::Simulator sim;
+  sim::Network net(g, cfg);
+  sim::FlowDriver driver(net, sim::TcpConfig{});
+  Rng rng(3);
+  workload::TmSampler sampler(g, workload::RackTm::uniform(g));
+  workload::FlowGenConfig fg;
+  fg.offered_load_bps = 1.5e9 * g.total_servers();
+  fg.window = 4 * units::kMillisecond;
+  for (const auto& f : workload::generate_flows(sampler, fg, rng))
+    driver.add_flow(sim, f.src, f.dst, f.bytes, f.start);
+
+  net.schedule_link_failure(sim, victim, units::kMillisecond, window);
+  sim.run_until(fg.window * 50);
+
+  const auto fct = driver.fct_ms();
+  std::printf(
+      "Data plane: %zu/%zu flows completed; FCT p50 %.3f ms, p99 %.3f ms;\n"
+      "%lld packets blackholed into the dead link before the new tables "
+      "landed,\n%lld dropped for lack of any route.\n",
+      driver.completed_flows(), driver.num_flows(), fct.median(), fct.p99(),
+      static_cast<long long>(net.stats().queue_drops),
+      static_cast<long long>(net.stats().no_route_drops));
+  std::printf("\nTry --window_us=10000 to watch one RTO-backoff cycle "
+              "appear in the tail.\n");
+  return 0;
+}

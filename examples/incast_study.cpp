@@ -1,0 +1,62 @@
+// Incast study: how partition-aggregate queries behave on a flat fabric as
+// fan-in grows, and what ECN/DCTCP buys. Uses the IncastDriver, the
+// QueueMonitor, and both transports.
+//
+//   ./incast_study [--workers=32 --queries=10 --bytes=30000]
+#include <cstdio>
+#include <iostream>
+
+#include "core/spineless.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace spineless;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int workers = static_cast<int>(flags.get_int("workers", 32));
+  const int queries = static_cast<int>(flags.get_int("queries", 10));
+  const auto bytes = flags.get_int("bytes", 30'000);
+
+  const topo::DRing dring = topo::make_dring(8, 2, 8);
+  const topo::Graph& g = dring.graph;
+  std::printf("Fabric: DRing %d racks x %d hosts; %d queries, fan-in %d, "
+              "%lld B per response.\n\n",
+              g.num_switches(), g.servers(0), queries, workers,
+              static_cast<long long>(bytes));
+
+  Table t({"transport", "QCT p50 (ms)", "QCT p99 (ms)", "drops",
+           "queue p99 (pkts)"});
+  for (const bool dctcp : {false, true}) {
+    sim::NetworkConfig cfg;
+    cfg.mode = sim::RoutingMode::kShortestUnion;
+    cfg.queue_bytes = 40 * sim::kDataPacketBytes;  // shallow buffers
+    cfg.ecn_threshold_bytes = dctcp ? 10 * sim::kDataPacketBytes : 0;
+    sim::TcpConfig tcp;
+    tcp.dctcp = dctcp;
+
+    sim::Simulator sim;
+    sim::Network net(g, cfg);
+    sim::IncastDriver driver(net, tcp);
+    sim::QueueMonitor monitor(net, 20 * units::kMicrosecond);
+    monitor.start(sim, 0, 20 * units::kMillisecond);
+
+    Rng rng(7);
+    for (const auto& q : workload::generate_incast_queries(
+             g, queries, workers, bytes, 2 * units::kMillisecond, rng)) {
+      driver.add_query(sim, q);
+    }
+    sim.run_until(60 * units::kSecond);
+
+    const auto qct = driver.qct_ms();
+    t.add_row({dctcp ? "DCTCP" : "TCP NewReno", Table::fmt(qct.median()),
+               Table::fmt(qct.p99()),
+               std::to_string(net.stats().queue_drops),
+               Table::fmt(monitor.max_queue_pkts().p99(), 1)});
+  }
+  t.print(std::cout);
+  std::printf("\nDCTCP absorbs the synchronized response burst at the "
+              "marking threshold instead of\noverflowing the shallow "
+              "buffer into retransmission timeouts.\n");
+  return 0;
+}

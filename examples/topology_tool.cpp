@@ -1,0 +1,94 @@
+// Topology construction CLI: build any of the library's topology families
+// from flags and emit DOT (for Graphviz), an edge list (for external
+// tools), or an analysis report.
+//
+//   ./topology_tool --topology=dring --m=10 --n=2 --servers=8 --format=dot
+//   ./topology_tool --topology=leafspine --x=24 --y=8 --format=stats
+//   ./topology_tool --topology=rrg --switches=40 --degree=12 --format=edges
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/spineless.h"
+#include "topo/export.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace spineless;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string kind = flags.get("topology", "dring");
+  const std::string format = flags.get("format", "stats");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  std::unique_ptr<topo::Graph> graph;
+  std::vector<int> groups;
+  const bool has_groups = kind == "dring";
+  if (kind == "leafspine") {
+    graph = std::make_unique<topo::Graph>(topo::make_leaf_spine(
+        static_cast<int>(flags.get_int("x", 12)),
+        static_cast<int>(flags.get_int("y", 4))));
+  } else if (kind == "dring") {
+    auto d = topo::make_dring(static_cast<int>(flags.get_int("m", 8)),
+                              static_cast<int>(flags.get_int("n", 2)),
+                              static_cast<int>(flags.get_int("servers", 8)));
+    groups = d.supernode_of;
+    graph = std::make_unique<topo::Graph>(std::move(d.graph));
+  } else if (kind == "rrg") {
+    graph = std::make_unique<topo::Graph>(topo::make_rrg(
+        static_cast<int>(flags.get_int("switches", 20)),
+        static_cast<int>(flags.get_int("degree", 6)),
+        static_cast<int>(flags.get_int("servers", 8)), seed));
+  } else if (kind == "xpander") {
+    graph = std::make_unique<topo::Graph>(topo::make_xpander(
+        static_cast<int>(flags.get_int("degree", 6)),
+        static_cast<int>(flags.get_int("lift", 4)),
+        static_cast<int>(flags.get_int("servers", 8)), seed));
+  } else if (kind == "dragonfly") {
+    graph = std::make_unique<topo::Graph>(topo::make_dragonfly(
+        static_cast<int>(flags.get_int("groups", 5)),
+        static_cast<int>(flags.get_int("a", 4)),
+        static_cast<int>(flags.get_int("h", 1)),
+        static_cast<int>(flags.get_int("servers", 4))));
+  } else {
+    std::fprintf(stderr,
+                 "unknown --topology=%s (leafspine|dring|rrg|xpander|"
+                 "dragonfly)\n", kind.c_str());
+    return 1;
+  }
+  const topo::Graph& g = *graph;
+
+  if (format == "dot") {
+    std::fputs(topo::to_dot(g, has_groups ? &groups : nullptr).c_str(),
+               stdout);
+  } else if (format == "edges") {
+    std::fputs(topo::to_edge_list(g).c_str(), stdout);
+  } else if (format == "stats") {
+    const auto paths = topo::path_length_stats(g);
+    const auto bounds = topo::uniform_throughput_bounds(g, 200, seed);
+    Table t({"metric", "value"});
+    t.add_row({"switches", std::to_string(g.num_switches())});
+    t.add_row({"links", std::to_string(g.num_links())});
+    t.add_row({"servers", std::to_string(g.total_servers())});
+    t.add_row({"NSR (mean)",
+               Table::fmt(topo::network_server_ratio(g).mean, 3)});
+    t.add_row({"diameter", std::to_string(paths.diameter)});
+    t.add_row({"mean path length", Table::fmt(paths.mean, 3)});
+    t.add_row({"host-weighted mean path",
+               Table::fmt(topo::mean_host_path_length(g), 3)});
+    t.add_row({"bisection (upper bound)",
+               std::to_string(topo::bisection_upper_bound(g, 200, seed))});
+    t.add_row({"A2A throughput bound (distance)",
+               Table::fmt(bounds.distance_bound, 3)});
+    t.add_row({"A2A throughput bound (bisection)",
+               Table::fmt(bounds.bisection_bound, 3)});
+    t.print(std::cout);
+  } else {
+    std::fprintf(stderr, "unknown --format=%s (dot|edges|stats)\n",
+                 format.c_str());
+    return 1;
+  }
+  return 0;
+}

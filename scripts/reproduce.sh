@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, run every bench, and capture the
+# outputs the repository's EXPERIMENTS.md is written from.
+#
+#   scripts/reproduce.sh            # medium scale (seconds per bench)
+#   scripts/reproduce.sh --paper    # the paper's full-scale configuration
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE_ENV=()
+if [[ "${1:-}" == "--paper" ]]; then
+  SCALE_ENV=(SPINELESS_PAPER_SCALE=1)
+  echo "== paper-scale reproduction =="
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [[ -x "$b" && -f "$b" ]] || continue
+  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+  env "${SCALE_ENV[@]}" "$b" 2>/dev/null | tee -a bench_output.txt
+done
+
+echo
+echo "Wrote test_output.txt and bench_output.txt"

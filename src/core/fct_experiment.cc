@@ -1,0 +1,65 @@
+#include "core/fct_experiment.h"
+
+#include "core/throughput_experiment.h"
+#include "flowsim/flow_level_sim.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace spineless::core {
+
+FctResult run_fct_experiment(const topo::Graph& g, const workload::RackTm& tm,
+                             const FctConfig& cfg) {
+  Rng rng(cfg.seed);
+  workload::TmSampler sampler(g, tm);
+  if (cfg.random_placement) sampler.apply_random_placement(rng);
+  const auto specs = workload::generate_flows(sampler, cfg.flowgen, rng);
+
+  sim::Simulator simulator;
+  sim::Network net(g, cfg.net);
+  sim::FlowDriver driver(net, cfg.tcp);
+  for (const auto& f : specs)
+    driver.add_flow(simulator, f.src, f.dst, f.bytes, f.start);
+
+  const Time deadline = static_cast<Time>(
+      static_cast<double>(cfg.flowgen.window) * cfg.drain_factor);
+  simulator.run_until(deadline);
+
+  FctResult r;
+  r.fct_ms = driver.fct_ms();
+  r.flows = driver.num_flows();
+  r.completed = driver.completed_flows();
+  r.queue_drops = net.stats().queue_drops;
+  r.retransmits = driver.total_retransmits();
+  r.max_queue_bytes = net.max_network_queue_bytes();
+  r.events = simulator.events_processed();
+  return r;
+}
+
+FctResult run_fct_experiment_fluid(const topo::Graph& g,
+                                   const workload::RackTm& tm,
+                                   const FctConfig& cfg) {
+  Rng rng(cfg.seed);
+  workload::TmSampler sampler(g, tm);
+  if (cfg.random_placement) sampler.apply_random_placement(rng);
+  const auto specs = workload::generate_flows(sampler, cfg.flowgen, rng);
+
+  PathSampler paths(g, cfg.net.mode, cfg.net.su_k);
+  flowsim::FlowLevelSimulator fluid(
+      g, static_cast<double>(cfg.net.link_rate_bps));
+  for (const auto& f : specs) {
+    fluid.add_flow(f.src, f.dst, f.bytes, f.start,
+                   paths.sample(g.tor_of_host(f.src), g.tor_of_host(f.dst),
+                                rng));
+  }
+  const Time deadline = static_cast<Time>(
+      static_cast<double>(cfg.flowgen.window) * cfg.drain_factor);
+  const std::size_t completed = fluid.run(deadline);
+
+  FctResult r;
+  r.fct_ms = fluid.fct_ms();
+  r.flows = specs.size();
+  r.completed = completed;
+  return r;
+}
+
+}  // namespace spineless::core

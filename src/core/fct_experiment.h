@@ -1,0 +1,58 @@
+// Flow-completion-time experiment (the paper's §6.1 / Figure 4): generate a
+// finite-flow workload from a rack-level traffic matrix, run it through the
+// packet-level simulator on a given topology + routing, and report the FCT
+// distribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/network.h"
+#include "sim/tcp.h"
+#include "topo/graph.h"
+#include "util/stats.h"
+#include "workload/flows.h"
+#include "workload/tm.h"
+
+namespace spineless::core {
+
+struct FctConfig {
+  sim::NetworkConfig net;
+  sim::TcpConfig tcp;
+  workload::FlowGenConfig flowgen;
+  bool random_placement = false;
+  std::uint64_t seed = 1;
+  // Simulation keeps running after the arrival window so straggler flows
+  // can finish; flows still incomplete at window * drain_factor are
+  // reported as incomplete.
+  double drain_factor = 20.0;
+};
+
+struct FctResult {
+  Summary fct_ms;               // completed flows only
+  std::size_t flows = 0;
+  std::size_t completed = 0;
+  std::int64_t queue_drops = 0;
+  std::int64_t retransmits = 0;
+  std::int64_t max_queue_bytes = 0;  // hottest switch-switch queue
+  std::uint64_t events = 0;
+
+  double median_ms() const { return fct_ms.median(); }
+  double p99_ms() const { return fct_ms.p99(); }
+};
+
+// Runs one (topology, TM, routing) cell of Figure 4.
+FctResult run_fct_experiment(const topo::Graph& g, const workload::RackTm& tm,
+                             const FctConfig& cfg);
+
+// Same experiment in the event-driven flow-level (fluid) model: identical
+// workload and per-flow hashed paths, max-min rate sharing instead of
+// packet-level TCP. Orders of magnitude faster; bench_fidelity quantifies
+// where its FCTs track the packet simulator and where transport dynamics
+// (slow start, loss, RTOs) make them diverge. queue_drops/retransmits are
+// zero by construction in this model.
+FctResult run_fct_experiment_fluid(const topo::Graph& g,
+                                   const workload::RackTm& tm,
+                                   const FctConfig& cfg);
+
+}  // namespace spineless::core

@@ -1,0 +1,4 @@
+#include "core/scenario.h"
+
+// Scenario is header-only today; this TU anchors the library target and is
+// the place for future non-inline scenario logic.

@@ -1,0 +1,46 @@
+// Equal-equipment experiment scenarios (§5.1): a leaf-spine(x, y) baseline
+// and the flat topologies built by rewiring the exact same switches and
+// servers — the RRG (Jellyfish-style) flat transform and the DRing.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/builders.h"
+#include "topo/graph.h"
+
+namespace spineless::core {
+
+struct Scenario {
+  int x = 12;  // servers per leaf
+  int y = 4;   // spines (oversubscription x/y = 3, §5.1)
+  int dring_supernodes = 10;
+  std::uint64_t seed = 1;
+
+  int num_switches() const { return x + 2 * y; }
+  int ports_per_switch() const { return x + y; }
+  int leaf_spine_servers() const { return x * (x + y); }
+
+  // The three §5.1 topologies.
+  topo::Graph leaf_spine() const { return topo::make_leaf_spine(x, y); }
+  topo::Graph rrg() const { return topo::flatten_leaf_spine(x, y, seed); }
+  topo::DRing dring() const {
+    return topo::make_dring_equipment(num_switches(), ports_per_switch(),
+                                      /*total_servers=*/-1, dring_supernodes);
+  }
+
+  // The paper's full-scale configuration: leaf-spine(48, 16) -> 64 racks,
+  // 3072 servers; DRing with 12 supernodes, 80 racks, 2988 servers.
+  static Scenario paper() {
+    Scenario s;
+    s.x = 48;
+    s.y = 16;
+    s.dring_supernodes = 12;
+    return s;
+  }
+
+  // Fast default used by tests and bench defaults: same 3:1
+  // oversubscription and switch roles at ~1/4 the port count.
+  static Scenario small() { return Scenario{}; }
+};
+
+}  // namespace spineless::core

@@ -1,0 +1,34 @@
+#include "core/udf_report.h"
+
+namespace spineless::core {
+namespace {
+
+TopologyReport report_for(const std::string& name, const topo::Graph& g,
+                          std::uint64_t seed) {
+  TopologyReport r;
+  r.name = name;
+  r.switches = g.num_switches();
+  r.servers = g.total_servers();
+  r.nsr = topo::network_server_ratio(g);
+  r.paths = topo::path_length_stats(g);
+  r.bisection_upper = topo::bisection_upper_bound(g, /*trials=*/200, seed);
+  return r;
+}
+
+}  // namespace
+
+UdfReport make_udf_report(const Scenario& s) {
+  UdfReport rep;
+  const auto ls = s.leaf_spine();
+  const auto rrg = s.rrg();
+  const auto dring = s.dring();
+  rep.leaf_spine = report_for("leaf-spine", ls, s.seed);
+  rep.rrg = report_for("RRG (flat)", rrg, s.seed);
+  rep.dring = report_for("DRing (flat)", dring.graph, s.seed);
+  rep.udf_closed_form = topo::leaf_spine_udf(s.x, s.y);
+  rep.udf_rrg = topo::udf(ls, rrg);
+  rep.udf_dring = topo::udf(ls, dring.graph);
+  return rep;
+}
+
+}  // namespace spineless::core

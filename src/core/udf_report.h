@@ -1,0 +1,34 @@
+// §3.1 flatness analysis report: NSR / UDF for a scenario's topologies,
+// closed-form vs constructed, plus structural statistics. Drives
+// bench_udf_table (experiment E4 in DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "topo/analysis.h"
+
+namespace spineless::core {
+
+struct TopologyReport {
+  std::string name;
+  int switches = 0;
+  int servers = 0;
+  topo::NsrStats nsr;
+  topo::PathLengthStats paths;
+  int bisection_upper = 0;
+};
+
+struct UdfReport {
+  TopologyReport leaf_spine;
+  TopologyReport rrg;
+  TopologyReport dring;
+  double udf_closed_form = 0;  // always 2 for leaf-spine
+  double udf_rrg = 0;          // NSR(RRG)/NSR(leaf-spine), measured
+  double udf_dring = 0;
+};
+
+UdfReport make_udf_report(const Scenario& s);
+
+}  // namespace spineless::core

@@ -1,0 +1,224 @@
+#include "ctrl/bgp.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.h"
+
+namespace spineless::ctrl {
+namespace {
+
+// (length, lex) comparison used for canonical best-route selection.
+bool route_less(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return a < b;
+}
+
+}  // namespace
+
+BgpVrfNetwork::BgpVrfNetwork(const Graph& g, int k)
+    : k_(k), num_routers_(g.num_switches()) {
+  SPINELESS_CHECK(k >= 1);
+  const int num_speakers = static_cast<int>(num_routers_) * k_;
+  sessions_by_advertiser_.resize(static_cast<std::size_t>(num_speakers));
+  sessions_by_receiver_.resize(static_cast<std::size_t>(num_speakers));
+
+  // Build sessions from the §4 gadget. For the directed physical link
+  // u -> v (traffic direction), each virtual connection
+  // (VRF j, u) -> (VRF j', v) of cost c becomes a session where v's VRF-j'
+  // speaker advertises to u's VRF-j speaker with c prepends. recv_port is
+  // u's port on this specific physical link.
+  for (NodeId u = 0; u < g.num_switches(); ++u) {
+    for (const Port& p : g.neighbors(u)) {
+      const NodeId v = p.neighbor;
+      auto add_session = [&](int j, int j_next, int cost) {
+        Session s;
+        s.advertiser = speaker(v, j_next);
+        s.receiver = speaker(u, j);
+        s.prepend = cost;
+        s.recv_port = p;
+        s.link = p.link;
+        sessions_.push_back(s);
+      };
+      // Rule (1): (VRF K, u) -> (VRF i, v), cost i.
+      for (int i = 1; i <= k_; ++i) add_session(k_, i, i);
+      // Rule (2): (VRF j, u) -> (VRF j+1, v), cost 1 (ascending; see vrf.h
+      // for why the paper's printed rule is orientation-flipped).
+      for (int j = 1; j < k_; ++j) add_session(j, j + 1, 1);
+      // Rule (3): (VRF 1, u) -> (VRF 1, v), cost 1. For k == 1 rule (1)
+      // already created this session.
+      if (k_ > 1) add_session(1, 1, 1);
+    }
+  }
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    sessions_by_advertiser_[static_cast<std::size_t>(sessions_[i].advertiser)]
+        .push_back(i);
+    sessions_by_receiver_[static_cast<std::size_t>(sessions_[i].receiver)]
+        .push_back(i);
+  }
+  rib_.assign(static_cast<std::size_t>(num_routers_),
+              std::vector<Route>(sessions_.size()));
+}
+
+int BgpVrfNetwork::best_length(int s, NodeId d) const {
+  if (s == speaker(d, k_)) return 0;  // origin
+  int best = -1;
+  for (const std::size_t idx :
+       sessions_by_receiver_[static_cast<std::size_t>(s)]) {
+    const Route& r = rib_[static_cast<std::size_t>(d)][idx];
+    if (!r.valid) continue;
+    const int len = static_cast<int>(r.as_path.size());
+    if (best < 0 || len < best) best = len;
+  }
+  return best;
+}
+
+std::optional<std::vector<NodeId>> BgpVrfNetwork::best_route(int s,
+                                                             NodeId d) const {
+  if (s == speaker(d, k_)) return std::vector<NodeId>{};  // origin, length 0
+  const std::vector<NodeId>* best = nullptr;
+  for (const std::size_t idx :
+       sessions_by_receiver_[static_cast<std::size_t>(s)]) {
+    const Route& r = rib_[static_cast<std::size_t>(d)][idx];
+    if (!r.valid) continue;
+    if (best == nullptr || route_less(r.as_path, *best)) best = &r.as_path;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+int BgpVrfNetwork::converge(int max_rounds) {
+  const int num_speakers = static_cast<int>(num_routers_) * k_;
+  int max_rounds_used = 0;
+
+  // Prefixes converge independently; run each to fixpoint.
+  for (NodeId d = 0; d < num_routers_; ++d) {
+    auto& rib = rib_[static_cast<std::size_t>(d)];
+    int rounds = 0;
+    bool changed = true;
+    while (changed) {
+      SPINELESS_CHECK_MSG(rounds < max_rounds, "BGP did not converge");
+      changed = false;
+      // Snapshot every speaker's current best, then deliver advertisements.
+      std::vector<std::optional<std::vector<NodeId>>> bests(
+          static_cast<std::size_t>(num_speakers));
+      for (int s = 0; s < num_speakers; ++s)
+        bests[static_cast<std::size_t>(s)] = best_route(s, d);
+
+      for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        const Session& sess = sessions_[i];
+        Route incoming;  // default: invalid (withdrawal)
+        const auto& adv_best =
+            bests[static_cast<std::size_t>(sess.advertiser)];
+        if (sess.up && adv_best.has_value()) {
+          incoming.as_path.reserve(adv_best->size() +
+                                   static_cast<std::size_t>(sess.prepend));
+          const NodeId adv_as = speaker_router(sess.advertiser);
+          incoming.as_path.assign(static_cast<std::size_t>(sess.prepend),
+                                  adv_as);
+          incoming.as_path.insert(incoming.as_path.end(), adv_best->begin(),
+                                  adv_best->end());
+          // eBGP loop prevention: the receiver discards routes already
+          // carrying its own AS.
+          const NodeId recv_as = speaker_router(sess.receiver);
+          incoming.valid =
+              std::find(incoming.as_path.begin(), incoming.as_path.end(),
+                        recv_as) == incoming.as_path.end();
+          if (!incoming.valid) incoming.as_path.clear();
+        }
+        Route& stored = rib[i];
+        if (stored.valid != incoming.valid ||
+            stored.as_path != incoming.as_path) {
+          stored = std::move(incoming);
+          changed = true;
+        }
+      }
+      ++rounds;
+    }
+    // The final quiet round confirmed the fixpoint; don't count it.
+    max_rounds_used = std::max(max_rounds_used, rounds - 1);
+  }
+  return max_rounds_used;
+}
+
+void BgpVrfNetwork::fail_link(LinkId link) {
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i].link != link) continue;
+    sessions_[i].up = false;
+    for (NodeId d = 0; d < num_routers_; ++d)
+      rib_[static_cast<std::size_t>(d)][i] = Route{};
+  }
+}
+
+void BgpVrfNetwork::restore_link(LinkId link) {
+  for (auto& s : sessions_)
+    if (s.link == link) s.up = true;
+}
+
+std::size_t BgpVrfNetwork::failed_links() const {
+  std::set<LinkId> down;
+  for (const auto& s : sessions_)
+    if (!s.up) down.insert(s.link);
+  return down.size();
+}
+
+int BgpVrfNetwork::best_path_length(NodeId router, int vrf, NodeId dst) const {
+  return best_length(speaker(router, vrf), dst);
+}
+
+std::vector<FibEntry> BgpVrfNetwork::fib(NodeId router, int vrf,
+                                         NodeId dst) const {
+  const int s = speaker(router, vrf);
+  const int best = best_length(s, dst);
+  std::vector<FibEntry> out;
+  if (best < 0 || (router == dst && vrf == k_)) return out;
+  for (const std::size_t idx :
+       sessions_by_receiver_[static_cast<std::size_t>(s)]) {
+    const Route& r = rib_[static_cast<std::size_t>(dst)][idx];
+    if (!r.valid || static_cast<int>(r.as_path.size()) != best) continue;
+    out.push_back(FibEntry{sessions_[idx].recv_port,
+                           speaker_vrf(sessions_[idx].advertiser)});
+  }
+  return out;
+}
+
+PathSet BgpVrfNetwork::fib_paths(NodeId src, NodeId dst,
+                                 std::size_t cap) const {
+  SPINELESS_CHECK(src != dst);
+  std::set<Path> dedup;
+  Path prefix{src};
+  auto walk = [&](auto&& self, NodeId router, int vrf) -> void {
+    if (dedup.size() >= cap) return;
+    if (router == dst && vrf == k_) {
+      dedup.insert(prefix);
+      return;
+    }
+    for (const FibEntry& e : fib(router, vrf, dst)) {
+      // AS-path loop prevention already guarantees simple router paths, but
+      // multipath mixes routes of different AS paths; re-check locally so a
+      // FIB walk can't splice two admitted routes into a loop.
+      if (std::find(prefix.begin(), prefix.end(), e.port.neighbor) !=
+          prefix.end())
+        continue;
+      prefix.push_back(e.port.neighbor);
+      self(self, e.port.neighbor, e.next_vrf);
+      prefix.pop_back();
+    }
+  };
+  walk(walk, src, k_);
+  PathSet out(dedup.begin(), dedup.end());
+  std::sort(out.begin(), out.end(), [](const Path& a, const Path& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  });
+  return out;
+}
+
+std::size_t BgpVrfNetwork::installed_routes() const {
+  std::size_t n = 0;
+  for (const auto& per_prefix : rib_)
+    for (const Route& r : per_prefix) n += r.valid;
+  return n;
+}
+
+}  // namespace spineless::ctrl

@@ -1,0 +1,124 @@
+// BGP + VRF control-plane simulator: the standard-hardware realization of
+// Shortest-Union(K) from §4, substituting for the paper's GNS3 / Cisco 7200
+// prototype (see DESIGN.md §2).
+//
+// Model, mirroring the paper's configuration:
+//  * every physical router is its own AS (unique AS number);
+//  * every router runs K VRFs; all VRFs of a router share its AS number;
+//  * host interfaces live in VRF K; each router originates one prefix (its
+//    rack subnet) from its VRF-K speaker;
+//  * eBGP sessions follow the §4 virtual-connection gadget: a virtual
+//    connection (VRF j, R1) -> (VRF j', R2) of cost c is a session on which
+//    R2's VRF-j' speaker advertises routes to R1's VRF-j speaker with its
+//    own AS prepended c times ("the costs can be set via path prepending");
+//  * best-path selection is minimum AS-path length; multipath keeps every
+//    admitted route of best length (vendor "multipath-relax" semantics);
+//  * a speaker rejects any route whose AS-path contains its own AS, so no
+//    forwarding path visits a router twice.
+//
+// Convergence runs in synchronous rounds (every speaker re-advertises its
+// current best to all sessions each round) until a fixpoint; the round
+// count is the reconvergence metric reported by bench_failures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "routing/types.h"
+#include "topo/graph.h"
+
+namespace spineless::ctrl {
+
+using routing::Path;
+using routing::PathSet;
+using topo::Graph;
+using topo::LinkId;
+using topo::NodeId;
+using topo::Port;
+
+// One ECMP forwarding choice installed in a VRF's FIB.
+struct FibEntry {
+  Port port;         // physical port to take
+  int next_vrf = 0;  // VRF the packet continues in at the neighbor
+};
+
+class BgpVrfNetwork {
+ public:
+  // k = number of VRFs per router = the K of Shortest-Union(K).
+  BgpVrfNetwork(const Graph& g, int k);
+
+  int k() const noexcept { return k_; }
+
+  // Runs synchronous advertisement rounds until no RIB changes anywhere.
+  // Returns the number of rounds executed (0 if already converged).
+  int converge(int max_rounds = 10'000);
+
+  // Tears down all sessions riding on the physical link (both directions).
+  // Stored routes via those sessions are withdrawn; call converge() to let
+  // the network route around the failure.
+  void fail_link(LinkId link);
+  void restore_link(LinkId link);
+  std::size_t failed_links() const;
+
+  // AS-path length of the best route for prefix `dst` at (router, vrf);
+  // -1 if unreachable. Traffic enters at vrf == k (host VRF).
+  int best_path_length(NodeId router, int vrf, NodeId dst) const;
+
+  // Multipath FIB at (router, vrf) for prefix dst.
+  std::vector<FibEntry> fib(NodeId router, int vrf, NodeId dst) const;
+
+  // All physical paths obtained by following the converged FIB from
+  // (VRF k, src) to dst, deduplicated and sorted by (length, lex). With no
+  // failures this equals routing::shortest_union_paths (verified in tests).
+  PathSet fib_paths(NodeId src, NodeId dst, std::size_t cap = 4096) const;
+
+  // True if the host VRF at src has any route to dst.
+  bool reachable(NodeId src, NodeId dst) const {
+    return best_path_length(src, k_, dst) >= 0;
+  }
+
+  // Total routes currently installed (diagnostics).
+  std::size_t installed_routes() const;
+
+ private:
+  struct Session {
+    int advertiser;  // speaker index
+    int receiver;    // speaker index
+    int prepend;     // gadget cost c
+    Port recv_port;  // port at the receiving router toward the advertiser
+    LinkId link;
+    bool up = true;
+  };
+
+  // One received route on one session for one prefix.
+  struct Route {
+    bool valid = false;
+    std::vector<NodeId> as_path;  // router ids, advertiser's AS first
+  };
+
+  int speaker(NodeId router, int vrf) const {
+    SPINELESS_DCHECK(vrf >= 1 && vrf <= k_);
+    return static_cast<int>(router) * k_ + (vrf - 1);
+  }
+  NodeId speaker_router(int s) const { return static_cast<NodeId>(s / k_); }
+  int speaker_vrf(int s) const { return s % k_ + 1; }
+
+  // Best AS-path length among valid routes at speaker s for prefix d
+  // (0 if s originates d); -1 if none.
+  int best_length(int s, NodeId d) const;
+  // The canonical best route a speaker advertises (shortest, then lex).
+  std::optional<std::vector<NodeId>> best_route(int s, NodeId d) const;
+
+  int k_;
+  NodeId num_routers_;
+  std::vector<Session> sessions_;
+  // sessions_by_advertiser_[speaker] -> session indices.
+  std::vector<std::vector<std::size_t>> sessions_by_advertiser_;
+  // sessions_by_receiver_[speaker] -> session indices (for FIB extraction).
+  std::vector<std::vector<std::size_t>> sessions_by_receiver_;
+  // rib_[prefix][session] — what the receiver currently holds.
+  std::vector<std::vector<Route>> rib_;
+};
+
+}  // namespace spineless::ctrl

@@ -1,0 +1,152 @@
+#include "ctrl/ospf.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.h"
+
+namespace spineless::ctrl {
+
+OspfNetwork::OspfNetwork(const Graph& g)
+    : graph_(g),
+      lsdb_(static_cast<std::size_t>(g.num_switches()),
+            std::vector<Lsa>(static_cast<std::size_t>(g.num_switches()))),
+      seq_(static_cast<std::size_t>(g.num_switches()), 0) {
+  // Each router knows only its own LSA initially.
+  for (NodeId r = 0; r < g.num_switches(); ++r) reoriginate(r);
+}
+
+void OspfNetwork::reoriginate(NodeId router) {
+  Lsa lsa;
+  lsa.seq = ++seq_[static_cast<std::size_t>(router)];
+  for (const Port& p : graph_.neighbors(router)) {
+    if (link_up(p.link)) lsa.adjacencies.push_back(p);
+  }
+  lsdb_[static_cast<std::size_t>(router)][static_cast<std::size_t>(router)] =
+      std::move(lsa);
+}
+
+int OspfNetwork::flood(int max_rounds) {
+  int rounds = 0;
+  bool changed = true;
+  while (changed) {
+    SPINELESS_CHECK_MSG(rounds < max_rounds, "OSPF flooding did not settle");
+    changed = false;
+    // Snapshot: deliveries within a round are based on last round's LSDBs.
+    const auto snapshot = lsdb_;
+    for (NodeId r = 0; r < graph_.num_switches(); ++r) {
+      for (const Port& p : graph_.neighbors(r)) {
+        if (!link_up(p.link)) continue;
+        // r advertises every LSA it holds to this neighbor; the neighbor
+        // installs strictly newer ones. (Real OSPF floods only deltas; the
+        // message count below only counts installs, i.e. useful floods.)
+        auto& nbr_db = lsdb_[static_cast<std::size_t>(p.neighbor)];
+        const auto& my_db = snapshot[static_cast<std::size_t>(r)];
+        for (NodeId origin = 0; origin < graph_.num_switches(); ++origin) {
+          const Lsa& candidate = my_db[static_cast<std::size_t>(origin)];
+          if (candidate.seq >
+              nbr_db[static_cast<std::size_t>(origin)].seq) {
+            nbr_db[static_cast<std::size_t>(origin)] = candidate;
+            ++messages_;
+            changed = true;
+          }
+        }
+      }
+    }
+    ++rounds;
+  }
+  return rounds - 1;  // final quiet round confirmed the fixpoint
+}
+
+bool OspfNetwork::converged() const {
+  for (NodeId r = 0; r < graph_.num_switches(); ++r) {
+    for (NodeId origin = 0; origin < graph_.num_switches(); ++origin) {
+      if (lsdb_[static_cast<std::size_t>(r)][static_cast<std::size_t>(origin)]
+              .seq != seq_[static_cast<std::size_t>(origin)])
+        return false;
+    }
+  }
+  return true;
+}
+
+void OspfNetwork::fail_link(LinkId link) {
+  SPINELESS_CHECK(link >= 0 && link < graph_.num_links());
+  down_.insert(link);
+  reoriginate(graph_.link(link).a);
+  reoriginate(graph_.link(link).b);
+}
+
+void OspfNetwork::restore_link(LinkId link) {
+  down_.erase(link);
+  reoriginate(graph_.link(link).a);
+  reoriginate(graph_.link(link).b);
+}
+
+std::vector<std::vector<Port>> OspfNetwork::lsdb_view(NodeId router) const {
+  // Adjacency as this router believes it to be. A directed adjacency is
+  // used only if both endpoint LSAs agree the link is up (OSPF's two-way
+  // check).
+  const auto& db = lsdb_[static_cast<std::size_t>(router)];
+  std::vector<std::vector<Port>> adj(
+      static_cast<std::size_t>(graph_.num_switches()));
+  for (NodeId origin = 0; origin < graph_.num_switches(); ++origin) {
+    for (const Port& p : db[static_cast<std::size_t>(origin)].adjacencies) {
+      const auto& peer = db[static_cast<std::size_t>(p.neighbor)];
+      const bool reciprocal = std::any_of(
+          peer.adjacencies.begin(), peer.adjacencies.end(),
+          [&](const Port& q) { return q.link == p.link; });
+      if (reciprocal) adj[static_cast<std::size_t>(origin)].push_back(p);
+    }
+  }
+  return adj;
+}
+
+int OspfNetwork::distance(NodeId router, NodeId dst) const {
+  const auto adj = lsdb_view(router);
+  std::vector<int> dist(static_cast<std::size_t>(graph_.num_switches()), -1);
+  std::deque<NodeId> queue{router};
+  dist[static_cast<std::size_t>(router)] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const Port& p : adj[static_cast<std::size_t>(u)]) {
+      if (dist[static_cast<std::size_t>(p.neighbor)] < 0) {
+        dist[static_cast<std::size_t>(p.neighbor)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(p.neighbor);
+      }
+    }
+  }
+  return dist[static_cast<std::size_t>(dst)];
+}
+
+std::vector<Port> OspfNetwork::next_hops(NodeId router, NodeId dst) const {
+  std::vector<Port> hops;
+  if (router == dst) return hops;
+  const auto adj = lsdb_view(router);
+  // BFS distances from dst over the believed topology (symmetric links).
+  std::vector<int> dist(static_cast<std::size_t>(graph_.num_switches()), -1);
+  std::deque<NodeId> queue{dst};
+  dist[static_cast<std::size_t>(dst)] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const Port& p : adj[static_cast<std::size_t>(u)]) {
+      if (dist[static_cast<std::size_t>(p.neighbor)] < 0) {
+        dist[static_cast<std::size_t>(p.neighbor)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(p.neighbor);
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(router)] < 0) return hops;
+  for (const Port& p : adj[static_cast<std::size_t>(router)]) {
+    if (dist[static_cast<std::size_t>(p.neighbor)] ==
+        dist[static_cast<std::size_t>(router)] - 1) {
+      hops.push_back(p);
+    }
+  }
+  return hops;
+}
+
+}  // namespace spineless::ctrl

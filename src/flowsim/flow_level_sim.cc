@@ -1,0 +1,174 @@
+#include "flowsim/flow_level_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace spineless::flowsim {
+
+FlowLevelSimulator::FlowLevelSimulator(const Graph& g, double link_rate_bps)
+    : graph_(g), link_rate_(link_rate_bps), num_hosts_(g.total_servers()) {
+  SPINELESS_CHECK(link_rate_bps > 0);
+}
+
+std::vector<int> FlowLevelSimulator::resources_for(HostId src, HostId dst,
+                                                   const Path& path) const {
+  SPINELESS_CHECK(!path.empty());
+  SPINELESS_CHECK(path.front() == graph_.tor_of_host(src) &&
+                  path.back() == graph_.tor_of_host(dst));
+  std::vector<int> res;
+  res.push_back(src);                // host uplink
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    topo::LinkId link = topo::kInvalidLink;
+    for (const topo::Port& p : graph_.neighbors(path[i])) {
+      if (p.neighbor == path[i + 1]) {
+        link = p.link;
+        break;
+      }
+    }
+    SPINELESS_CHECK_MSG(link != topo::kInvalidLink, "path hop is not a link");
+    const bool a_to_b = graph_.link(link).a == path[i];
+    res.push_back(2 * num_hosts_ + 2 * link + (a_to_b ? 0 : 1));
+  }
+  res.push_back(num_hosts_ + dst);   // host downlink
+  return res;
+}
+
+int FlowLevelSimulator::add_flow(HostId src, HostId dst, std::int64_t bytes,
+                                 Time start, const Path& path) {
+  SPINELESS_CHECK(src != dst && bytes > 0 && start >= 0);
+  (void)resources_for(src, dst, path);  // validate eagerly
+  FlowResult r;
+  r.src = src;
+  r.dst = dst;
+  r.bytes = bytes;
+  r.start = start;
+  results_.push_back(r);
+  paths_.push_back(path);
+  return static_cast<int>(results_.size()) - 1;
+}
+
+void FlowLevelSimulator::recompute_rates(
+    std::vector<ActiveFlow>& active) const {
+  // Progressive filling, same algorithm as MaxMinProblem::solve but
+  // in-place over the active set.
+  const std::size_t nr = static_cast<std::size_t>(
+      2 * num_hosts_ + 2 * graph_.num_links());
+  std::vector<double> remaining(nr, link_rate_);
+  std::vector<double> load(nr, 0.0);
+  std::vector<char> frozen(active.size(), 0);
+  for (auto& f : active) {
+    f.rate = 0;
+    for (int r : f.resources) load[static_cast<std::size_t>(r)] += 1.0;
+  }
+  std::size_t live = active.size();
+  constexpr double kEps = 1e-12;
+  while (live > 0) {
+    double inc = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < nr; ++r)
+      if (load[r] > kEps) inc = std::min(inc, remaining[r] / load[r]);
+    SPINELESS_CHECK(std::isfinite(inc));
+    inc = std::max(inc, 0.0);
+    for (std::size_t r = 0; r < nr; ++r) remaining[r] -= inc * load[r];
+    std::vector<char> saturated(nr, 0);
+    for (std::size_t r = 0; r < nr; ++r)
+      if (load[r] > kEps && remaining[r] <= 1e-9 * link_rate_)
+        saturated[r] = 1;
+    bool any = false;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (frozen[i]) continue;
+      active[i].rate += inc;
+      bool freeze = false;
+      for (int r : active[i].resources)
+        if (saturated[static_cast<std::size_t>(r)]) {
+          freeze = true;
+          break;
+        }
+      if (freeze) {
+        frozen[i] = 1;
+        --live;
+        any = true;
+        for (int r : active[i].resources)
+          load[static_cast<std::size_t>(r)] -= 1.0;
+      }
+    }
+    SPINELESS_CHECK_MSG(any || live == 0, "water-filling stalled");
+  }
+}
+
+std::size_t FlowLevelSimulator::run(Time deadline) {
+  // Arrival order.
+  std::vector<std::size_t> order(results_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return results_[a].start < results_[b].start;
+  });
+
+  std::vector<ActiveFlow> active;
+  std::size_t next_arrival = 0;
+  Time now = 0;
+  std::size_t completed = 0;
+
+  auto drain = [&](Time dt) {
+    const double secs = units::to_seconds(dt);
+    for (auto& f : active)
+      f.remaining_bytes -= f.rate / 8.0 * secs;
+  };
+
+  while ((next_arrival < order.size() || !active.empty()) &&
+         now <= deadline) {
+    // Next completion among active flows.
+    Time completion = std::numeric_limits<Time>::max();
+    for (const auto& f : active) {
+      if (f.rate <= 0) continue;
+      const double secs = f.remaining_bytes * 8.0 / f.rate;
+      const Time t =
+          now + static_cast<Time>(std::ceil(secs * units::kSecond));
+      completion = std::min(completion, t);
+    }
+    const Time arrival = next_arrival < order.size()
+                             ? results_[order[next_arrival]].start
+                             : std::numeric_limits<Time>::max();
+
+    const Time next_event = std::min(arrival, completion);
+    if (next_event > deadline) break;  // nothing more inside the horizon
+    if (arrival <= completion) {
+      drain(arrival - now);
+      now = arrival;
+      const std::size_t id = order[next_arrival++];
+      ActiveFlow f;
+      f.id = id;
+      f.resources = resources_for(results_[id].src, results_[id].dst,
+                                  paths_[id]);
+      f.remaining_bytes = static_cast<double>(results_[id].bytes);
+      active.push_back(std::move(f));
+    } else {
+      drain(completion - now);
+      now = completion;
+      // Retire every flow that drained (tolerance: one bit).
+      for (std::size_t i = 0; i < active.size();) {
+        if (active[i].remaining_bytes <= 0.125) {
+          results_[active[i].id].finish = now;
+          ++completed;
+          active[i] = active.back();
+          active.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    recompute_rates(active);
+  }
+  return completed;
+}
+
+Summary FlowLevelSimulator::fct_ms() const {
+  Summary s;
+  for (const auto& r : results_)
+    if (r.completed()) s.add(units::to_millis(r.fct()));
+  return s;
+}
+
+}  // namespace spineless::flowsim

@@ -1,0 +1,51 @@
+// Maps a data-center topology onto a MaxMinProblem: host NICs (uplink and
+// downlink) and each direction of every switch-switch link are resources of
+// the configured line rate. Flows follow explicit switch-level paths, the
+// way a hashed ECMP/Shortest-Union flow does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowsim/maxmin.h"
+#include "routing/types.h"
+#include "topo/graph.h"
+
+namespace spineless::flowsim {
+
+using routing::Path;
+using topo::Graph;
+using topo::HostId;
+using topo::NodeId;
+
+class FluidNetwork {
+ public:
+  FluidNetwork(const Graph& g, double link_rate_bps);
+
+  // Adds a long-running flow from host src to host dst along `path`, which
+  // must run from tor_of(src) to tor_of(dst). Hosts on the same ToR pass an
+  // intra-rack path of the single element {tor}. Returns the flow id.
+  int add_flow(HostId src, HostId dst, const Path& path);
+
+  int num_flows() const { return problem_.num_flows(); }
+
+  // Max-min fair rate per flow, bits/sec.
+  std::vector<double> solve() const { return problem_.solve(); }
+
+  // Aggregate and mean throughput helpers.
+  static double total(const std::vector<double>& rates);
+  static double mean(const std::vector<double>& rates);
+
+ private:
+  int host_up(HostId h) const { return h; }
+  int host_down(HostId h) const { return num_hosts_ + h; }
+  int net_link(topo::LinkId l, bool a_to_b) const {
+    return 2 * num_hosts_ + 2 * l + (a_to_b ? 0 : 1);
+  }
+
+  const Graph& graph_;
+  int num_hosts_;
+  MaxMinProblem problem_;
+};
+
+}  // namespace spineless::flowsim

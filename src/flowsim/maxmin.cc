@@ -1,0 +1,124 @@
+#include "flowsim/maxmin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace spineless::flowsim {
+
+MaxMinProblem::MaxMinProblem(std::vector<double> capacities)
+    : capacity_(std::move(capacities)) {
+  for (double c : capacity_) SPINELESS_CHECK(c >= 0);
+}
+
+int MaxMinProblem::add_flow(std::vector<int> resources) {
+  for (int r : resources)
+    SPINELESS_CHECK(r >= 0 && r < num_resources());
+  flows_.push_back(std::move(resources));
+  return static_cast<int>(flows_.size()) - 1;
+}
+
+std::vector<double> MaxMinProblem::solve() const {
+  const std::size_t nf = flows_.size();
+  const std::size_t nr = capacity_.size();
+  std::vector<double> rate(nf, 0.0);
+  std::vector<double> remaining = capacity_;
+  // Active consumption count per resource.
+  std::vector<double> load(nr, 0.0);
+  std::vector<char> active(nf, 0);
+  std::size_t num_active = 0;
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (flows_[f].empty()) continue;  // unconstrained: leave at rate 0
+    active[f] = 1;
+    ++num_active;
+    for (int r : flows_[f]) load[static_cast<std::size_t>(r)] += 1.0;
+  }
+
+  constexpr double kEps = 1e-12;
+  while (num_active > 0) {
+    // Bottleneck increment: the smallest per-flow headroom across loaded
+    // resources.
+    double inc = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (load[r] > kEps) inc = std::min(inc, remaining[r] / load[r]);
+    }
+    SPINELESS_CHECK(std::isfinite(inc));
+    inc = std::max(inc, 0.0);
+
+    for (std::size_t r = 0; r < nr; ++r) remaining[r] -= inc * load[r];
+
+    // Freeze every active flow crossing a saturated resource.
+    // (Tolerance is relative to the original capacity scale.)
+    std::vector<char> saturated(nr, 0);
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (load[r] > kEps &&
+          remaining[r] <= 1e-9 * std::max(1.0, capacity_[r]))
+        saturated[r] = 1;
+    }
+    bool any_frozen = false;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (!active[f]) continue;
+      rate[f] += inc;
+      bool freeze = false;
+      for (int r : flows_[f]) {
+        if (saturated[static_cast<std::size_t>(r)]) {
+          freeze = true;
+          break;
+        }
+      }
+      if (freeze) {
+        active[f] = 0;
+        --num_active;
+        any_frozen = true;
+        for (int r : flows_[f]) load[static_cast<std::size_t>(r)] -= 1.0;
+      }
+    }
+    SPINELESS_CHECK_MSG(any_frozen || num_active == 0,
+                        "water-filling made no progress");
+  }
+  return rate;
+}
+
+bool MaxMinProblem::is_max_min_fair(const std::vector<double>& rates,
+                                    double tol) const {
+  if (rates.size() != flows_.size()) return false;
+  const std::size_t nr = capacity_.size();
+  std::vector<double> used(nr, 0.0);
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    for (int r : flows_[f]) used[static_cast<std::size_t>(r)] += rates[f];
+  }
+  // Feasibility.
+  for (std::size_t r = 0; r < nr; ++r) {
+    if (used[r] > capacity_[r] + tol * std::max(1.0, capacity_[r]))
+      return false;
+  }
+  // Max-min certificate: every flow crosses some saturated resource where
+  // no other flow has a strictly larger rate.
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    if (flows_[f].empty()) continue;
+    bool certified = false;
+    for (int r : flows_[f]) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (used[ri] < capacity_[ri] - tol * std::max(1.0, capacity_[ri]))
+        continue;  // not saturated
+      bool maximal = true;
+      for (std::size_t g = 0; g < flows_.size() && maximal; ++g) {
+        if (g == f) continue;
+        const bool crosses =
+            std::find(flows_[g].begin(), flows_[g].end(), r) !=
+            flows_[g].end();
+        if (crosses && rates[g] > rates[f] + tol) maximal = false;
+      }
+      if (maximal) {
+        certified = true;
+        break;
+      }
+    }
+    if (!certified) return false;
+  }
+  return true;
+}
+
+}  // namespace spineless::flowsim

@@ -1,0 +1,121 @@
+#include "routing/disjoint.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "topo/analysis.h"
+
+namespace spineless::routing {
+
+int common_neighbor_count(const Graph& g, NodeId a, NodeId b) {
+  std::set<NodeId> na;
+  for (const Port& p : g.neighbors(a)) na.insert(p.neighbor);
+  std::set<NodeId> seen;  // dedupe parallel links
+  int count = 0;
+  for (const Port& p : g.neighbors(b)) {
+    if (na.count(p.neighbor) && seen.insert(p.neighbor).second) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+// Unit-capacity max flow (Edmonds-Karp on an adjacency-matrix-free residual
+// list) — graphs here are small (node-split BFS DAGs).
+class UnitFlow {
+ public:
+  explicit UnitFlow(int n) : head_(static_cast<std::size_t>(n), -1) {}
+
+  void add_edge(int u, int v) {
+    edges_.push_back({v, head_[static_cast<std::size_t>(u)], 1});
+    head_[static_cast<std::size_t>(u)] = static_cast<int>(edges_.size()) - 1;
+    edges_.push_back({u, head_[static_cast<std::size_t>(v)], 0});  // reverse
+    head_[static_cast<std::size_t>(v)] = static_cast<int>(edges_.size()) - 1;
+  }
+
+  int max_flow(int s, int t) {
+    int flow = 0;
+    while (augment(s, t)) ++flow;
+    return flow;
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int next;
+    int cap;
+  };
+
+  bool augment(int s, int t) {
+    std::vector<int> parent_edge(head_.size(), -1);
+    std::vector<char> seen(head_.size(), 0);
+    std::deque<int> queue{s};
+    seen[static_cast<std::size_t>(s)] = 1;
+    while (!queue.empty() && !seen[static_cast<std::size_t>(t)]) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
+           e = edges_[static_cast<std::size_t>(e)].next) {
+        const Edge& edge = edges_[static_cast<std::size_t>(e)];
+        if (edge.cap <= 0 || seen[static_cast<std::size_t>(edge.to)])
+          continue;
+        seen[static_cast<std::size_t>(edge.to)] = 1;
+        parent_edge[static_cast<std::size_t>(edge.to)] = e;
+        queue.push_back(edge.to);
+      }
+    }
+    if (!seen[static_cast<std::size_t>(t)]) return false;
+    for (int v = t; v != s;) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      edges_[static_cast<std::size_t>(e)].cap -= 1;
+      edges_[static_cast<std::size_t>(e ^ 1)].cap += 1;
+      v = edges_[static_cast<std::size_t>(e ^ 1)].to;
+    }
+    return true;
+  }
+
+  std::vector<int> head_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace
+
+int max_disjoint_su2_paths(const Graph& g, NodeId a, NodeId b) {
+  SPINELESS_CHECK(a != b);
+  if (g.adjacent(a, b)) {
+    // Direct link + one 2-hop detour per common neighbor, all internally
+    // disjoint (and SU(2) contains nothing else).
+    return 1 + common_neighbor_count(g, a, b);
+  }
+  // L >= 2: vertex-disjoint shortest paths = node-split max flow on the
+  // BFS DAG toward b. Flow node ids: 2*u = u_in, 2*u+1 = u_out.
+  const auto dist = topo::bfs_distances(g, b);
+  SPINELESS_CHECK_MSG(dist[static_cast<std::size_t>(a)] > 0, "unreachable");
+  const int n = g.num_switches();
+  UnitFlow flow(2 * n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (u == a || u == b) {
+      // Endpoints are not internal: give them unbounded splitter capacity
+      // via parallel unit edges (at most degree many are useful).
+      for (int i = 0; i < g.network_degree(u); ++i)
+        flow.add_edge(2 * u, 2 * u + 1);
+    } else {
+      flow.add_edge(2 * u, 2 * u + 1);
+    }
+  }
+  std::set<std::pair<NodeId, NodeId>> added;  // dedupe parallel links
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Port& p : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(p.neighbor)] ==
+              dist[static_cast<std::size_t>(u)] - 1 &&
+          added.insert({u, p.neighbor}).second) {
+        flow.add_edge(2 * u + 1, 2 * p.neighbor);
+      }
+    }
+  }
+  return flow.max_flow(2 * a, 2 * b + 1);
+}
+
+}  // namespace spineless::routing

@@ -1,0 +1,26 @@
+// Exact disjoint-path counting for Shortest-Union(2) path sets, used to
+// verify the paper's §4 claim that SU(2) gives at least n+1 internally-
+// vertex-disjoint paths between any two DRing racks. (greedy_disjoint_count
+// in paths.h is a cheap lower bound; it can miss the optimum on
+// distance-3+ pairs.)
+//
+// K = 2 decomposes cleanly:
+//  * adjacent racks (L = 1): SU(2) = the direct link plus one 2-hop path
+//    per common neighbor, all trivially disjoint -> 1 + |common neighbors|;
+//  * L >= 2: SU(2) is exactly the shortest paths, whose union is the BFS
+//    DAG; the max number of vertex-disjoint a->b paths in a DAG is a
+//    node-split unit-capacity max flow.
+#pragma once
+
+#include "routing/types.h"
+
+namespace spineless::routing {
+
+// Number of common neighbors of a and b.
+int common_neighbor_count(const Graph& g, NodeId a, NodeId b);
+
+// Maximum number of internally-vertex-disjoint Shortest-Union(2) paths
+// between a and b (exact).
+int max_disjoint_su2_paths(const Graph& g, NodeId a, NodeId b);
+
+}  // namespace spineless::routing

@@ -1,0 +1,85 @@
+#include "routing/ecmp.h"
+
+#include <deque>
+
+#include "topo/analysis.h"
+
+namespace spineless::routing {
+
+namespace {
+
+// BFS distances honoring a dead-link set.
+std::vector<int> bfs_avoiding(const Graph& g, NodeId src,
+                              const std::set<LinkId>* dead) {
+  if (dead == nullptr || dead->empty()) return topo::bfs_distances(g, src);
+  std::vector<int> dist(static_cast<std::size_t>(g.num_switches()), -1);
+  std::deque<NodeId> queue{src};
+  dist[static_cast<std::size_t>(src)] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const Port& p : g.neighbors(u)) {
+      if (dead->count(p.link)) continue;
+      auto& d = dist[static_cast<std::size_t>(p.neighbor)];
+      if (d < 0) {
+        d = dist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(p.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+EcmpTable EcmpTable::compute(const Graph& g, const std::set<LinkId>* dead) {
+  const bool filtering = dead != nullptr && !dead->empty();
+  EcmpTable t;
+  const auto n = static_cast<std::size_t>(g.num_switches());
+  t.nh_.resize(n);
+  t.dist_.resize(n);
+  for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
+    auto dist = bfs_avoiding(g, dst, dead);
+    auto& per_node = t.nh_[static_cast<std::size_t>(dst)];
+    per_node.resize(n);
+    for (NodeId u = 0; u < g.num_switches(); ++u) {
+      if (u == dst) continue;
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        SPINELESS_CHECK_MSG(filtering, "disconnected graph in EcmpTable");
+        continue;  // unreachable after failures: empty next-hop set
+      }
+      for (const Port& p : g.neighbors(u)) {
+        if (filtering && dead->count(p.link)) continue;
+        if (dist[static_cast<std::size_t>(p.neighbor)] ==
+            dist[static_cast<std::size_t>(u)] - 1) {
+          per_node[static_cast<std::size_t>(u)].push_back(p);
+        }
+      }
+    }
+    t.dist_[static_cast<std::size_t>(dst)] = std::move(dist);
+  }
+  return t;
+}
+
+bool ecmp_table_valid(const Graph& g, const EcmpTable& table) {
+  if (table.num_switches() != g.num_switches()) return false;
+  for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
+    // Table distances must be the true hop distances in g.
+    const auto bfs = topo::bfs_distances(g, dst);
+    for (NodeId u = 0; u < g.num_switches(); ++u) {
+      if (u == dst) continue;
+      if (table.distance(u, dst) != bfs[static_cast<std::size_t>(u)])
+        return false;
+      const auto& hops = table.next_hops(u, dst);
+      if (hops.empty()) return false;
+      for (const Port& p : hops) {
+        if (!g.adjacent(u, p.neighbor)) return false;
+        if (table.distance(p.neighbor, dst) != table.distance(u, dst) - 1)
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace spineless::routing

@@ -1,0 +1,44 @@
+// Standard shortest-path ECMP: the routing leaf-spine networks run today
+// (BGP/OSPF + equal-cost multipath), and the paper's baseline routing for
+// flat networks.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "routing/types.h"
+
+namespace spineless::routing {
+
+// Per-destination next-hop sets: at switch `node`, packets for destination
+// ToR `dst` may take any port whose neighbor is one hop closer to dst.
+class EcmpTable {
+ public:
+  // dead: links to treat as absent (failure modeling) — next hops never use
+  // them and distances route around them. Unreachable destinations get an
+  // empty next-hop set and distance -1.
+  static EcmpTable compute(const Graph& g,
+                           const std::set<LinkId>* dead = nullptr);
+
+  const std::vector<Port>& next_hops(NodeId node, NodeId dst) const {
+    return nh_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(node)];
+  }
+  int distance(NodeId node, NodeId dst) const {
+    return dist_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(node)];
+  }
+  NodeId num_switches() const {
+    return static_cast<NodeId>(nh_.size());
+  }
+
+ private:
+  // nh_[dst][node]; dist_[dst][node] = hops from node to dst.
+  std::vector<std::vector<std::vector<Port>>> nh_;
+  std::vector<std::vector<int>> dist_;
+};
+
+// Sanity checker used by tests: every next hop strictly decreases the
+// distance to the destination (hence forwarding is loop-free), and every
+// switch other than dst has at least one next hop.
+bool ecmp_table_valid(const Graph& g, const EcmpTable& table);
+
+}  // namespace spineless::routing

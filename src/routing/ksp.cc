@@ -1,0 +1,91 @@
+#include "routing/ksp.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace spineless::routing {
+namespace {
+
+// BFS shortest path honoring banned nodes and banned directed edges;
+// returns an empty path if unreachable. Deterministic: neighbors scanned in
+// port order.
+Path bfs_path(const Graph& g, NodeId src, NodeId dst,
+              const std::set<NodeId>& banned_nodes,
+              const std::set<std::pair<NodeId, NodeId>>& banned_edges) {
+  if (banned_nodes.count(src) || banned_nodes.count(dst)) return {};
+  std::vector<NodeId> parent(static_cast<std::size_t>(g.num_switches()),
+                             topo::kInvalidNode);
+  std::vector<char> seen(static_cast<std::size_t>(g.num_switches()), 0);
+  std::deque<NodeId> queue{src};
+  seen[static_cast<std::size_t>(src)] = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (u == dst) break;
+    for (const Port& p : g.neighbors(u)) {
+      const NodeId v = p.neighbor;
+      if (seen[static_cast<std::size_t>(v)] || banned_nodes.count(v)) continue;
+      if (banned_edges.count({u, v})) continue;
+      seen[static_cast<std::size_t>(v)] = 1;
+      parent[static_cast<std::size_t>(v)] = u;
+      queue.push_back(v);
+    }
+  }
+  if (!seen[static_cast<std::size_t>(dst)]) return {};
+  Path path;
+  for (NodeId v = dst; v != topo::kInvalidNode;
+       v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+    if (v == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool path_less(const Path& a, const Path& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return a < b;
+}
+
+}  // namespace
+
+PathSet yen_ksp(const Graph& g, NodeId src, NodeId dst, std::size_t k) {
+  SPINELESS_CHECK(src != dst);
+  SPINELESS_CHECK(k >= 1);
+  PathSet result;
+  Path first = bfs_path(g, src, dst, {}, {});
+  if (first.empty()) return result;
+  result.push_back(std::move(first));
+
+  std::set<Path, decltype(&path_less)> candidates(&path_less);
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    for (std::size_t i = 0; i + 1 < prev.size(); ++i) {
+      const NodeId spur = prev[i];
+      const Path root(prev.begin(), prev.begin() + static_cast<long>(i) + 1);
+
+      std::set<std::pair<NodeId, NodeId>> banned_edges;
+      for (const Path& p : result) {
+        if (p.size() > i + 1 &&
+            std::equal(root.begin(), root.end(), p.begin()))
+          banned_edges.insert({p[i], p[i + 1]});
+      }
+      std::set<NodeId> banned_nodes(root.begin(), root.end());
+      banned_nodes.erase(spur);
+
+      Path spur_path = bfs_path(g, spur, dst, banned_nodes, banned_edges);
+      if (spur_path.empty()) continue;
+      Path total = root;
+      total.insert(total.end(), spur_path.begin() + 1, spur_path.end());
+      if (std::find(result.begin(), result.end(), total) == result.end())
+        candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace spineless::routing

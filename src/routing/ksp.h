@@ -1,0 +1,15 @@
+// Yen's K-shortest simple paths — the routing used by Jellyfish/Xpander
+// (k-shortest-path routing with MPTCP). Included as the non-standard-
+// hardware comparison baseline the paper argues against deploying.
+#pragma once
+
+#include "routing/types.h"
+
+namespace spineless::routing {
+
+// The k shortest simple paths from src to dst in increasing length order
+// (ties broken lexicographically). Returns fewer than k paths if the graph
+// does not contain k simple paths.
+PathSet yen_ksp(const Graph& g, NodeId src, NodeId dst, std::size_t k);
+
+}  // namespace spineless::routing

@@ -1,0 +1,26 @@
+// Shared routing types: switch-level paths and path sets.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace spineless::routing {
+
+using topo::Graph;
+using topo::LinkId;
+using topo::NodeId;
+using topo::Port;
+
+// A path is the inclusive switch sequence from source ToR to destination ToR.
+// Length (hop count) is path.size() - 1; a direct link has length 1.
+using Path = std::vector<NodeId>;
+
+// All admissible paths for one ToR pair under some routing scheme.
+using PathSet = std::vector<Path>;
+
+inline int path_length(const Path& p) {
+  return static_cast<int>(p.size()) - 1;
+}
+
+}  // namespace spineless::routing

@@ -1,0 +1,45 @@
+#include "routing/vlb.h"
+
+#include <algorithm>
+#include <set>
+
+#include "routing/ksp.h"
+#include "util/rng.h"
+
+namespace spineless::routing {
+namespace {
+
+// First shortest path by BFS (deterministic port order).
+Path one_shortest_path(const Graph& g, NodeId src, NodeId dst) {
+  return yen_ksp(g, src, dst, 1).at(0);
+}
+
+}  // namespace
+
+PathSet vlb_paths(const Graph& g, NodeId src, NodeId dst,
+                  std::size_t max_intermediates, std::uint64_t seed) {
+  SPINELESS_CHECK(src != dst);
+  Rng rng(seed);
+  std::vector<NodeId> mids;
+  for (NodeId w = 0; w < g.num_switches(); ++w)
+    if (w != src && w != dst) mids.push_back(w);
+  rng.shuffle(mids);
+  if (mids.size() > max_intermediates) mids.resize(max_intermediates);
+
+  std::set<Path> dedup;
+  for (NodeId w : mids) {
+    Path a = one_shortest_path(g, src, w);
+    const Path b = one_shortest_path(g, w, dst);
+    a.insert(a.end(), b.begin() + 1, b.end());
+    const std::set<NodeId> uniq(a.begin(), a.end());
+    if (uniq.size() == a.size()) dedup.insert(std::move(a));
+  }
+  PathSet out(dedup.begin(), dedup.end());
+  std::sort(out.begin(), out.end(), [](const Path& x, const Path& y) {
+    if (x.size() != y.size()) return x.size() < y.size();
+    return x < y;
+  });
+  return out;
+}
+
+}  // namespace spineless::routing

@@ -1,0 +1,20 @@
+// Valiant load balancing path sets — the other non-standard routing that
+// prior expander work (Kassing et al.) combined with ECMP and flowlet
+// switching. Included as a comparison baseline and for the adaptive-routing
+// extension bench.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/types.h"
+
+namespace spineless::routing {
+
+// VLB paths from src to dst: for up to `max_intermediates` randomly chosen
+// intermediate switches w (w != src, dst), the concatenation of a shortest
+// src->w path and a shortest w->dst path, kept only if simple. Deterministic
+// given the seed.
+PathSet vlb_paths(const Graph& g, NodeId src, NodeId dst,
+                  std::size_t max_intermediates, std::uint64_t seed);
+
+}  // namespace spineless::routing

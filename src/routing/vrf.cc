@@ -1,0 +1,157 @@
+#include "routing/vrf.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "topo/analysis.h"
+
+namespace spineless::routing {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+// Forward virtual edges out of VRF level j over one physical link, per the
+// gadget in vrf.h. Calls fn(next_vrf, cost).
+template <typename Fn>
+void for_each_virtual_edge(int j, int k, Fn&& fn) {
+  if (j == k) {
+    for (int i = 1; i <= k; ++i) fn(i, i);  // rule (1)
+  }
+  if (j < k) fn(j + 1, 1);       // rule (2), ascending
+  if (j == 1 && k > 1) fn(1, 1);  // rule (3); for k == 1 rule (1) covers it
+}
+
+}  // namespace
+
+VrfTable VrfTable::compute(const Graph& g, int k,
+                           const std::set<LinkId>* dead) {
+  SPINELESS_CHECK(k >= 1);
+  const bool filtering = dead != nullptr && !dead->empty();
+  auto link_dead = [&](LinkId l) { return filtering && dead->count(l) > 0; };
+  VrfTable t;
+  t.k_ = k;
+  t.num_switches_ = g.num_switches();
+  const std::size_t states =
+      static_cast<std::size_t>(g.num_switches()) * static_cast<std::size_t>(k);
+  t.dist_.resize(static_cast<std::size_t>(g.num_switches()));
+  t.nh_.resize(static_cast<std::size_t>(g.num_switches()));
+
+  for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
+    auto& h = t.dist_[static_cast<std::size_t>(dst)];
+    h.assign(states, kInf);
+    // Dijkstra on reversed virtual edges from the goal state (VRF K, dst).
+    using Entry = std::pair<int, std::size_t>;  // (cost, state)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    const std::size_t goal = t.index(dst, k);
+    h[goal] = 0;
+    pq.emplace(0, goal);
+    while (!pq.empty()) {
+      const auto [cost, state] = pq.top();
+      pq.pop();
+      if (cost > h[state]) continue;
+      const auto v = static_cast<NodeId>(state / static_cast<std::size_t>(k));
+      const int jv = static_cast<int>(state % static_cast<std::size_t>(k)) + 1;
+      // Relax predecessors: states (ju, u) with a virtual edge into (jv, v).
+      for (const Port& p : g.neighbors(v)) {
+        if (link_dead(p.link)) continue;
+        const NodeId u = p.neighbor;
+        auto relax = [&](int ju, int c) {
+          const std::size_t s = t.index(u, ju);
+          if (cost + c < h[s]) {
+            h[s] = cost + c;
+            pq.emplace(h[s], s);
+          }
+        };
+        // Incoming edges to (jv, v): rule (1) from (K, u) at cost jv;
+        // rule (2) from (jv-1, u) at cost 1 when jv >= 2;
+        // rule (3) from (1, u) at cost 1 when jv == 1.
+        relax(k, jv);
+        if (jv >= 2) relax(jv - 1, 1);
+        if (jv == 1 && k > 1) relax(1, 1);
+      }
+    }
+
+    // Tight forward edges become the multipath next-hop sets.
+    auto& nh = t.nh_[static_cast<std::size_t>(dst)];
+    nh.assign(states, {});
+    // Count minimum-cost continuations per state (DP over the tight-edge
+    // DAG in ascending cost-to-go order; saturate to avoid overflow).
+    constexpr std::int64_t kWaysCap = 1'000'000;
+    std::vector<std::int64_t> ways(states, 0);
+    ways[goal] = 1;
+    std::vector<std::size_t> order;
+    order.reserve(states);
+    for (std::size_t s = 0; s < states; ++s)
+      if (h[s] < kInf) order.push_back(s);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return h[a] < h[b]; });
+    for (const std::size_t s : order) {
+      const auto u = static_cast<NodeId>(s / static_cast<std::size_t>(k));
+      const int ju = static_cast<int>(s % static_cast<std::size_t>(k)) + 1;
+      if (h[s] >= kInf || (u == dst && ju == k)) continue;
+      for (const Port& p : g.neighbors(u)) {
+        if (link_dead(p.link)) continue;
+        for_each_virtual_edge(ju, k, [&](int jv, int c) {
+          const std::size_t sv = t.index(p.neighbor, jv);
+          if (h[sv] < kInf && c + h[sv] == h[s]) {
+            ways[s] = std::min(kWaysCap, ways[s] + ways[sv]);
+            nh[s].push_back(VrfHop{p, jv, c, std::max<std::int64_t>(
+                                                 1, ways[sv])});
+          }
+        });
+      }
+    }
+  }
+  return t;
+}
+
+bool VrfTable::theorem1_holds(const Graph& g, NodeId src, NodeId dst) const {
+  if (src == dst) return true;
+  const auto dist = topo::bfs_distances(g, src);
+  const int l = dist[static_cast<std::size_t>(dst)];
+  if (l < 0) return false;
+  return source_distance(src, dst) == std::max(l, k_);
+}
+
+PathSet VrfTable::project_paths(NodeId src, NodeId dst, std::size_t cap) const {
+  SPINELESS_CHECK(src != dst);
+  std::set<Path> dedup;
+  // DFS over tight virtual edges; costs are >= 1 so the tight-edge graph is
+  // a DAG and the walk terminates.
+  struct Frame {
+    NodeId node;
+    int vrf;
+  };
+  Path prefix{src};
+  std::vector<Frame> stack;
+  // Recursive lambda via explicit recursion.
+  auto walk = [&](auto&& self, NodeId node, int vrf) -> void {
+    if (dedup.size() >= cap) return;
+    if (node == dst && vrf == k_) {
+      dedup.insert(prefix);
+      return;
+    }
+    for (const VrfHop& hop : next_hops(node, vrf, dst)) {
+      // BGP loop prevention: every router is its own AS, so a route whose
+      // AS-path revisits a router is never admitted. Enumerate only simple
+      // physical paths (matters for K >= 3).
+      if (std::find(prefix.begin(), prefix.end(), hop.port.neighbor) !=
+          prefix.end())
+        continue;
+      prefix.push_back(hop.port.neighbor);
+      self(self, hop.port.neighbor, hop.next_vrf);
+      prefix.pop_back();
+    }
+  };
+  walk(walk, src, k_);
+  PathSet out(dedup.begin(), dedup.end());
+  std::sort(out.begin(), out.end(), [](const Path& a, const Path& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  });
+  return out;
+}
+
+}  // namespace spineless::routing

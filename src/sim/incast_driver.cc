@@ -1,0 +1,49 @@
+#include "sim/incast_driver.h"
+
+#include <algorithm>
+
+namespace spineless::sim {
+
+int IncastDriver::add_query(Simulator& sim, const workload::IncastQuery& q) {
+  SPINELESS_CHECK(!q.workers.empty());
+  Group group;
+  group.start = q.start;
+  for (const topo::HostId w : q.workers) {
+    const auto id =
+        driver_.add_flow(sim, w, q.aggregator, q.response_bytes, q.start);
+    group.members.push_back(static_cast<std::size_t>(id));
+  }
+  groups_.push_back(std::move(group));
+  return static_cast<int>(groups_.size()) - 1;
+}
+
+std::size_t IncastDriver::completed_queries() const {
+  std::size_t done = 0;
+  for (const Group& g : groups_) {
+    done += std::all_of(g.members.begin(), g.members.end(),
+                        [this](std::size_t m) {
+                          return driver_.flow(m).record().completed();
+                        });
+  }
+  return done;
+}
+
+Summary IncastDriver::qct_ms() const {
+  Summary s;
+  for (const Group& g : groups_) {
+    Time last = -1;
+    bool all = true;
+    for (std::size_t m : g.members) {
+      const auto& rec = driver_.flow(m).record();
+      if (!rec.completed()) {
+        all = false;
+        break;
+      }
+      last = std::max(last, rec.finish);
+    }
+    if (all) s.add(units::to_millis(last - g.start));
+  }
+  return s;
+}
+
+}  // namespace spineless::sim

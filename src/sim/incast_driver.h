@@ -1,0 +1,34 @@
+// Drives partition-aggregate queries (workload::IncastQuery) through the
+// packet simulator: one TCP flow per worker response, all released at the
+// query's start time; QCT = last response completion - start.
+#pragma once
+
+#include <vector>
+
+#include "sim/tcp.h"
+#include "workload/incast.h"
+
+namespace spineless::sim {
+
+class IncastDriver {
+ public:
+  IncastDriver(Network& net, const TcpConfig& cfg) : driver_(net, cfg) {}
+
+  // Returns the query id.
+  int add_query(Simulator& sim, const workload::IncastQuery& q);
+
+  std::size_t num_queries() const noexcept { return groups_.size(); }
+  std::size_t completed_queries() const;
+  // QCT per completed query, in milliseconds.
+  Summary qct_ms() const;
+
+ private:
+  struct Group {
+    std::vector<std::size_t> members;
+    Time start = 0;
+  };
+  FlowDriver driver_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace spineless::sim

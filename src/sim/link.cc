@@ -1,0 +1,59 @@
+#include "sim/link.h"
+
+#include <algorithm>
+
+namespace spineless::sim {
+
+void Link::enqueue(Simulator& sim, const Packet& pkt) {
+  if (down_) {
+    ++stats_.drops;
+    return;
+  }
+  if (queued_bytes_ + pkt.size_bytes > queue_capacity_) {
+    ++stats_.drops;
+    return;
+  }
+  Packet to_queue = pkt;
+  if (ecn_threshold_ > 0 && queued_bytes_ >= ecn_threshold_) {
+    to_queue.ecn_ce = true;
+    ++stats_.ecn_marks;
+  }
+  queue_.push_back(to_queue);
+  queued_bytes_ += pkt.size_bytes;
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  if (!busy_) start_tx(sim);
+}
+
+void Link::start_tx(Simulator& sim) {
+  SPINELESS_DCHECK(!queue_.empty());
+  busy_ = true;
+  sim.schedule_after(
+      units::serialization_time(queue_.front().size_bytes, rate_bps_), this,
+      /*ctx=*/0);
+}
+
+void Link::on_event(Simulator& sim, std::uint64_t ctx) {
+  if (ctx == 0) {
+    // Head packet fully serialized: launch it down the wire.
+    Packet pkt = queue_.front();
+    queue_.pop_front();
+    queued_bytes_ -= pkt.size_bytes;
+    ++stats_.packets_tx;
+    stats_.bytes_tx += pkt.size_bytes;
+    in_flight_.push_back(pkt);
+    sim.schedule_after(prop_delay_, this, /*ctx=*/1);
+    if (!queue_.empty())
+      start_tx(sim);
+    else
+      busy_ = false;
+  } else {
+    // Arrival at the peer. Serialization completes in order and the
+    // propagation delay is constant, so arrivals are FIFO.
+    SPINELESS_DCHECK(!in_flight_.empty());
+    Packet pkt = in_flight_.front();
+    in_flight_.pop_front();
+    peer_->receive(sim, pkt);
+  }
+}
+
+}  // namespace spineless::sim

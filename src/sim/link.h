@@ -1,0 +1,79 @@
+// A unidirectional link: drop-tail byte-bounded output queue, store-and-
+// forward serialization at the line rate, then fixed propagation delay to
+// the receiving device.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace spineless::sim {
+
+// Anything that can accept a packet off a link.
+class Device {
+ public:
+  virtual ~Device() = default;
+  virtual void receive(Simulator& sim, Packet pkt) = 0;
+};
+
+class Link : public EventSink {
+ public:
+  struct Stats {
+    std::int64_t packets_tx = 0;
+    std::int64_t bytes_tx = 0;
+    std::int64_t drops = 0;
+    std::int64_t ecn_marks = 0;
+    std::int64_t max_queue_bytes = 0;
+  };
+
+  // ecn_threshold_bytes > 0 enables ECN: packets enqueued while the queue
+  // holds at least that many bytes get the congestion-experienced mark
+  // (DCTCP-style instantaneous-queue marking).
+  Link(std::int64_t rate_bps, Time propagation_delay,
+       std::int64_t queue_capacity_bytes, Device* peer,
+       std::int64_t ecn_threshold_bytes = 0)
+      : rate_bps_(rate_bps),
+        prop_delay_(propagation_delay),
+        queue_capacity_(queue_capacity_bytes),
+        ecn_threshold_(ecn_threshold_bytes),
+        peer_(peer) {
+    SPINELESS_CHECK(rate_bps > 0 && queue_capacity_bytes > 0);
+    SPINELESS_CHECK(peer != nullptr);
+  }
+
+  // Drop-tail enqueue; starts the transmitter if idle. Packets offered to
+  // a downed link are dropped (counted in stats) — the data-plane blackhole
+  // between a physical failure and routing reconvergence.
+  void enqueue(Simulator& sim, const Packet& pkt);
+
+  void set_down(bool down) noexcept { down_ = down; }
+  bool is_down() const noexcept { return down_; }
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::int64_t queued_bytes() const noexcept { return queued_bytes_; }
+
+  // EventSink: ctx 0 = serialization of head packet finished,
+  //            ctx 1 = packet arrived at peer after propagation.
+  void on_event(Simulator& sim, std::uint64_t ctx) override;
+
+ private:
+  void start_tx(Simulator& sim);
+
+  std::int64_t rate_bps_;
+  Time prop_delay_;
+  std::int64_t queue_capacity_;
+  std::int64_t ecn_threshold_ = 0;
+  Device* peer_;
+
+  std::deque<Packet> queue_;       // awaiting serialization (head = in tx)
+  std::deque<Packet> in_flight_;   // serialized, propagating (FIFO arrival)
+  std::int64_t queued_bytes_ = 0;
+  bool busy_ = false;
+  bool down_ = false;
+  Stats stats_;
+};
+
+}  // namespace spineless::sim

@@ -1,0 +1,318 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace spineless::sim {
+
+// Switch device: forwards by ECMP or VRF tables; local rack traffic goes to
+// the host port.
+class Network::SwitchDev : public Device {
+ public:
+  SwitchDev(Network& net, NodeId id) : net_(net), id_(id) {}
+  void receive(Simulator& sim, Packet pkt) override {
+    net_.forward_at_switch(sim, id_, pkt);
+  }
+
+ private:
+  Network& net_;
+  NodeId id_;
+};
+
+// Host device: hands arriving packets to the flow endpoint.
+class Network::HostDev : public Device {
+ public:
+  explicit HostDev(Network& net) : net_(net) {}
+  void receive(Simulator& sim, Packet pkt) override {
+    net_.deliver(sim, pkt);
+  }
+
+ private:
+  Network& net_;
+};
+
+Network::Network(const Graph& g, const NetworkConfig& cfg)
+    : graph_(g), cfg_(cfg), ecmp_(routing::EcmpTable::compute(g)) {
+  if (cfg_.mode == RoutingMode::kShortestUnion) {
+    vrf_ = std::make_unique<routing::VrfTable>(
+        routing::VrfTable::compute(g, cfg_.su_k));
+  }
+  if (cfg_.host_rate_bps == 0) cfg_.host_rate_bps = cfg_.link_rate_bps;
+  switches_.reserve(static_cast<std::size_t>(g.num_switches()));
+  for (NodeId n = 0; n < g.num_switches(); ++n)
+    switches_.push_back(std::make_unique<SwitchDev>(*this, n));
+  if (cfg_.flowlet_gap > 0)
+    flowlets_.resize(static_cast<std::size_t>(g.num_switches()));
+  hosts_.reserve(static_cast<std::size_t>(g.total_servers()));
+  for (HostId h = 0; h < g.total_servers(); ++h)
+    hosts_.push_back(std::make_unique<HostDev>(*this));
+
+  net_links_.resize(2 * static_cast<std::size_t>(g.num_links()));
+  for (topo::LinkId l = 0; l < g.num_links(); ++l) {
+    const topo::Link& link = g.link(l);
+    net_links_[2 * static_cast<std::size_t>(l)] = std::make_unique<Link>(
+        cfg_.link_rate_bps, cfg_.link_delay, cfg_.queue_bytes,
+        switches_[static_cast<std::size_t>(link.b)].get(),
+        cfg_.ecn_threshold_bytes);
+    net_links_[2 * static_cast<std::size_t>(l) + 1] = std::make_unique<Link>(
+        cfg_.link_rate_bps, cfg_.link_delay, cfg_.queue_bytes,
+        switches_[static_cast<std::size_t>(link.a)].get(),
+        cfg_.ecn_threshold_bytes);
+  }
+  host_up_.resize(static_cast<std::size_t>(g.total_servers()));
+  host_down_.resize(static_cast<std::size_t>(g.total_servers()));
+  for (HostId h = 0; h < g.total_servers(); ++h) {
+    const NodeId tor = g.tor_of_host(h);
+    host_up_[static_cast<std::size_t>(h)] = std::make_unique<Link>(
+        cfg_.host_rate_bps, cfg_.link_delay, cfg_.queue_bytes,
+        switches_[static_cast<std::size_t>(tor)].get(),
+        cfg_.ecn_threshold_bytes);
+    host_down_[static_cast<std::size_t>(h)] = std::make_unique<Link>(
+        cfg_.host_rate_bps, cfg_.link_delay, cfg_.queue_bytes,
+        hosts_[static_cast<std::size_t>(h)].get(),
+        cfg_.ecn_threshold_bytes);
+  }
+}
+
+// Fires the two phases of a scheduled failure: physical down, then the
+// reconverged tables landing in the FIBs.
+class Network::FailureEvent : public EventSink {
+ public:
+  FailureEvent(Network& net, topo::LinkId link) : net_(net), link_(link) {}
+  void on_event(Simulator&, std::uint64_t ctx) override {
+    if (ctx == 0) {
+      net_.take_link_down(link_);
+    } else {
+      net_.reconverge_tables();
+    }
+  }
+
+ private:
+  Network& net_;
+  topo::LinkId link_;
+};
+
+Network::~Network() = default;
+
+void Network::take_link_down(topo::LinkId link) {
+  down_links_.insert(link);
+  net_links_[2 * static_cast<std::size_t>(link)]->set_down(true);
+  net_links_[2 * static_cast<std::size_t>(link) + 1]->set_down(true);
+}
+
+void Network::bring_link_up(topo::LinkId link) {
+  down_links_.erase(link);
+  net_links_[2 * static_cast<std::size_t>(link)]->set_down(false);
+  net_links_[2 * static_cast<std::size_t>(link) + 1]->set_down(false);
+}
+
+void Network::reconverge_tables() {
+  ecmp_ = routing::EcmpTable::compute(graph_, &down_links_);
+  if (cfg_.mode == RoutingMode::kShortestUnion) {
+    vrf_ = std::make_unique<routing::VrfTable>(
+        routing::VrfTable::compute(graph_, cfg_.su_k, &down_links_));
+  }
+}
+
+void Network::schedule_link_failure(Simulator& sim, topo::LinkId link, Time at,
+                                    Time reconvergence_delay) {
+  failure_events_.push_back(std::make_unique<FailureEvent>(*this, link));
+  FailureEvent* ev = failure_events_.back().get();
+  sim.schedule_at(at, ev, /*ctx=*/0);
+  sim.schedule_at(at + reconvergence_delay, ev, /*ctx=*/1);
+}
+
+void Network::register_flow(std::int32_t flow_id, Endpoint* source,
+                            Endpoint* sink) {
+  const auto idx = static_cast<std::size_t>(flow_id);
+  if (sources_.size() <= idx) {
+    sources_.resize(idx + 1, nullptr);
+    sinks_.resize(idx + 1, nullptr);
+  }
+  sources_[idx] = source;
+  sinks_[idx] = sink;
+}
+
+void Network::set_flow_routes(std::int32_t flow_id, routing::Path forward) {
+  SPINELESS_CHECK(!forward.empty());
+  SPINELESS_CHECK_MSG(forward.size() <= 250, "route too long for route_idx");
+  auto routes = std::make_unique<FlowRoutes>();
+  routes->reverse.assign(forward.rbegin(), forward.rend());
+  routes->forward = std::move(forward);
+  const auto idx = static_cast<std::size_t>(flow_id);
+  if (routes_.size() <= idx) routes_.resize(idx + 1);
+  routes_[idx] = std::move(routes);
+}
+
+void Network::inject_from_host(Simulator& sim, Packet pkt) {
+  pkt.vrf = static_cast<std::int8_t>(cfg_.su_k);  // hosts live in VRF K
+  pkt.hops = 0;
+  if (cfg_.mode == RoutingMode::kSourceRouted) {
+    const auto idx = static_cast<std::size_t>(pkt.flow_id);
+    SPINELESS_CHECK_MSG(idx < routes_.size() && routes_[idx] != nullptr,
+                        "kSourceRouted flow without set_flow_routes");
+    pkt.route = pkt.is_ack ? &routes_[idx]->reverse : &routes_[idx]->forward;
+    pkt.route_idx = 0;
+  }
+  host_up_[static_cast<std::size_t>(pkt.src_host)]->enqueue(sim, pkt);
+}
+
+topo::LinkId Network::link_to_neighbor(NodeId node, NodeId neighbor) const {
+  for (const routing::Port& p : graph_.neighbors(node)) {
+    if (p.neighbor == neighbor) return p.link;
+  }
+  throw Error("source route hop is not a link");
+}
+
+std::uint64_t Network::hash_key(Simulator& sim, NodeId node,
+                                const Packet& pkt) {
+  std::uint64_t key =
+      static_cast<std::uint64_t>(pkt.flow_id) * 0x9e3779b97f4a7c15ULL ^
+      (static_cast<std::uint64_t>(node) << 32);
+  if (cfg_.flowlet_gap > 0) {
+    auto& state = flowlets_[static_cast<std::size_t>(node)][pkt.flow_id];
+    if (state.last != 0 && sim.now() - state.last > cfg_.flowlet_gap)
+      ++state.id;  // idle gap long enough to reorder-safely switch paths
+    state.last = sim.now();
+    key ^= static_cast<std::uint64_t>(state.id) * 0xc2b2ae3d27d4eb4fULL;
+  }
+  return key;
+}
+
+Link& Network::out_link(NodeId node, topo::LinkId link) {
+  const bool a_to_b = graph_.link(link).a == node;
+  return *net_links_[2 * static_cast<std::size_t>(link) + (a_to_b ? 0 : 1)];
+}
+
+void Network::forward_at_switch(Simulator& sim, NodeId node, Packet pkt) {
+  if (cfg_.trace_paths && !pkt.is_ack && pkt.seq == 0) {
+    const auto idx = static_cast<std::size_t>(pkt.flow_id);
+    if (traces_.size() <= idx) traces_.resize(idx + 1);
+    // Only the first copy extends the trace: hop counts of duplicates
+    // restart at 0 and never match the recorded length again.
+    if (static_cast<std::size_t>(pkt.hops) == traces_[idx].size())
+      traces_[idx].push_back(node);
+  }
+  if (pkt.dst_tor == node) {
+    // Local rack: the subnet is directly connected (in every VRF — the
+    // standard connected-route leak), hand to the host port.
+    host_down_[static_cast<std::size_t>(pkt.dst_host)]->enqueue(sim, pkt);
+    return;
+  }
+  if (++pkt.hops > 64) {
+    ++extra_.ttl_drops;
+    return;
+  }
+  if (cfg_.mode == RoutingMode::kSourceRouted) {
+    SPINELESS_DCHECK(pkt.route != nullptr &&
+                     (*pkt.route)[pkt.route_idx] == node);
+    const NodeId next = (*pkt.route)[pkt.route_idx + 1];
+    ++pkt.route_idx;
+    out_link(node, link_to_neighbor(node, next)).enqueue(sim, pkt);
+    return;
+  }
+  // Hash key: flow and current switch — per-hop independent ECMP, like
+  // hashed 5-tuple forwarding with per-switch seeds (plus the flowlet id
+  // when flowlet switching is on).
+  const std::uint64_t key = hash_key(sim, node, pkt);
+
+  if (cfg_.mode == RoutingMode::kEcmp) {
+    const auto& hops = ecmp_.next_hops(node, pkt.dst_tor);
+    if (hops.empty()) {
+      ++extra_.no_route_drops;  // destination cut off by failures
+      return;
+    }
+    const routing::Port& p = hops[pick(key, hops.size())];
+    out_link(node, p.link).enqueue(sim, pkt);
+    return;
+  }
+  const auto& hops = vrf_->next_hops(node, pkt.vrf, pkt.dst_tor);
+  if (hops.empty()) {
+    ++extra_.no_route_drops;
+    return;
+  }
+  std::size_t choice;
+  if (cfg_.weighted_su) {
+    std::int64_t total = 0;
+    for (const auto& hop : hops) total += hop.weight;
+    auto r = static_cast<std::int64_t>(
+        splitmix64(key ^ cfg_.ecmp_salt) % static_cast<std::uint64_t>(total));
+    choice = 0;
+    while (r >= hops[choice].weight) {
+      r -= hops[choice].weight;
+      ++choice;
+    }
+  } else {
+    choice = pick(key, hops.size());
+  }
+  const routing::VrfHop& h = hops[choice];
+  pkt.vrf = static_cast<std::int8_t>(h.next_vrf);
+  out_link(node, h.port.link).enqueue(sim, pkt);
+}
+
+void Network::deliver(Simulator& sim, const Packet& pkt) {
+  ++extra_.delivered;
+  const auto idx = static_cast<std::size_t>(pkt.flow_id);
+  SPINELESS_DCHECK(idx < sinks_.size());
+  Endpoint* ep = pkt.is_ack ? sources_[idx] : sinks_[idx];
+  SPINELESS_DCHECK(ep != nullptr);
+  ep->on_packet(sim, pkt);
+}
+
+routing::Path Network::traced_path(std::int32_t flow_id) const {
+  const auto idx = static_cast<std::size_t>(flow_id);
+  return idx < traces_.size() ? traces_[idx] : routing::Path{};
+}
+
+Network::NetStats Network::stats() const {
+  NetStats s = extra_;
+  auto account = [&s](const std::vector<std::unique_ptr<Link>>& links) {
+    for (const auto& l : links)
+      if (l) s.queue_drops += l->stats().drops;
+  };
+  account(net_links_);
+  account(host_up_);
+  account(host_down_);
+  return s;
+}
+
+std::vector<std::int64_t> Network::queue_occupancy() const {
+  std::vector<std::int64_t> occ;
+  occ.reserve(net_links_.size());
+  for (const auto& l : net_links_) occ.push_back(l ? l->queued_bytes() : 0);
+  return occ;
+}
+
+std::vector<double> Network::link_utilization(Time elapsed) const {
+  SPINELESS_CHECK(elapsed > 0);
+  std::vector<double> util;
+  util.reserve(net_links_.size());
+  const double capacity_bytes = static_cast<double>(cfg_.link_rate_bps) / 8.0 *
+                                units::to_seconds(elapsed);
+  for (const auto& l : net_links_) {
+    util.push_back(l ? static_cast<double>(l->stats().bytes_tx) /
+                           capacity_bytes
+                     : 0.0);
+  }
+  return util;
+}
+
+Network::UtilizationStats Network::utilization_stats(Time elapsed) const {
+  const auto util = link_utilization(elapsed);
+  UtilizationStats s;
+  if (util.empty()) return s;
+  Summary summary;
+  for (double u : util) summary.add(u);
+  s.mean = summary.mean();
+  s.max = summary.max();
+  s.p99 = summary.p99();
+  return s;
+}
+
+std::int64_t Network::max_network_queue_bytes() const {
+  std::int64_t peak = 0;
+  for (const auto& l : net_links_)
+    if (l) peak = std::max(peak, l->stats().max_queue_bytes);
+  return peak;
+}
+
+}  // namespace spineless::sim

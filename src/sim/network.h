@@ -1,0 +1,204 @@
+// The simulated data-center network: one switch device per topology node,
+// one host device per server, two unidirectional Links per cable (and per
+// host NIC). Forwarding is hop-by-hop with per-flow hashing:
+//
+//  * kEcmp          — shortest-path ECMP next-hop sets (EcmpTable), the
+//                     standard leaf-spine deployment;
+//  * kShortestUnion — VRF-tagged forwarding over the §4 gadget (VrfTable):
+//                     packets carry their VRF level, each hop hashes over
+//                     the BGP-multipath next hops of (vrf, switch, dst) and
+//                     rewrites the level. This is exactly what the
+//                     BGP+VRF configuration installs in hardware.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/ecmp.h"
+#include "routing/types.h"
+#include "routing/vrf.h"
+#include "sim/link.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "topo/graph.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace spineless::sim {
+
+using topo::Graph;
+using topo::HostId;
+using topo::NodeId;
+
+enum class RoutingMode {
+  kEcmp,
+  kShortestUnion,
+  // Pinned per-flow paths installed via Network::set_flow_routes — models
+  // k-shortest-path source routing (Jellyfish) and VLB path sets, the
+  // non-standard baselines of §2.
+  kSourceRouted,
+};
+
+struct NetworkConfig {
+  std::int64_t link_rate_bps = units::gbps(10);
+  // Host NIC rate; 0 means same as link_rate_bps. Lets experiments model
+  // the heterogeneous line speeds §5.1 leaves to future work.
+  std::int64_t host_rate_bps = 0;
+  Time link_delay = 1 * units::kMicrosecond;  // propagation + processing
+  std::int64_t queue_bytes = 100 * kDataPacketBytes;  // shallow DC buffers
+  RoutingMode mode = RoutingMode::kEcmp;
+  int su_k = 2;  // K of Shortest-Union(K) in kShortestUnion mode
+  // Flowlet switching (Kassing et al. / CONGA-style): when > 0, a switch
+  // re-hashes a flow's next hop after an idle gap longer than this,
+  // letting hashed modes rebalance mid-flow. 0 = per-flow hashing.
+  Time flowlet_gap = 0;
+  // Weighted Shortest-Union splitting (WCMP-style): hash traffic over the
+  // VRF next hops proportionally to the number of minimum-cost paths
+  // through each, instead of equally. Only meaningful in kShortestUnion.
+  bool weighted_su = false;
+  // ECN marking threshold per queue (bytes); 0 disables marking. Pair with
+  // TcpConfig::dctcp for DCTCP transport. The DCTCP paper's guidance is
+  // K ~ 20-65 packets at 10G; default when enabled: 20 packets.
+  std::int64_t ecn_threshold_bytes = 0;
+  // Record the switch-level path of each flow's first data packet —
+  // lets tests assert that forwarding really uses (only) the intended
+  // path sets. Off by default (costs a per-packet branch).
+  bool trace_paths = false;
+  std::uint64_t ecmp_salt = 0x5eedULL;
+};
+
+// A TCP source or sink — receives the packets addressed to its flow.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_packet(Simulator& sim, const Packet& pkt) = 0;
+};
+
+class Network {
+ public:
+  Network(const Graph& g, const NetworkConfig& cfg);
+  ~Network();  // out-of-line: SwitchDev/HostDev are incomplete here
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const Graph& graph() const noexcept { return graph_; }
+  const NetworkConfig& config() const noexcept { return cfg_; }
+
+  // Endpoint registration, indexed by flow id (sources receive ACKs, sinks
+  // receive data). Flow ids must be dense from 0.
+  void register_flow(std::int32_t flow_id, Endpoint* source, Endpoint* sink);
+
+  // kSourceRouted mode: pins the flow's forward path (src ToR .. dst ToR,
+  // inclusive) — data packets follow it, ACKs follow its reverse. The
+  // Network stores the paths; they must be valid switch paths.
+  void set_flow_routes(std::int32_t flow_id, routing::Path forward);
+
+  // Host NIC entry point: stamps the VRF level and queues on the uplink.
+  void inject_from_host(Simulator& sim, Packet pkt);
+
+  struct NetStats {
+    std::int64_t queue_drops = 0;  // drop-tail losses on any link
+    std::int64_t ttl_drops = 0;    // forwarding-loop guard (should be 0)
+    std::int64_t no_route_drops = 0;  // table had no surviving next hop
+    std::int64_t delivered = 0;    // packets handed to endpoints
+  };
+  NetStats stats() const;
+
+  // Peak queue occupancy across switch-switch links (diagnostics).
+  std::int64_t max_network_queue_bytes() const;
+
+  // --- Mid-simulation link failures (the §7 failure questions at the
+  // data plane) ---
+  // Takes the physical link down immediately: both directions drop all
+  // packets offered to them (blackholing) until routing reconverges.
+  void take_link_down(topo::LinkId link);
+  void bring_link_up(topo::LinkId link);
+  // Recomputes the forwarding tables excluding currently-down links —
+  // what the control plane installs once it has reconverged. Destinations
+  // cut off entirely get empty next-hop sets (counted as no_route_drops).
+  void reconverge_tables();
+  // Convenience: schedule a failure at `at` and the table update at
+  // `at + reconvergence_delay` (the control-plane convergence window).
+  void schedule_link_failure(Simulator& sim, topo::LinkId link, Time at,
+                             Time reconvergence_delay);
+
+  // The traced switch path of flow `flow_id`'s first data packet (empty
+  // if tracing is off or nothing was forwarded yet). The final entry is
+  // the destination ToR once the packet got there.
+  routing::Path traced_path(std::int32_t flow_id) const;
+
+  // Instantaneous queued bytes per directed switch-switch link (same
+  // indexing as link_utilization). Sampled by sim::QueueMonitor.
+  std::vector<std::int64_t> queue_occupancy() const;
+
+  // Per-directed-link utilization over [0, elapsed]: bytes transmitted /
+  // (rate x elapsed). Index 2l = a->b of topology link l, 2l+1 = b->a.
+  // Useful for spotting hash imbalance and transit hot spots.
+  std::vector<double> link_utilization(Time elapsed) const;
+  // Summary of the above (max = the hottest directed link).
+  struct UtilizationStats {
+    double mean = 0;
+    double max = 0;
+    double p99 = 0;
+  };
+  UtilizationStats utilization_stats(Time elapsed) const;
+
+ private:
+  class SwitchDev;
+  class HostDev;
+  friend class SwitchDev;
+  friend class HostDev;
+
+  Link& out_link(NodeId node, topo::LinkId link);
+  void forward_at_switch(Simulator& sim, NodeId node, Packet pkt);
+  void deliver(Simulator& sim, const Packet& pkt);
+  topo::LinkId link_to_neighbor(NodeId node, NodeId neighbor) const;
+  // Per-flow hash key at a switch, with the flowlet id mixed in when
+  // flowlet switching is enabled.
+  std::uint64_t hash_key(Simulator& sim, NodeId node, const Packet& pkt);
+
+  std::uint32_t pick(std::uint64_t key, std::size_t n) const {
+    return static_cast<std::uint32_t>(splitmix64(key ^ cfg_.ecmp_salt) % n);
+  }
+
+  const Graph& graph_;
+  NetworkConfig cfg_;
+  routing::EcmpTable ecmp_;
+  std::unique_ptr<routing::VrfTable> vrf_;  // only in kShortestUnion mode
+
+  std::vector<std::unique_ptr<SwitchDev>> switches_;
+  std::vector<std::unique_ptr<HostDev>> hosts_;
+  // Switch-to-switch: two directed Links per topology link (index 2l for
+  // a->b, 2l+1 for b->a).
+  std::vector<std::unique_ptr<Link>> net_links_;
+  // Host NICs: uplink host->ToR and downlink ToR->host per host.
+  std::vector<std::unique_ptr<Link>> host_up_;
+  std::vector<std::unique_ptr<Link>> host_down_;
+
+  std::vector<Endpoint*> sources_;
+  std::vector<Endpoint*> sinks_;
+  // Pinned routes per flow id (kSourceRouted). reverse is derived.
+  struct FlowRoutes {
+    routing::Path forward;
+    routing::Path reverse;
+  };
+  std::vector<std::unique_ptr<FlowRoutes>> routes_;
+  // Flowlet state per switch: flow id -> (last packet time, flowlet id).
+  struct FlowletState {
+    Time last = 0;
+    std::uint32_t id = 0;
+  };
+  std::vector<std::unordered_map<std::int32_t, FlowletState>> flowlets_;
+  std::vector<routing::Path> traces_;  // per flow id, when trace_paths
+  std::set<topo::LinkId> down_links_;
+  // Pending failure schedulers (own their EventSink identity).
+  class FailureEvent;
+  std::vector<std::unique_ptr<FailureEvent>> failure_events_;
+  mutable NetStats extra_;  // ttl_drops / delivered counters
+};
+
+}  // namespace spineless::sim

@@ -1,0 +1,38 @@
+// The simulated packet. Kept small and passed by value; queues store
+// packets directly (no allocation on the data path).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/graph.h"
+#include "util/units.h"
+
+namespace spineless::sim {
+
+// On-wire sizes. Data packets are full MTU frames carrying kMss payload
+// bytes; ACKs are header-only.
+constexpr std::int32_t kDataPacketBytes = 1500;
+constexpr std::int32_t kMss = 1460;
+constexpr std::int32_t kAckPacketBytes = 40;
+
+struct Packet {
+  topo::HostId src_host = 0;
+  topo::HostId dst_host = 0;
+  topo::NodeId dst_tor = 0;   // destination ToR, the forwarding key
+  std::int32_t flow_id = 0;
+  std::int64_t seq = 0;       // data: packet index; ack: cumulative ack
+  std::int32_t size_bytes = kDataPacketBytes;
+  bool is_ack = false;
+  std::int8_t vrf = 0;        // current VRF level (Shortest-Union mode)
+  std::uint8_t hops = 0;      // hop count (TTL guard)
+  bool ecn_ce = false;        // ECN congestion-experienced mark (DCTCP)
+  Time ts = 0;                // sender timestamp, echoed by ACKs (RTT)
+
+  // Source routing (kSourceRouted mode): the pinned switch-level path and
+  // the index of the switch the packet is currently at. The pointee is
+  // owned by the Network (set_flow_routes) and outlives all packets.
+  const std::vector<topo::NodeId>* route = nullptr;
+  std::uint8_t route_idx = 0;
+};
+
+}  // namespace spineless::sim

@@ -1,0 +1,27 @@
+#include "sim/simulator.h"
+
+namespace spineless::sim {
+
+bool Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.sink->on_event(*this, ev.ctx);
+  }
+  if (now_ < deadline) now_ = deadline;
+  return !queue_.empty();
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.sink->on_event(*this, ev.ctx);
+  }
+}
+
+}  // namespace spineless::sim

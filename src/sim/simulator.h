@@ -1,0 +1,63 @@
+// Discrete-event simulation core: a monotonic clock and a priority queue of
+// events. Events are delivered to EventSink::on_event with an opaque
+// context word; ties in time break by schedule order (seq), making every
+// run deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace spineless::sim {
+
+class Simulator;
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(Simulator& sim, std::uint64_t ctx) = 0;
+};
+
+class Simulator {
+ public:
+  Time now() const noexcept { return now_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  void schedule_at(Time t, EventSink* sink, std::uint64_t ctx) {
+    SPINELESS_DCHECK(t >= now_);
+    SPINELESS_DCHECK(sink != nullptr);
+    queue_.push(Event{t, seq_++, sink, ctx});
+  }
+  void schedule_after(Time dt, EventSink* sink, std::uint64_t ctx) {
+    schedule_at(now_ + dt, sink, ctx);
+  }
+
+  bool empty() const noexcept { return queue_.empty(); }
+
+  // Runs events with time <= deadline; returns true if events remain.
+  bool run_until(Time deadline);
+  // Runs until the queue drains.
+  void run();
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    EventSink* sink;
+    std::uint64_t ctx;
+    bool operator>(const Event& o) const noexcept {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace spineless::sim

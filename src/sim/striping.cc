@@ -1,0 +1,61 @@
+#include "sim/striping.h"
+
+#include <algorithm>
+
+namespace spineless::sim {
+
+int StripedFlowDriver::add_flow(Simulator& sim, topo::HostId src,
+                                topo::HostId dst, std::int64_t bytes,
+                                Time start, const routing::PathSet& paths,
+                                int subflows) {
+  SPINELESS_CHECK(!paths.empty());
+  SPINELESS_CHECK(subflows >= 1);
+  SPINELESS_CHECK(bytes > 0);
+  const auto j = std::min<std::size_t>(static_cast<std::size_t>(subflows),
+                                       paths.size());
+  Group group;
+  group.start = start;
+  const std::int64_t base = bytes / static_cast<std::int64_t>(j);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < j; ++i) {
+    std::int64_t share = i + 1 == j ? bytes - assigned : base;
+    share = std::max<std::int64_t>(share, 1);
+    assigned += share;
+    const std::int32_t id = driver_.add_flow(sim, src, dst, share, start);
+    net_.set_flow_routes(id, paths[i]);
+    group.members.push_back(static_cast<std::size_t>(id));
+  }
+  groups_.push_back(std::move(group));
+  return static_cast<int>(groups_.size()) - 1;
+}
+
+std::size_t StripedFlowDriver::completed_flows() const {
+  std::size_t done = 0;
+  for (const Group& g : groups_) {
+    done += std::all_of(g.members.begin(), g.members.end(),
+                        [this](std::size_t m) {
+                          return driver_.flow(m).record().completed();
+                        });
+  }
+  return done;
+}
+
+Summary StripedFlowDriver::fct_ms() const {
+  Summary s;
+  for (const Group& g : groups_) {
+    Time last = -1;
+    bool all = true;
+    for (std::size_t m : g.members) {
+      const auto& rec = driver_.flow(m).record();
+      if (!rec.completed()) {
+        all = false;
+        break;
+      }
+      last = std::max(last, rec.finish);
+    }
+    if (all) s.add(units::to_millis(last - g.start));
+  }
+  return s;
+}
+
+}  // namespace spineless::sim

@@ -1,0 +1,46 @@
+// MPTCP-style multipath striping over source-routed path sets — the
+// Jellyfish/Xpander transport recipe (§2: "MPTCP with k-shortest path
+// routing") that the paper argues is a deployment hurdle. Modeled as j
+// independent TCP subflows, each pinned to one path from the flow's path
+// set; the striped flow completes when its last subflow completes.
+#pragma once
+
+#include <vector>
+
+#include "routing/types.h"
+#include "sim/tcp.h"
+
+namespace spineless::sim {
+
+class StripedFlowDriver {
+ public:
+  // The Network must be in RoutingMode::kSourceRouted.
+  StripedFlowDriver(Network& net, const TcpConfig& cfg)
+      : net_(net), driver_(net, cfg) {
+    SPINELESS_CHECK(net.config().mode == RoutingMode::kSourceRouted);
+  }
+
+  // Splits `bytes` evenly over min(subflows, paths.size()) subflows, each
+  // source-routed along its own path (round-robin over `paths`, which must
+  // run ToR(src) .. ToR(dst)). Returns the striped-flow id.
+  int add_flow(Simulator& sim, topo::HostId src, topo::HostId dst,
+               std::int64_t bytes, Time start,
+               const routing::PathSet& paths, int subflows);
+
+  std::size_t num_flows() const noexcept { return groups_.size(); }
+  std::size_t completed_flows() const;
+  // FCT per completed striped flow (last subflow finish - start), ms.
+  Summary fct_ms() const;
+
+ private:
+  struct Group {
+    std::vector<std::size_t> members;  // subflow indices in driver_
+    Time start = 0;
+  };
+
+  Network& net_;
+  FlowDriver driver_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace spineless::sim

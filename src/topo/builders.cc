@@ -1,0 +1,379 @@
+#include "topo/builders.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace spineless::topo {
+namespace {
+
+// Edge set under construction for the randomized builders: supports O(log d)
+// adjacency queries and edge removal, then materializes into a Graph.
+class EdgeBuilder {
+ public:
+  explicit EdgeBuilder(int n) : adj_(static_cast<std::size_t>(n)) {}
+
+  bool adjacent(int u, int v) const {
+    return adj_[static_cast<std::size_t>(u)].count(v) > 0;
+  }
+  void add(int u, int v) {
+    SPINELESS_DCHECK(u != v && !adjacent(u, v));
+    adj_[static_cast<std::size_t>(u)].insert(v);
+    adj_[static_cast<std::size_t>(v)].insert(u);
+    edges_.emplace_back(u, v);
+  }
+  void remove_edge_at(std::size_t idx) {
+    const auto [u, v] = edges_[idx];
+    adj_[static_cast<std::size_t>(u)].erase(v);
+    adj_[static_cast<std::size_t>(v)].erase(u);
+    edges_[idx] = edges_.back();
+    edges_.pop_back();
+  }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+ private:
+  std::vector<std::set<int>> adj_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+// Core random-graph wiring: connect stubs given per-node degree targets.
+// Returns false if it could not realize the sequence this attempt.
+bool wire_random(EdgeBuilder& eb, std::vector<int> free, Rng& rng) {
+  const int n = static_cast<int>(free.size());
+  std::int64_t remaining = std::accumulate(free.begin(), free.end(), 0LL);
+  SPINELESS_CHECK_MSG(remaining % 2 == 0, "odd total network degree");
+
+  auto add_edge = [&](int u, int v) {
+    eb.add(u, v);
+    --free[static_cast<std::size_t>(u)];
+    --free[static_cast<std::size_t>(v)];
+    remaining -= 2;
+  };
+  auto remove_edge = [&](std::size_t idx) {
+    const auto [a, b] = eb.edges()[idx];
+    eb.remove_edge_at(idx);
+    ++free[static_cast<std::size_t>(a)];
+    ++free[static_cast<std::size_t>(b)];
+    remaining += 2;
+  };
+
+  while (remaining > 0) {
+    // Fast path: random picks among nodes with free ports.
+    std::vector<int> open;
+    for (int i = 0; i < n; ++i)
+      if (free[static_cast<std::size_t>(i)] > 0) open.push_back(i);
+
+    bool added = false;
+    if (open.size() >= 2) {
+      for (int attempt = 0; attempt < 64 && !added; ++attempt) {
+        const int u = open[rng.uniform(open.size())];
+        const int v = open[rng.uniform(open.size())];
+        if (u != v && !eb.adjacent(u, v)) {
+          add_edge(u, v);
+          added = true;
+        }
+      }
+      if (!added) {
+        // Exhaustive scan for any addable pair among open nodes.
+        for (std::size_t i = 0; i < open.size() && !added; ++i) {
+          for (std::size_t j = i + 1; j < open.size() && !added; ++j) {
+            if (!eb.adjacent(open[i], open[j])) {
+              add_edge(open[i], open[j]);
+              added = true;
+            }
+          }
+        }
+      }
+    }
+    if (added) continue;
+
+    // Stuck: all open nodes are pairwise adjacent (or only one open node).
+    // Jellyfish-style repairs.
+    if (open.size() == 1 && free[static_cast<std::size_t>(open[0])] >= 2) {
+      // Split an existing edge (a,b) not touching u: (a,b) -> (u,a),(u,b).
+      const int u = open[0];
+      bool repaired = false;
+      for (int attempt = 0; attempt < 4096 && !repaired; ++attempt) {
+        const std::size_t idx = rng.uniform(eb.edges().size());
+        const auto [a, b] = eb.edges()[idx];
+        if (a == u || b == u || eb.adjacent(u, a) || eb.adjacent(u, b))
+          continue;
+        remove_edge(idx);
+        add_edge(u, a);
+        add_edge(u, b);
+        repaired = true;
+      }
+      if (!repaired) return false;
+      continue;
+    }
+    if (open.size() >= 2) {
+      // Pick two open (mutually adjacent) nodes u, v and rewire an edge
+      // (a,b): remove it, add (u,a) and (v,b).
+      bool repaired = false;
+      for (int attempt = 0; attempt < 4096 && !repaired; ++attempt) {
+        const int u = open[rng.uniform(open.size())];
+        const int v = open[rng.uniform(open.size())];
+        if (u == v) continue;
+        const std::size_t idx = rng.uniform(eb.edges().size());
+        const auto [a, b] = eb.edges()[idx];
+        if (a == u || a == v || b == u || b == v) continue;
+        if (eb.adjacent(u, a) || eb.adjacent(v, b)) continue;
+        remove_edge(idx);
+        add_edge(u, a);
+        add_edge(v, b);
+        repaired = true;
+      }
+      if (!repaired) return false;
+      continue;
+    }
+    return false;  // single open node with one stub: unsatisfiable parity
+  }
+  return true;
+}
+
+Graph materialize(const EdgeBuilder& eb, int n, int ports,
+                  const std::vector<int>& servers, const std::string& name) {
+  Graph g(static_cast<NodeId>(n), ports, name);
+  for (const auto& [u, v] : eb.edges())
+    g.add_link(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  for (int i = 0; i < n; ++i)
+    g.set_servers(static_cast<NodeId>(i), servers[static_cast<std::size_t>(i)]);
+  g.validate_ports();
+  return g;
+}
+
+}  // namespace
+
+Graph make_leaf_spine(int x, int y) {
+  SPINELESS_CHECK(x > 0 && y > 0);
+  const NodeId leaves = leaf_spine_num_leaves(x, y);
+  const NodeId spines = leaf_spine_num_spines(x, y);
+  Graph g(leaves + spines, x + y, "leaf-spine");
+  for (NodeId leaf = 0; leaf < leaves; ++leaf) {
+    for (NodeId s = 0; s < spines; ++s) g.add_link(leaf, leaves + s);
+    g.set_servers(leaf, x);
+  }
+  g.validate_ports();
+  return g;
+}
+
+namespace {
+
+// Shared supernode-linking core for the two DRing builders: `size[i]` ToRs
+// in supernode i; ToR ids assigned consecutively per supernode.
+DRing build_dring(const std::vector<int>& size, int ports, std::string name) {
+  const int m = static_cast<int>(size.size());
+  SPINELESS_CHECK_MSG(m >= 3, "DRing needs >= 3 supernodes");
+  const int total = std::accumulate(size.begin(), size.end(), 0);
+
+  DRing d{Graph(static_cast<NodeId>(total), ports, std::move(name)), m, {}, {}};
+  d.ring_order.resize(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) d.ring_order[static_cast<std::size_t>(i)] = i;
+  d.supernode_of.resize(static_cast<std::size_t>(total));
+  std::vector<int> first(static_cast<std::size_t>(m) + 1, 0);
+  for (int i = 0; i < m; ++i) {
+    first[static_cast<std::size_t>(i) + 1] =
+        first[static_cast<std::size_t>(i)] + size[static_cast<std::size_t>(i)];
+    for (int t = first[static_cast<std::size_t>(i)];
+         t < first[static_cast<std::size_t>(i) + 1]; ++t)
+      d.supernode_of[static_cast<std::size_t>(t)] = i;
+  }
+
+  // Supernode i connects to i+1 and i+2 (mod m); dedupe unordered pairs so
+  // tiny rings (m = 3, 4) don't create parallel links.
+  std::set<std::pair<int, int>> pairs;
+  for (int i = 0; i < m; ++i) {
+    for (int step : {1, 2}) {
+      const int j = (i + step) % m;
+      if (i == j) continue;
+      pairs.emplace(std::min(i, j), std::max(i, j));
+    }
+  }
+  for (const auto& [a, b] : pairs) {
+    for (int ta = first[static_cast<std::size_t>(a)];
+         ta < first[static_cast<std::size_t>(a) + 1]; ++ta)
+      for (int tb = first[static_cast<std::size_t>(b)];
+           tb < first[static_cast<std::size_t>(b) + 1]; ++tb)
+        d.graph.add_link(static_cast<NodeId>(ta), static_cast<NodeId>(tb));
+  }
+  return d;
+}
+
+}  // namespace
+
+DRing make_dring(int m, int n, int servers_per_tor, int ports_per_switch) {
+  SPINELESS_CHECK(n > 0 && servers_per_tor >= 0);
+  DRing d = build_dring(std::vector<int>(static_cast<std::size_t>(m), n),
+                        ports_per_switch, "dring");
+  for (NodeId t = 0; t < d.graph.num_switches(); ++t)
+    d.graph.set_servers(t, servers_per_tor);
+  d.graph.validate_ports();
+  return d;
+}
+
+DRing make_dring_equipment(int num_switches, int ports_per_switch,
+                           int total_servers, int m) {
+  SPINELESS_CHECK(num_switches >= m);
+  // Bresenham-even distribution: interleaves the +1 supernodes around the
+  // ring, which also maximizes leftover server ports (adjacent-supernode
+  // size products are minimized).
+  std::vector<int> size(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    size[static_cast<std::size_t>(i)] =
+        (i + 1) * num_switches / m - i * num_switches / m;
+  }
+
+  DRing d = build_dring(size, ports_per_switch, "dring-equipment");
+  Graph& g = d.graph;
+
+  // Per-switch server capacity = leftover ports after network links.
+  std::vector<int> cap(static_cast<std::size_t>(num_switches));
+  int total_cap = 0;
+  for (NodeId t = 0; t < g.num_switches(); ++t) {
+    cap[static_cast<std::size_t>(t)] =
+        std::max(0, ports_per_switch - g.network_degree(t));
+    total_cap += cap[static_cast<std::size_t>(t)];
+  }
+  if (total_servers < 0) total_servers = total_cap;
+  SPINELESS_CHECK_MSG(total_servers <= total_cap,
+                      "equipment hosts at most " << total_cap << " servers, "
+                                                 << total_servers
+                                                 << " requested");
+
+  // Even spread clipped to capacity, leftovers round-robin into spare slots.
+  std::vector<int> servers(static_cast<std::size_t>(num_switches), 0);
+  int placed = 0;
+  const int base = total_servers / num_switches;
+  for (NodeId t = 0; t < g.num_switches(); ++t) {
+    servers[static_cast<std::size_t>(t)] =
+        std::min(base, cap[static_cast<std::size_t>(t)]);
+    placed += servers[static_cast<std::size_t>(t)];
+  }
+  for (NodeId t = 0; placed < total_servers;
+       t = (t + 1) % g.num_switches()) {
+    if (servers[static_cast<std::size_t>(t)] < cap[static_cast<std::size_t>(t)]) {
+      ++servers[static_cast<std::size_t>(t)];
+      ++placed;
+    }
+  }
+  for (NodeId t = 0; t < g.num_switches(); ++t)
+    g.set_servers(t, servers[static_cast<std::size_t>(t)]);
+  g.validate_ports();
+  return d;
+}
+
+Graph make_rrg(int num_switches, int net_degree, int servers_per_switch,
+               std::uint64_t seed) {
+  SPINELESS_CHECK(net_degree < num_switches);
+  return make_rrg_with_degrees(
+      std::vector<int>(static_cast<std::size_t>(num_switches), net_degree),
+      std::vector<int>(static_cast<std::size_t>(num_switches),
+                       servers_per_switch),
+      seed);
+}
+
+Graph make_rrg_with_degrees(const std::vector<int>& net_degrees,
+                            const std::vector<int>& servers,
+                            std::uint64_t seed) {
+  SPINELESS_CHECK(net_degrees.size() == servers.size());
+  const int n = static_cast<int>(net_degrees.size());
+  // Retry with derived seeds until the wiring succeeds and is connected.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Rng rng(splitmix64(seed) + static_cast<std::uint64_t>(attempt));
+    EdgeBuilder eb(n);
+    if (!wire_random(eb, net_degrees, rng)) continue;
+    Graph g = materialize(eb, n, 0, servers, "rrg");
+    if (g.connected()) return g;
+  }
+  throw Error("make_rrg: could not realize a connected random graph");
+}
+
+Graph flatten_leaf_spine(int x, int y, std::uint64_t seed) {
+  const int num_switches = x + 2 * y;
+  const int ports = x + y;
+  const int total_servers = x * (x + y);
+  // Spread servers evenly (±1) over all switches; the rest of each switch's
+  // ports carry the random graph. This is F(T) from §3.1.
+  std::vector<int> servers(static_cast<std::size_t>(num_switches),
+                           total_servers / num_switches);
+  int rem = total_servers % num_switches;
+  // Keep total network degree even: if the remainder is odd, shift one
+  // server so the degree sequence stays realizable.
+  std::vector<int> degrees(static_cast<std::size_t>(num_switches));
+  for (int i = 0; i < rem; ++i) ++servers[static_cast<std::size_t>(i)];
+  long total_degree = 0;
+  for (int i = 0; i < num_switches; ++i) {
+    degrees[static_cast<std::size_t>(i)] =
+        ports - servers[static_cast<std::size_t>(i)];
+    total_degree += degrees[static_cast<std::size_t>(i)];
+  }
+  if (total_degree % 2 != 0) {
+    // Drop one server from the last switch (one unused port) to fix parity.
+    --servers[static_cast<std::size_t>(num_switches - 1)];
+    ++degrees[static_cast<std::size_t>(num_switches - 1)];
+  }
+  Graph g = make_rrg_with_degrees(degrees, servers, seed);
+  g.validate_ports();
+  return g;
+}
+
+Graph make_dragonfly(int groups, int a, int h, int servers_per_switch) {
+  SPINELESS_CHECK(groups >= 2 && a >= 1 && h >= 1);
+  const int links_per_pair = a * h / (groups - 1);
+  SPINELESS_CHECK_MSG(links_per_pair >= 1,
+                      "need a*h >= groups-1 for inter-group connectivity");
+  const int n = groups * a;
+  Graph g(static_cast<NodeId>(n), 0, "dragonfly");
+  // Intra-group complete graphs.
+  for (int grp = 0; grp < groups; ++grp) {
+    for (int s = 0; s < a; ++s)
+      for (int t = s + 1; t < a; ++t)
+        g.add_link(static_cast<NodeId>(grp * a + s),
+                   static_cast<NodeId>(grp * a + t));
+  }
+  // Global links: round-robin each group's global ports over the pairs.
+  std::vector<int> next_port(static_cast<std::size_t>(groups), 0);
+  for (int i = 0; i < groups; ++i) {
+    for (int j = i + 1; j < groups; ++j) {
+      for (int l = 0; l < links_per_pair; ++l) {
+        const int pi = next_port[static_cast<std::size_t>(i)]++;
+        const int pj = next_port[static_cast<std::size_t>(j)]++;
+        g.add_link(static_cast<NodeId>(i * a + pi % a),
+                   static_cast<NodeId>(j * a + pj % a));
+      }
+    }
+  }
+  for (NodeId t = 0; t < g.num_switches(); ++t)
+    g.set_servers(t, servers_per_switch);
+  return g;
+}
+
+Graph make_xpander(int net_degree, int lift, int servers_per_switch,
+                   std::uint64_t seed) {
+  SPINELESS_CHECK(net_degree >= 2 && lift >= 1);
+  const int base = net_degree + 1;  // complete graph K_{d+1}
+  const int n = base * lift;
+  Rng rng(seed);
+  Graph g(static_cast<NodeId>(n), 0, "xpander");
+  // Node (v, c) -> id v*lift + c. Each base edge becomes a random perfect
+  // matching between the two lifted columns.
+  std::vector<int> perm(static_cast<std::size_t>(lift));
+  for (int u = 0; u < base; ++u) {
+    for (int v = u + 1; v < base; ++v) {
+      for (int c = 0; c < lift; ++c) perm[static_cast<std::size_t>(c)] = c;
+      rng.shuffle(perm);
+      for (int c = 0; c < lift; ++c) {
+        g.add_link(static_cast<NodeId>(u * lift + c),
+                   static_cast<NodeId>(v * lift + perm[static_cast<std::size_t>(c)]));
+      }
+    }
+  }
+  for (NodeId t = 0; t < g.num_switches(); ++t)
+    g.set_servers(t, servers_per_switch);
+  return g;
+}
+
+}  // namespace spineless::topo

@@ -1,0 +1,42 @@
+#include "topo/cost.h"
+
+namespace spineless::topo {
+
+CostReport cost_report(const Graph& g, const std::vector<RackPosition>& pos,
+                       const LayoutConfig& layout, const CostModel& model) {
+  SPINELESS_CHECK(pos.size() == static_cast<std::size_t>(g.num_switches()));
+  CostReport r;
+  r.switches = g.num_switches();
+  r.cables = g.num_links();
+
+  int ports = 0;
+  for (NodeId n = 0; n < g.num_switches(); ++n) ports += g.ports_used(n);
+  r.switch_usd = r.switches * model.switch_base_usd +
+                 ports * model.per_port_usd;
+  r.power_w = r.switches * model.switch_power_w;
+
+  for (const Link& l : g.links()) {
+    const double len = cable_length_m(pos[static_cast<std::size_t>(l.a)],
+                                      pos[static_cast<std::size_t>(l.b)],
+                                      layout);
+    if (len <= model.dac_reach_m) {
+      ++r.dac;
+      r.cable_usd += model.dac_usd;
+    } else if (len <= model.aoc_reach_m) {
+      ++r.aoc;
+      r.cable_usd += model.aoc_usd;
+      r.power_w += 2 * model.per_optic_power_w;
+    } else {
+      ++r.optics;
+      r.cable_usd += model.optics_usd;
+      r.power_w += 2 * model.per_optic_power_w;
+    }
+  }
+  r.total_usd = r.switch_usd + r.cable_usd;
+  r.usd_per_server = g.total_servers() > 0
+                         ? r.total_usd / g.total_servers()
+                         : 0.0;
+  return r;
+}
+
+}  // namespace spineless::topo

@@ -1,0 +1,50 @@
+// Equipment cost model — the "built with the same hardware" premise (§3.1)
+// priced out. Same switches by construction; the difference between the
+// topologies is cabling: how many cables, and how many can be cheap DAC
+// copper (length-limited) versus AOC or optics.
+//
+// Defaults are list-price-shaped 10G-era numbers; every knob is a field so
+// studies can plug their own BOM in.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.h"
+#include "topo/wiring.h"
+
+namespace spineless::topo {
+
+struct CostModel {
+  // Switch pricing.
+  double switch_base_usd = 4'000;
+  double per_port_usd = 100;       // licensed/port-speed share
+  // Cable pricing by reach (one cable includes its two ends).
+  double dac_usd = 60;             // passive copper, up to dac_reach_m
+  double aoc_usd = 250;            // active optical, up to aoc_reach_m
+  double optics_usd = 700;         // 2x transceiver + structured fiber
+  double dac_reach_m = 5;
+  double aoc_reach_m = 30;
+  // Power, watts.
+  double switch_power_w = 150;
+  double per_optic_power_w = 1.5;  // per cable end beyond DAC reach
+};
+
+struct CostReport {
+  int switches = 0;
+  int cables = 0;
+  int dac = 0;
+  int aoc = 0;
+  int optics = 0;
+  double switch_usd = 0;
+  double cable_usd = 0;
+  double total_usd = 0;
+  double power_w = 0;
+  double usd_per_server = 0;
+};
+
+// Prices a topology under a floor layout: each cable is classed by its
+// routed length (wiring.h Manhattan model).
+CostReport cost_report(const Graph& g, const std::vector<RackPosition>& pos,
+                       const LayoutConfig& layout, const CostModel& model);
+
+}  // namespace spineless::topo

@@ -1,0 +1,155 @@
+#include "topo/expand.h"
+
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace spineless::topo {
+namespace {
+
+// Unordered ToR-id link set of a graph, for diffing.
+std::set<std::pair<NodeId, NodeId>> link_set(const Graph& g) {
+  std::set<std::pair<NodeId, NodeId>> s;
+  for (const Link& l : g.links())
+    s.insert({std::min(l.a, l.b), std::max(l.a, l.b)});
+  return s;
+}
+
+}  // namespace
+
+Graph dring_graph_from_metadata(const std::vector<int>& supernode_of,
+                                const std::vector<int>& ring_order,
+                                int ports_per_switch,
+                                const std::vector<int>& servers) {
+  const int total = static_cast<int>(supernode_of.size());
+  const int m = static_cast<int>(ring_order.size());
+  SPINELESS_CHECK_MSG(m >= 3, "DRing needs >= 3 supernodes");
+  SPINELESS_CHECK(servers.size() == supernode_of.size());
+
+  // position_of[supernode id] = index in the ring.
+  std::vector<int> position_of(static_cast<std::size_t>(m), -1);
+  for (int p = 0; p < m; ++p) {
+    const int sn = ring_order[static_cast<std::size_t>(p)];
+    SPINELESS_CHECK_MSG(sn >= 0 && sn < m && position_of[static_cast<std::size_t>(sn)] < 0,
+                        "ring_order must be a permutation of supernode ids");
+    position_of[static_cast<std::size_t>(sn)] = p;
+  }
+
+  Graph g(static_cast<NodeId>(total), ports_per_switch, "dring");
+  for (NodeId a = 0; a < total; ++a) {
+    for (NodeId b = a + 1; b < total; ++b) {
+      const int pa = position_of[static_cast<std::size_t>(
+          supernode_of[static_cast<std::size_t>(a)])];
+      const int pb = position_of[static_cast<std::size_t>(
+          supernode_of[static_cast<std::size_t>(b)])];
+      if (pa == pb) continue;
+      const int fwd = (pb - pa + m) % m;
+      const int diff = std::min(fwd, m - fwd);
+      if (diff == 1 || diff == 2) g.add_link(a, b);
+    }
+  }
+  for (NodeId t = 0; t < total; ++t)
+    g.set_servers(t, servers[static_cast<std::size_t>(t)]);
+  g.validate_ports();
+  return g;
+}
+
+DRingExpansion expand_dring(const DRing& base, int new_tors,
+                            int servers_per_tor, int after_position) {
+  SPINELESS_CHECK(new_tors > 0 && servers_per_tor >= 0);
+  SPINELESS_CHECK(after_position >= 0 &&
+                  after_position < static_cast<int>(base.ring_order.size()));
+
+  const int new_sn = base.supernodes;
+
+  std::vector<int> supernode_of = base.supernode_of;
+  for (int i = 0; i < new_tors; ++i) supernode_of.push_back(new_sn);
+
+  std::vector<int> ring_order = base.ring_order;
+  ring_order.insert(
+      ring_order.begin() + static_cast<long>(after_position) + 1, new_sn);
+
+  std::vector<int> servers;
+  servers.reserve(supernode_of.size());
+  for (NodeId t = 0; t < base.graph.num_switches(); ++t)
+    servers.push_back(base.graph.servers(t));
+  for (int i = 0; i < new_tors; ++i) servers.push_back(servers_per_tor);
+
+  Graph graph = dring_graph_from_metadata(
+      supernode_of, ring_order, base.graph.ports_per_switch(), servers);
+
+  DRingExpansion out{DRing{std::move(graph), base.supernodes + 1,
+                           std::move(supernode_of), std::move(ring_order)},
+                     {}};
+  const DRing& d = out.dring;
+
+  const auto before = link_set(base.graph);
+  const auto after = link_set(d.graph);
+  for (const auto& l : before)
+    out.stats.links_removed += after.count(l) == 0;
+  for (const auto& l : after) {
+    if (before.count(l))
+      ++out.stats.links_kept;
+    else
+      ++out.stats.links_added;
+  }
+  return out;
+}
+
+GraphExpansion expand_random(const Graph& base, int net_degree,
+                             int servers_on_new, std::uint64_t seed) {
+  SPINELESS_CHECK(net_degree >= 2 && net_degree % 2 == 0);
+  SPINELESS_CHECK_MSG(net_degree / 2 <= base.num_links(),
+                      "not enough links to split");
+  const NodeId fresh = base.num_switches();
+
+  // Work on an edge list; Graph has no removal.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(base.num_links()));
+  for (const Link& l : base.links()) edges.emplace_back(l.a, l.b);
+  std::set<NodeId> fresh_neighbors;
+
+  Rng rng(seed);
+  int splits = 0;
+  int attempts = 0;
+  while (splits < net_degree / 2) {
+    SPINELESS_CHECK_MSG(++attempts < 100'000,
+                        "expand_random: no splittable links left");
+    const std::size_t idx = rng.uniform(edges.size());
+    const auto [a, b] = edges[idx];
+    // The new switch must not already link to either endpoint (keeps the
+    // graph simple).
+    if (fresh_neighbors.count(a) || fresh_neighbors.count(b)) continue;
+    edges[idx] = edges.back();
+    edges.pop_back();
+    edges.emplace_back(fresh, a);
+    edges.emplace_back(fresh, b);
+    fresh_neighbors.insert(a);
+    fresh_neighbors.insert(b);
+    ++splits;
+  }
+
+  Graph graph(base.num_switches() + 1, base.ports_per_switch(), base.name());
+  for (const auto& [a, b] : edges) graph.add_link(a, b);
+  for (NodeId n = 0; n < base.num_switches(); ++n)
+    graph.set_servers(n, base.servers(n));
+  graph.set_servers(fresh, servers_on_new);
+
+  GraphExpansion out{std::move(graph), {}};
+  const auto before = link_set(base);
+  const auto after = link_set(out.graph);
+  for (const auto& l : before)
+    out.stats.links_removed += after.count(l) == 0;
+  for (const auto& l : after) {
+    if (before.count(l))
+      ++out.stats.links_kept;
+    else
+      ++out.stats.links_added;
+  }
+  return out;
+}
+
+}  // namespace spineless::topo

@@ -1,0 +1,60 @@
+// Incremental DRing expansion (§3.2: "DRing is also easily incrementally
+// expandable, by adding supernodes in the ring supergraph").
+//
+// Inserting a supernode S between ring positions p and p+1 only perturbs
+// the neighborhood of the insertion point: the two +2 chords that used to
+// hop across it — (p-1, p+1) and (p, p+2) — are removed, and S wires to
+// its four new ring neighbors. Everything else keeps its cables. Existing
+// switches keep their ids (new ToRs are appended), so forwarding state for
+// unaffected links survives.
+//
+// Contrast with the leaf-spine: adding a rack beyond x+y leaves requires
+// a free port on EVERY spine — at full population expansion means
+// replacing the whole spine layer.
+#pragma once
+
+#include "topo/builders.h"
+
+namespace spineless::topo {
+
+struct ExpansionStats {
+  int links_kept = 0;     // cables untouched by the expansion
+  int links_added = 0;    // new cables (all incident to the new supernode)
+  int links_removed = 0;  // chords across the insertion point
+};
+
+struct DRingExpansion {
+  DRing dring;  // the expanded topology (old ToR ids preserved)
+  ExpansionStats stats;
+};
+
+// Rebuilds a DRing graph from its metadata (supernode_of + ring_order):
+// ToR pairs in ring-adjacent (distance 1 or 2) supernodes are linked.
+// Used by expansion and by tests to validate DRing invariants.
+Graph dring_graph_from_metadata(const std::vector<int>& supernode_of,
+                                const std::vector<int>& ring_order,
+                                int ports_per_switch,
+                                const std::vector<int>& servers);
+
+// Inserts a new supernode of `new_tors` ToRs (each with servers_per_tor
+// servers) after ring position `after_position` (0-based index into
+// base.ring_order). New ToRs get ids base.graph.num_switches()..; all
+// existing ToR ids, server counts, and untouched links are preserved.
+DRingExpansion expand_dring(const DRing& base, int new_tors,
+                            int servers_per_tor, int after_position);
+
+struct GraphExpansion {
+  Graph graph;
+  ExpansionStats stats;
+};
+
+// Jellyfish incremental growth (Singla et al.): adds one switch with
+// `net_degree` network ports to an arbitrary flat graph by repeatedly
+// removing a random existing link (a, b) and adding (new, a), (new, b).
+// net_degree must be even (Jellyfish leaves an odd port free; callers can
+// round down). Existing switch ids, servers, and unaffected links are
+// preserved. Deterministic for a seed.
+GraphExpansion expand_random(const Graph& base, int net_degree,
+                             int servers_on_new, std::uint64_t seed);
+
+}  // namespace spineless::topo

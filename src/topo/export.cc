@@ -1,0 +1,47 @@
+#include "topo/export.h"
+
+#include <sstream>
+
+namespace spineless::topo {
+namespace {
+
+// A small qualitative palette cycled over group ids.
+const char* kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+                          "#76b7b2", "#edc948", "#b07aa1", "#ff9da7",
+                          "#9c755f", "#bab0ac"};
+
+}  // namespace
+
+std::string to_dot(const Graph& g, const std::vector<int>* group_of) {
+  std::ostringstream os;
+  os << "graph " << '"' << g.name() << '"' << " {\n";
+  os << "  layout=circo;\n  node [shape=circle, style=filled];\n";
+  for (NodeId n = 0; n < g.num_switches(); ++n) {
+    os << "  s" << n << " [label=\"s" << n << "\\n" << g.servers(n) << "\"";
+    if (group_of != nullptr) {
+      const int grp = group_of->at(static_cast<std::size_t>(n));
+      os << ", fillcolor=\"" << kPalette[static_cast<std::size_t>(grp) % 10]
+         << "\"";
+    } else {
+      os << ", fillcolor=\"" << (g.servers(n) > 0 ? "#cfe8ff" : "#eeeeee")
+         << "\"";
+    }
+    os << "];\n";
+  }
+  for (const Link& l : g.links()) os << "  s" << l.a << " -- s" << l.b << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << "# " << g.name() << ": " << g.num_switches() << " switches, "
+     << g.num_links() << " links, " << g.total_servers() << " servers\n";
+  for (NodeId n = 0; n < g.num_switches(); ++n) {
+    if (g.servers(n) > 0) os << "# servers " << n << " " << g.servers(n) << "\n";
+  }
+  for (const Link& l : g.links()) os << l.a << " " << l.b << "\n";
+  return os.str();
+}
+
+}  // namespace spineless::topo

@@ -1,0 +1,21 @@
+// Topology export for external tooling: Graphviz DOT (visualization) and a
+// plain edge list (interchange with other simulators/analysis scripts).
+#pragma once
+
+#include <string>
+
+#include "topo/graph.h"
+
+namespace spineless::topo {
+
+// Graphviz DOT. Switches become nodes labeled "s<N> (<servers>)"; links
+// become undirected edges. An optional `group_of` (e.g. DRing supernode
+// ids) colors nodes by group.
+std::string to_dot(const Graph& g, const std::vector<int>* group_of = nullptr);
+
+// One line per link: "<a> <b>", preceded by a header comment with switch
+// and server counts, and one "# servers <switch> <count>" line per switch
+// with servers.
+std::string to_edge_list(const Graph& g);
+
+}  // namespace spineless::topo

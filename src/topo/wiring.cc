@@ -1,0 +1,53 @@
+#include "topo/wiring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace spineless::topo {
+
+std::vector<RackPosition> row_major_layout(const Graph& g,
+                                           const LayoutConfig& cfg) {
+  SPINELESS_CHECK(cfg.racks_per_row > 0);
+  std::vector<RackPosition> pos;
+  pos.reserve(static_cast<std::size_t>(g.num_switches()));
+  for (NodeId n = 0; n < g.num_switches(); ++n) {
+    const int col = n % cfg.racks_per_row;
+    const int row = n / cfg.racks_per_row;
+    pos.push_back(RackPosition{col * cfg.rack_pitch_m, row * cfg.row_pitch_m});
+  }
+  return pos;
+}
+
+double cable_length_m(const RackPosition& a, const RackPosition& b,
+                      const LayoutConfig& cfg) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y) + cfg.slack_m;
+}
+
+WiringReport wiring_report(const Graph& g,
+                           const std::vector<RackPosition>& pos,
+                           const LayoutConfig& cfg,
+                           double local_threshold_m) {
+  SPINELESS_CHECK(pos.size() == static_cast<std::size_t>(g.num_switches()));
+  WiringReport rep;
+  std::set<std::pair<NodeId, NodeId>> bundles;
+  int local = 0;
+  for (const Link& l : g.links()) {
+    const double len = cable_length_m(pos[static_cast<std::size_t>(l.a)],
+                                      pos[static_cast<std::size_t>(l.b)], cfg);
+    rep.lengths.add(len);
+    rep.total_m += len;
+    rep.max_m = std::max(rep.max_m, len);
+    local += len <= local_threshold_m;
+    bundles.insert({std::min(l.a, l.b), std::max(l.a, l.b)});
+  }
+  rep.cables = g.num_links();
+  rep.bundles = static_cast<int>(bundles.size());
+  rep.mean_m = rep.cables > 0 ? rep.total_m / rep.cables : 0.0;
+  rep.local_fraction =
+      rep.cables > 0 ? static_cast<double>(local) / rep.cables : 0.0;
+  return rep;
+}
+
+}  // namespace spineless::topo

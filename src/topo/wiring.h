@@ -1,0 +1,57 @@
+// Cabling-complexity model — the §1/§7 "wiring and management complexity"
+// axis that has blocked large-scale expander adoption, and on which flat
+// ring-like designs may hold an operational edge.
+//
+// Model: racks stand in rows on a machine-room floor (row-major by switch
+// id, `racks_per_row` per row). A switch-to-switch cable runs rack to rack
+// with Manhattan routing through the overhead tray plus fixed slack.
+// Cables between the same rack pair can share a trunk bundle; the number
+// of distinct bundles approximates patch-panel/labeling effort.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.h"
+#include "util/stats.h"
+
+namespace spineless::topo {
+
+struct LayoutConfig {
+  int racks_per_row = 16;
+  double rack_pitch_m = 0.6;  // rack-to-rack spacing within a row
+  double row_pitch_m = 2.4;   // row-to-row spacing (aisle included)
+  double slack_m = 2.0;       // per-cable service loop + vertical runs
+};
+
+struct RackPosition {
+  double x = 0;
+  double y = 0;
+};
+
+// Row-major floor positions for every switch.
+std::vector<RackPosition> row_major_layout(const Graph& g,
+                                           const LayoutConfig& cfg);
+
+// Cable length of one link under the layout (Manhattan + slack).
+double cable_length_m(const RackPosition& a, const RackPosition& b,
+                      const LayoutConfig& cfg);
+
+struct WiringReport {
+  int cables = 0;
+  int bundles = 0;           // distinct rack pairs carrying >= 1 cable
+  double total_m = 0;
+  double mean_m = 0;
+  double max_m = 0;
+  // Fraction of cables no longer than `local_threshold_m`.
+  double local_fraction = 0;
+  Summary lengths;           // full distribution for percentiles
+};
+
+// Wiring census for a topology under a layout. local_threshold_m defaults
+// to one row pitch — "stays in the neighborhood".
+WiringReport wiring_report(const Graph& g,
+                           const std::vector<RackPosition>& pos,
+                           const LayoutConfig& cfg,
+                           double local_threshold_m = 5.0);
+
+}  // namespace spineless::topo

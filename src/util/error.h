@@ -1,0 +1,50 @@
+// Lightweight invariant checking for the spineless libraries.
+//
+// SPINELESS_CHECK is always on (library correctness conditions, cheap);
+// SPINELESS_DCHECK compiles out in NDEBUG builds (hot-path assertions).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spineless {
+
+// Thrown for violated preconditions / invariants across all libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace spineless
+
+#define SPINELESS_CHECK(expr)                                          \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::spineless::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SPINELESS_CHECK_MSG(expr, msg)                                  \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::spineless::detail::check_failed(#expr, __FILE__, __LINE__,      \
+                                        (std::ostringstream() << msg).str()); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPINELESS_DCHECK(expr) ((void)0)
+#else
+#define SPINELESS_DCHECK(expr) SPINELESS_CHECK(expr)
+#endif

@@ -1,0 +1,52 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace spineless {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.substr(0, 2) != "--") continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      kv_.emplace(std::string(arg), "true");
+    } else {
+      kv_.emplace(std::string(arg.substr(0, eq)),
+                  std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Flags::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Flags::paper_scale() const {
+  if (get("scale", "") == "paper") return true;
+  const char* env = std::getenv("SPINELESS_PAPER_SCALE");
+  return env != nullptr && std::string_view(env) == "1";
+}
+
+}  // namespace spineless

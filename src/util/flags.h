@@ -1,0 +1,31 @@
+// Minimal --key=value flag parsing for example and bench binaries.
+//
+// Also honours SPINELESS_PAPER_SCALE=1 in the environment, which switches the
+// benches from the fast default configurations to the paper's full-scale
+// configurations (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace spineless {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  // True when --scale=paper was passed or SPINELESS_PAPER_SCALE=1 is set.
+  bool paper_scale() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace spineless

@@ -1,0 +1,92 @@
+#include "workload/cs_model.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace spineless::workload {
+namespace {
+
+// Packs `count` hosts into the fewest racks, drawing racks in the random
+// order `rack_order` and skipping racks in `exclude`.
+void pack(const Graph& g, int count, const std::vector<NodeId>& rack_order,
+          const std::vector<char>& exclude, std::vector<HostId>& hosts,
+          std::vector<NodeId>& racks_used) {
+  // Fewest racks = fill the largest available racks first; the paper packs
+  // into the fewest number of racks while choosing racks randomly. We sort
+  // the random order by capacity (stable), which both packs minimally and
+  // keeps the random tie-break.
+  std::vector<NodeId> order = rack_order;
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return g.servers(a) > g.servers(b);
+  });
+  int remaining = count;
+  for (NodeId r : order) {
+    if (remaining == 0) break;
+    if (exclude[static_cast<std::size_t>(r)] || g.servers(r) == 0) continue;
+    const int take = std::min(remaining, g.servers(r));
+    for (int i = 0; i < take; ++i)
+      hosts.push_back(g.first_host_of(r) + i);
+    racks_used.push_back(r);
+    remaining -= take;
+  }
+  SPINELESS_CHECK_MSG(remaining == 0,
+                      "cannot pack " << count << " hosts into free racks");
+}
+
+}  // namespace
+
+CsSets make_cs_sets(const Graph& g, int c, int s, Rng& rng) {
+  SPINELESS_CHECK(c > 0 && s > 0);
+  std::vector<NodeId> rack_order;
+  for (NodeId n = 0; n < g.num_switches(); ++n)
+    if (g.servers(n) > 0) rack_order.push_back(n);
+  rng.shuffle(rack_order);
+
+  CsSets sets;
+  std::vector<char> exclude(static_cast<std::size_t>(g.num_switches()), 0);
+  pack(g, c, rack_order, exclude, sets.clients, sets.client_racks);
+  for (NodeId r : sets.client_racks) exclude[static_cast<std::size_t>(r)] = 1;
+  rng.shuffle(rack_order);  // fresh random order for the server side
+  pack(g, s, rack_order, exclude, sets.servers, sets.server_racks);
+  return sets;
+}
+
+RackTm cs_rack_tm(const Graph& g, const CsSets& sets) {
+  RackTm tm(g.num_switches());
+  // Count members per rack.
+  std::vector<int> c_in(static_cast<std::size_t>(g.num_switches()), 0);
+  std::vector<int> s_in(static_cast<std::size_t>(g.num_switches()), 0);
+  for (HostId h : sets.clients)
+    ++c_in[static_cast<std::size_t>(g.tor_of_host(h))];
+  for (HostId h : sets.servers)
+    ++s_in[static_cast<std::size_t>(g.tor_of_host(h))];
+  for (NodeId a : sets.client_racks)
+    for (NodeId b : sets.server_racks)
+      tm.at(a, b) = static_cast<double>(c_in[static_cast<std::size_t>(a)]) *
+                    static_cast<double>(s_in[static_cast<std::size_t>(b)]);
+  return tm;
+}
+
+std::vector<std::pair<HostId, HostId>> cs_flow_pairs(const CsSets& sets,
+                                                     std::size_t max_pairs,
+                                                     Rng& rng) {
+  const std::size_t all =
+      sets.clients.size() * sets.servers.size();
+  std::vector<std::pair<HostId, HostId>> out;
+  if (all <= max_pairs) {
+    out.reserve(all);
+    for (HostId c : sets.clients)
+      for (HostId s : sets.servers) out.emplace_back(c, s);
+    return out;
+  }
+  // Uniform sample of pair indices without replacement.
+  for (std::size_t idx : rng.sample_without_replacement(all, max_pairs)) {
+    const HostId c = sets.clients[idx / sets.servers.size()];
+    const HostId s = sets.servers[idx % sets.servers.size()];
+    out.emplace_back(c, s);
+  }
+  return out;
+}
+
+}  // namespace spineless::workload

@@ -1,0 +1,38 @@
+// The paper's C-S model (§5.2): pick C hosts as clients packed into the
+// fewest racks (racks chosen at random), pick S hosts as servers packed
+// into the fewest racks avoiding client racks; measure the network capacity
+// between the two sets. Sweeping |C| and |S| covers incast/outcast,
+// rack-to-rack, skewed, and uniform patterns.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.h"
+#include "util/rng.h"
+#include "workload/tm.h"
+
+namespace spineless::workload {
+
+struct CsSets {
+  std::vector<HostId> clients;
+  std::vector<HostId> servers;
+  std::vector<NodeId> client_racks;  // racks used (in packing order)
+  std::vector<NodeId> server_racks;
+};
+
+// Packs c clients and s servers per the C-S model. Throws if the topology
+// cannot host c + s hosts on disjoint racks.
+CsSets make_cs_sets(const Graph& g, int c, int s, Rng& rng);
+
+// Rack-level TM for a C-S set: every client rack sends to every server rack
+// with weight proportional to (clients in rack) x (servers in rack).
+RackTm cs_rack_tm(const Graph& g, const CsSets& sets);
+
+// Host-level long-running flow list for the throughput experiment: each
+// client sends to every server, downsampled to at most max_pairs pairs
+// (uniformly, deterministically from rng) when |C| x |S| is large.
+std::vector<std::pair<HostId, HostId>> cs_flow_pairs(const CsSets& sets,
+                                                     std::size_t max_pairs,
+                                                     Rng& rng);
+
+}  // namespace spineless::workload

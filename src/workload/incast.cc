@@ -1,0 +1,44 @@
+#include "workload/incast.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace spineless::workload {
+
+std::vector<IncastQuery> generate_incast_queries(const Graph& g, int queries,
+                                                 int workers,
+                                                 std::int64_t response_bytes,
+                                                 Time window, Rng& rng) {
+  SPINELESS_CHECK(queries > 0 && workers > 0 && response_bytes > 0);
+  SPINELESS_CHECK(window > 0);
+  const auto hosts = static_cast<std::uint64_t>(g.total_servers());
+  SPINELESS_CHECK_MSG(workers < g.total_servers(),
+                      "not enough hosts for the fan-in");
+
+  std::vector<IncastQuery> out;
+  out.reserve(static_cast<std::size_t>(queries));
+  for (int q = 0; q < queries; ++q) {
+    IncastQuery query;
+    query.aggregator = static_cast<HostId>(rng.uniform(hosts));
+    query.response_bytes = response_bytes;
+    query.start = static_cast<Time>(rng.uniform(
+        static_cast<std::uint64_t>(window)));
+    const topo::NodeId agg_rack = g.tor_of_host(query.aggregator);
+    int attempts = 0;
+    while (static_cast<int>(query.workers.size()) < workers) {
+      SPINELESS_CHECK_MSG(++attempts < 100 * workers + 10'000,
+                          "cannot place workers outside the aggregator rack");
+      const auto h = static_cast<HostId>(rng.uniform(hosts));
+      if (h == query.aggregator || g.tor_of_host(h) == agg_rack) continue;
+      if (std::find(query.workers.begin(), query.workers.end(), h) !=
+          query.workers.end())
+        continue;
+      query.workers.push_back(h);
+    }
+    out.push_back(std::move(query));
+  }
+  return out;
+}
+
+}  // namespace spineless::workload

@@ -1,0 +1,34 @@
+// Partition-aggregate (incast) queries: an aggregator host fans a request
+// out to W workers, all of which respond at once — the canonical many-to-
+// one burst that collapses shallow-buffered fabrics and motivated DCTCP.
+// The metric is query completion time (QCT): last response in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace spineless::workload {
+
+using topo::Graph;
+using topo::HostId;
+
+struct IncastQuery {
+  HostId aggregator = 0;
+  std::vector<HostId> workers;  // all respond response_bytes at `start`
+  std::int64_t response_bytes = 0;
+  Time start = 0;
+};
+
+// `queries` independent queries with uniformly random aggregators and
+// `workers` distinct workers drawn from other racks, response_bytes per
+// worker, start times uniform over [0, window).
+std::vector<IncastQuery> generate_incast_queries(const Graph& g, int queries,
+                                                 int workers,
+                                                 std::int64_t response_bytes,
+                                                 Time window, Rng& rng);
+
+}  // namespace spineless::workload

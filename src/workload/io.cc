@@ -1,0 +1,63 @@
+#include "workload/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace spineless::workload {
+
+namespace {
+constexpr const char* kHeader = "src,dst,bytes,start_ps";
+}  // namespace
+
+std::string flows_to_csv(const std::vector<FlowSpec>& flows) {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  for (const auto& f : flows) {
+    os << f.src << ',' << f.dst << ',' << f.bytes << ',' << f.start << "\n";
+  }
+  return os.str();
+}
+
+void write_flows_csv(const std::string& path,
+                     const std::vector<FlowSpec>& flows) {
+  std::ofstream out(path);
+  SPINELESS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << flows_to_csv(flows);
+  SPINELESS_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+std::vector<FlowSpec> flows_from_csv(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  SPINELESS_CHECK_MSG(std::getline(in, line) && line == kHeader,
+                      "bad flow CSV header: '" << line << "'");
+  std::vector<FlowSpec> flows;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    FlowSpec f;
+    char c1 = 0, c2 = 0, c3 = 0;
+    std::istringstream ls(line);
+    ls >> f.src >> c1 >> f.dst >> c2 >> f.bytes >> c3 >> f.start;
+    SPINELESS_CHECK_MSG(!ls.fail() && c1 == ',' && c2 == ',' && c3 == ',',
+                        "bad flow CSV line " << line_no << ": '" << line
+                                             << "'");
+    SPINELESS_CHECK_MSG(f.bytes > 0 && f.start >= 0 && f.src != f.dst,
+                        "invalid flow on CSV line " << line_no);
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> read_flows_csv(const std::string& path) {
+  std::ifstream in(path);
+  SPINELESS_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return flows_from_csv(buffer.str());
+}
+
+}  // namespace spineless::workload

@@ -1,0 +1,24 @@
+// Workload persistence: dump a generated flow list to CSV and load it back,
+// so experiments can be replayed bit-for-bit across runs, shared with
+// external simulators, or inspected with standard tooling.
+//
+// Format: header line "src,dst,bytes,start_ps", one flow per line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/flows.h"
+
+namespace spineless::workload {
+
+std::string flows_to_csv(const std::vector<FlowSpec>& flows);
+void write_flows_csv(const std::string& path,
+                     const std::vector<FlowSpec>& flows);
+
+// Parses the CSV format above; throws Error on malformed input.
+std::vector<FlowSpec> flows_from_csv(const std::string& csv);
+std::vector<FlowSpec> read_flows_csv(const std::string& path);
+
+}  // namespace spineless::workload

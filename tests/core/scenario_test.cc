@@ -1,0 +1,67 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "core/udf_report.h"
+#include "topo/analysis.h"
+
+namespace spineless::core {
+namespace {
+
+TEST(Scenario, SmallDefaultsAreConsistent) {
+  const Scenario s = Scenario::small();
+  EXPECT_EQ(s.x / s.y, 3);  // industry 3:1 oversubscription
+  const auto ls = s.leaf_spine();
+  EXPECT_EQ(ls.num_switches(), s.num_switches());
+  EXPECT_EQ(ls.total_servers(), s.leaf_spine_servers());
+}
+
+TEST(Scenario, PaperConfigMatchesSection51) {
+  const Scenario p = Scenario::paper();
+  EXPECT_EQ(p.x, 48);
+  EXPECT_EQ(p.y, 16);
+  const auto ls = p.leaf_spine();
+  EXPECT_EQ(ls.total_servers(), 3072);             // "3072 servers"
+  EXPECT_EQ(topo::leaf_spine_num_leaves(p.x, p.y), 64);  // "64 racks"
+  const auto d = p.dring();
+  EXPECT_EQ(d.graph.num_switches(), 80);  // "80 racks"
+  // "2988 servers overall" — exact count depends on the ring arrangement
+  // of the uneven supernodes (see builders_test); ours lands at 2992.
+  EXPECT_NEAR(d.graph.total_servers(), 2988, 6);
+  EXPECT_EQ(d.supernodes, 12);  // "12 supernodes"
+}
+
+TEST(Scenario, EqualEquipmentAcrossTopologies) {
+  const Scenario s = Scenario::small();
+  const auto ls = s.leaf_spine();
+  const auto rrg = s.rrg();
+  EXPECT_EQ(rrg.num_switches(), ls.num_switches());
+  // Same port budget everywhere.
+  for (topo::NodeId n = 0; n < rrg.num_switches(); ++n)
+    EXPECT_LE(rrg.ports_used(n), s.ports_per_switch());
+}
+
+TEST(UdfReport, ClosedFormIsTwoAndMeasuredClose) {
+  const UdfReport rep = make_udf_report(Scenario::small());
+  EXPECT_DOUBLE_EQ(rep.udf_closed_form, 2.0);
+  EXPECT_NEAR(rep.udf_rrg, 2.0, 0.15);
+  // DRing trades some server ports for ring links; its UDF is in the same
+  // ballpark (flatness is what matters, not the exact wiring).
+  EXPECT_GT(rep.udf_dring, 1.2);
+}
+
+TEST(UdfReport, FlatTopologiesHaveHigherNsr) {
+  const UdfReport rep = make_udf_report(Scenario::small());
+  EXPECT_GT(rep.rrg.nsr.mean, rep.leaf_spine.nsr.mean);
+  EXPECT_GT(rep.dring.nsr.mean, rep.leaf_spine.nsr.mean);
+}
+
+TEST(UdfReport, PopulatesStructuralStats) {
+  const UdfReport rep = make_udf_report(Scenario::small());
+  EXPECT_EQ(rep.leaf_spine.paths.diameter, 2);
+  EXPECT_GT(rep.rrg.bisection_upper, 0);
+  EXPECT_GT(rep.dring.servers, 0);
+}
+
+}  // namespace
+}  // namespace spineless::core

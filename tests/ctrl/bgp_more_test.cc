@@ -1,0 +1,109 @@
+// Deeper BGP+VRF mechanics: prepend arithmetic, multipath widths,
+// withdrawal propagation, and determinism.
+#include <gtest/gtest.h>
+
+#include "ctrl/bgp.h"
+#include "topo/builders.h"
+
+namespace spineless::ctrl {
+namespace {
+
+TEST(BgpMechanics, DirectNeighborRouteCostsKPrepends) {
+  // Theorem 1's L=1 case seen as AS-path arithmetic: the best route to a
+  // directly-attached prefix at the host VRF carries exactly K AS hops
+  // (the cost-K session prepends K-1 extra copies + the advertiser's own).
+  const auto d = topo::make_dring(5, 2, 1);
+  for (int k = 1; k <= 3; ++k) {
+    BgpVrfNetwork bgp(d.graph, k);
+    bgp.converge();
+    const topo::NodeId v = d.graph.neighbors(0)[0].neighbor;
+    EXPECT_EQ(bgp.best_path_length(0, k, v), k) << "k=" << k;
+  }
+}
+
+TEST(BgpMechanics, LeafSpineMultipathWidths) {
+  // Leaf-spine under K=2: a leaf's host VRF reaches another leaf through
+  // all y spines; since L = 2 = K, SU(2) adds nothing beyond the shortest
+  // paths, so the FIB width equals y.
+  const int y = 4;
+  const auto g = topo::make_leaf_spine(8, y);
+  BgpVrfNetwork bgp(g, 2);
+  bgp.converge();
+  EXPECT_EQ(bgp.fib(0, 2, 1).size(), static_cast<std::size_t>(y));
+}
+
+TEST(BgpMechanics, DRingAdjacentMultipathWidth) {
+  // Adjacent racks, K=2: direct session + one per common neighbor (2n).
+  const int n = 3;
+  const auto d = topo::make_dring(6, n, 1);
+  BgpVrfNetwork bgp(d.graph, 2);
+  bgp.converge();
+  const topo::NodeId v = d.graph.neighbors(0)[0].neighbor;
+  EXPECT_EQ(bgp.fib(0, 2, v).size(), static_cast<std::size_t>(2 * n + 1));
+}
+
+TEST(BgpMechanics, WithdrawalPropagatesBeyondNeighbors) {
+  // Fail a link on a path graph: routers several hops away must drop the
+  // now-dead route (no count-to-infinity thanks to AS-path loops).
+  topo::Graph g(4);
+  g.add_link(0, 1);
+  const topo::LinkId mid = g.add_link(1, 2);
+  g.add_link(2, 3);
+  BgpVrfNetwork bgp(g, 1);
+  bgp.converge();
+  ASSERT_EQ(bgp.best_path_length(0, 1, 3), 3);
+  bgp.fail_link(mid);
+  bgp.converge();
+  EXPECT_EQ(bgp.best_path_length(0, 1, 3), -1);
+  EXPECT_FALSE(bgp.reachable(0, 3));
+  EXPECT_TRUE(bgp.reachable(0, 1));  // near side unaffected
+}
+
+TEST(BgpMechanics, ConvergenceIsDeterministic) {
+  const auto g = topo::make_rrg(12, 4, 1, 77);
+  auto run_once = [&] {
+    BgpVrfNetwork bgp(g, 2);
+    bgp.converge();
+    std::vector<int> lengths;
+    for (topo::NodeId a = 0; a < g.num_switches(); ++a)
+      for (topo::NodeId b = 0; b < g.num_switches(); ++b)
+        if (a != b) lengths.push_back(bgp.best_path_length(a, 2, b));
+    return lengths;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(BgpMechanics, IntermediateVrfsHoldRoutesToo) {
+  // VRF 1 on every router carries routes (the transit plane); lengths are
+  // consistent with the ascending gadget: from (VRF 1, u) a prefix at
+  // distance L costs max(L, K) - (K - 1) hops... concretely for K=2 and a
+  // neighbor's prefix, VRF 1 is one ascend away: length 1.
+  const auto d = topo::make_dring(5, 2, 1);
+  BgpVrfNetwork bgp(d.graph, 2);
+  bgp.converge();
+  const topo::NodeId v = d.graph.neighbors(0)[0].neighbor;
+  EXPECT_EQ(bgp.best_path_length(0, 1, v), 1);
+}
+
+TEST(BgpMechanics, InstalledRoutesScaleWithPrefixes) {
+  // Doubling the topology size should grow total installed routes
+  // superlinearly (more prefixes x more sessions).
+  const auto small = topo::make_dring(5, 2, 1);
+  const auto large = topo::make_dring(10, 2, 1);
+  BgpVrfNetwork a(small.graph, 2), b(large.graph, 2);
+  a.converge();
+  b.converge();
+  EXPECT_GT(b.installed_routes(), 2 * a.installed_routes());
+}
+
+TEST(BgpMechanics, FibEmptyAtOriginHostVrf) {
+  // A router's host VRF has no FIB entry for its own prefix (it is the
+  // origin; traffic terminates locally).
+  const auto g = topo::make_leaf_spine(3, 1);
+  BgpVrfNetwork bgp(g, 2);
+  bgp.converge();
+  EXPECT_TRUE(bgp.fib(0, 2, 0).empty());
+}
+
+}  // namespace
+}  // namespace spineless::ctrl

@@ -1,0 +1,209 @@
+#include "ctrl/bgp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "routing/paths.h"
+#include "routing/vrf.h"
+#include "topo/analysis.h"
+#include "topo/builders.h"
+
+namespace spineless::ctrl {
+namespace {
+
+Graph cycle_graph(int n) {
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) g.add_link(i, (i + 1) % n);
+  return g;
+}
+
+// The prototype's headline property: after convergence, the BGP best-path
+// length at the host VRF equals Theorem 1's max(L, K).
+struct BgpCase {
+  enum Family { kLeafSpine, kDRing, kRrg, kCycle } family;
+  int a, b;
+  int k;
+};
+
+Graph build(const BgpCase& c) {
+  switch (c.family) {
+    case BgpCase::kLeafSpine:
+      return topo::make_leaf_spine(c.a, c.b);
+    case BgpCase::kDRing:
+      return topo::make_dring(c.a, c.b, 1).graph;
+    case BgpCase::kRrg:
+      return topo::make_rrg(c.a, c.b, 1, 23);
+    case BgpCase::kCycle:
+      return cycle_graph(c.a);
+  }
+  throw spineless::Error("unreachable");
+}
+
+class BgpTheorem1 : public ::testing::TestWithParam<BgpCase> {};
+
+TEST_P(BgpTheorem1, ConvergedBestPathLengthIsMaxLK) {
+  const Graph g = build(GetParam());
+  const int k = GetParam().k;
+  BgpVrfNetwork bgp(g, k);
+  bgp.converge();
+  for (NodeId src = 0; src < g.num_switches(); ++src) {
+    const auto dist = topo::bfs_distances(g, src);
+    for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
+      if (src == dst) continue;
+      EXPECT_EQ(bgp.best_path_length(src, k, dst),
+                std::max(dist[static_cast<std::size_t>(dst)], k))
+          << src << "->" << dst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BgpTheorem1,
+    ::testing::Values(BgpCase{BgpCase::kLeafSpine, 4, 2, 2},
+                      BgpCase{BgpCase::kDRing, 5, 2, 2},
+                      BgpCase{BgpCase::kDRing, 6, 2, 3},
+                      BgpCase{BgpCase::kRrg, 14, 4, 2},
+                      BgpCase{BgpCase::kCycle, 9, 0, 2},
+                      BgpCase{BgpCase::kCycle, 7, 0, 1}));
+
+// The prototype end-to-end check: the converged FIBs realize exactly the
+// Shortest-Union(K) path sets — "the first implementation of a routing
+// scheme on standard hardware for ... flat networks".
+class BgpEquivalence : public ::testing::TestWithParam<BgpCase> {};
+
+TEST_P(BgpEquivalence, FibPathsEqualShortestUnion) {
+  const Graph g = build(GetParam());
+  const int k = GetParam().k;
+  BgpVrfNetwork bgp(g, k);
+  bgp.converge();
+  for (NodeId src = 0; src < g.num_switches(); ++src) {
+    for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
+      if (src == dst) continue;
+      EXPECT_EQ(bgp.fib_paths(src, dst, 8192),
+                routing::shortest_union_paths(g, src, dst, k, 8192))
+          << src << "->" << dst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BgpEquivalence,
+    ::testing::Values(BgpCase{BgpCase::kLeafSpine, 4, 2, 2},
+                      BgpCase{BgpCase::kDRing, 5, 2, 2},
+                      BgpCase{BgpCase::kRrg, 12, 4, 2},
+                      BgpCase{BgpCase::kCycle, 8, 0, 2}));
+
+TEST(Bgp, FibMatchesVrfDijkstraNextHops) {
+  // Control-plane (path-vector) and analytic (Dijkstra) realizations agree
+  // hop by hop for K=2.
+  const Graph g = topo::make_dring(6, 2, 1).graph;
+  const int k = 2;
+  BgpVrfNetwork bgp(g, k);
+  bgp.converge();
+  const auto table = routing::VrfTable::compute(g, k);
+  for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
+    for (NodeId u = 0; u < g.num_switches(); ++u) {
+      if (u == dst) continue;
+      const auto fib = bgp.fib(u, k, dst);
+      const auto& dij = table.next_hops(u, k, dst);
+      ASSERT_EQ(fib.size(), dij.size()) << u << "->" << dst;
+      // Compare as multisets of (link, next_vrf).
+      auto key = [](const auto& e) {
+        return std::pair<int, int>(e.port.link, e.next_vrf);
+      };
+      std::multiset<std::pair<int, int>> a, b;
+      for (const auto& e : fib) a.insert(key(e));
+      for (const auto& e : dij) b.insert(key(e));
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(Bgp, ConvergesInDiameterOrderRounds) {
+  const Graph g = topo::make_dring(8, 2, 1).graph;
+  BgpVrfNetwork bgp(g, 2);
+  const int rounds = bgp.converge();
+  const int diameter = topo::path_length_stats(g).diameter;
+  EXPECT_GT(rounds, 0);
+  EXPECT_LE(rounds, diameter + 4);
+}
+
+TEST(Bgp, SecondConvergeIsNoOp) {
+  const Graph g = topo::make_leaf_spine(3, 1);
+  BgpVrfNetwork bgp(g, 2);
+  bgp.converge();
+  EXPECT_EQ(bgp.converge(), 0);
+}
+
+TEST(Bgp, LinkFailureReroutesAroundIt) {
+  const Graph g = cycle_graph(6);
+  BgpVrfNetwork bgp(g, 2);
+  bgp.converge();
+  ASSERT_EQ(bgp.best_path_length(0, 2, 1), 2);  // max(1, K=2)
+  // Fail the direct 0-1 link; the only remaining route is the long way.
+  LinkId direct = topo::kInvalidLink;
+  for (const Port& p : g.neighbors(0))
+    if (p.neighbor == 1) direct = p.link;
+  ASSERT_NE(direct, topo::kInvalidLink);
+  bgp.fail_link(direct);
+  const int rounds = bgp.converge();
+  EXPECT_GT(rounds, 0);
+  EXPECT_EQ(bgp.failed_links(), 1u);
+  EXPECT_TRUE(bgp.reachable(0, 1));
+  EXPECT_EQ(bgp.best_path_length(0, 2, 1), 5);  // around the cycle
+  // All FIB paths must avoid the failed link.
+  for (const auto& path : bgp.fib_paths(0, 1)) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      EXPECT_FALSE((path[i] == 0 && path[i + 1] == 1) ||
+                   (path[i] == 1 && path[i + 1] == 0));
+  }
+}
+
+TEST(Bgp, RestoreLinkRecoversOriginalRoutes) {
+  const Graph g = cycle_graph(6);
+  BgpVrfNetwork bgp(g, 2);
+  bgp.converge();
+  LinkId direct = g.neighbors(0)[0].link;
+  bgp.fail_link(direct);
+  bgp.converge();
+  bgp.restore_link(direct);
+  bgp.converge();
+  EXPECT_EQ(bgp.failed_links(), 0u);
+  const NodeId v = g.neighbors(0)[0].neighbor;
+  EXPECT_EQ(bgp.best_path_length(0, 2, v), 2);
+}
+
+TEST(Bgp, PartitionMakesPrefixUnreachable) {
+  // A 2-node graph with a single link: failing it partitions the network.
+  Graph g(2);
+  const LinkId l = g.add_link(0, 1);
+  BgpVrfNetwork bgp(g, 2);
+  bgp.converge();
+  EXPECT_TRUE(bgp.reachable(0, 1));
+  bgp.fail_link(l);
+  bgp.converge();
+  EXPECT_FALSE(bgp.reachable(0, 1));
+  EXPECT_EQ(bgp.best_path_length(0, 2, 1), -1);
+}
+
+TEST(Bgp, InstalledRoutesPopulatedAfterConvergence) {
+  const Graph g = topo::make_leaf_spine(3, 1);
+  BgpVrfNetwork bgp(g, 2);
+  EXPECT_EQ(bgp.installed_routes(), 0u);
+  bgp.converge();
+  EXPECT_GT(bgp.installed_routes(), 0u);
+}
+
+TEST(Bgp, K1DegeneratesToShortestPathEcmp) {
+  const Graph g = topo::make_leaf_spine(4, 2);
+  BgpVrfNetwork bgp(g, 1);
+  bgp.converge();
+  // Leaf 0 -> leaf 1: two equal routes (one per spine).
+  EXPECT_EQ(bgp.fib(0, 1, 1).size(), 2u);
+  EXPECT_EQ(bgp.best_path_length(0, 1, 1), 2);
+}
+
+}  // namespace
+}  // namespace spineless::ctrl

@@ -1,0 +1,119 @@
+#include "flowsim/maxmin.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace spineless::flowsim {
+namespace {
+
+TEST(MaxMin, SingleLinkEqualShare) {
+  MaxMinProblem p({10.0});
+  p.add_flow({0});
+  p.add_flow({0});
+  p.add_flow({0});
+  const auto r = p.solve();
+  for (double v : r) EXPECT_NEAR(v, 10.0 / 3, 1e-9);
+  EXPECT_TRUE(p.is_max_min_fair(r));
+}
+
+TEST(MaxMin, ClassicTwoLinkExample) {
+  // Flow A crosses both links, B only link 0, C only link 1.
+  // cap(0)=1, cap(1)=2: A and B split link 0 at 0.5; C gets 1.5 on link 1.
+  MaxMinProblem p({1.0, 2.0});
+  const int a = p.add_flow({0, 1});
+  const int b = p.add_flow({0});
+  const int c = p.add_flow({1});
+  const auto r = p.solve();
+  EXPECT_NEAR(r[static_cast<std::size_t>(a)], 0.5, 1e-9);
+  EXPECT_NEAR(r[static_cast<std::size_t>(b)], 0.5, 1e-9);
+  EXPECT_NEAR(r[static_cast<std::size_t>(c)], 1.5, 1e-9);
+  EXPECT_TRUE(p.is_max_min_fair(r));
+}
+
+TEST(MaxMin, BottleneckChain) {
+  // Three serial links, the tightest one governs.
+  MaxMinProblem p({5.0, 1.0, 9.0});
+  p.add_flow({0, 1, 2});
+  EXPECT_NEAR(p.solve()[0], 1.0, 1e-9);
+}
+
+TEST(MaxMin, FlowCrossingResourceTwiceConsumesDouble) {
+  MaxMinProblem p({2.0});
+  p.add_flow({0, 0});
+  EXPECT_NEAR(p.solve()[0], 1.0, 1e-9);
+}
+
+TEST(MaxMin, EmptyFlowGetsZeroAndNoCrash) {
+  MaxMinProblem p({1.0});
+  p.add_flow({});
+  p.add_flow({0});
+  const auto r = p.solve();
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_NEAR(r[1], 1.0, 1e-9);
+}
+
+TEST(MaxMin, ZeroCapacityResource) {
+  MaxMinProblem p({0.0, 5.0});
+  p.add_flow({0, 1});
+  p.add_flow({1});
+  const auto r = p.solve();
+  EXPECT_NEAR(r[0], 0.0, 1e-9);
+  EXPECT_NEAR(r[1], 5.0, 1e-6);
+}
+
+TEST(MaxMin, InvalidResourceRejected) {
+  MaxMinProblem p({1.0});
+  EXPECT_THROW(p.add_flow({1}), Error);
+  EXPECT_THROW(p.add_flow({-1}), Error);
+}
+
+TEST(MaxMin, NegativeCapacityRejected) {
+  EXPECT_THROW(MaxMinProblem({-1.0}), Error);
+}
+
+TEST(MaxMin, CertificateRejectsUnfairAllocation) {
+  MaxMinProblem p({2.0});
+  p.add_flow({0});
+  p.add_flow({0});
+  EXPECT_FALSE(p.is_max_min_fair({0.5, 1.5}));   // unfair split
+  EXPECT_FALSE(p.is_max_min_fair({1.5, 1.5}));   // infeasible
+  EXPECT_FALSE(p.is_max_min_fair({0.5, 0.5}));   // link not saturated
+  EXPECT_TRUE(p.is_max_min_fair({1.0, 1.0}));
+}
+
+// Property test: random problems always produce feasible max-min fair
+// allocations, and total throughput never exceeds total capacity.
+class MaxMinRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxMinRandom, SolveSatisfiesCertificate) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int resources = 3 + static_cast<int>(rng.uniform(20));
+  std::vector<double> caps;
+  double total_cap = 0;
+  for (int r = 0; r < resources; ++r) {
+    caps.push_back(1.0 + rng.uniform_real() * 9.0);
+    total_cap += caps.back();
+  }
+  MaxMinProblem p(caps);
+  const int flows = 1 + static_cast<int>(rng.uniform(60));
+  for (int f = 0; f < flows; ++f) {
+    const int len = 1 + static_cast<int>(rng.uniform(4));
+    std::vector<int> route;
+    for (int i = 0; i < len; ++i)
+      route.push_back(static_cast<int>(rng.uniform(
+          static_cast<std::uint64_t>(resources))));
+    p.add_flow(std::move(route));
+  }
+  const auto rates = p.solve();
+  EXPECT_TRUE(p.is_max_min_fair(rates));
+  double total = 0;
+  for (double r : rates) total += r;
+  EXPECT_LE(total, total_cap + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinRandom, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace spineless::flowsim

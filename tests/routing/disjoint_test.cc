@@ -1,0 +1,119 @@
+#include "routing/disjoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "routing/paths.h"
+#include "topo/analysis.h"
+#include "topo/builders.h"
+
+namespace spineless::routing {
+namespace {
+
+Graph cycle_graph(int n) {
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) g.add_link(i, (i + 1) % n);
+  return g;
+}
+
+TEST(CommonNeighbors, LeafSpineLeafPairSharesAllSpines) {
+  const Graph g = topo::make_leaf_spine(4, 3);
+  EXPECT_EQ(common_neighbor_count(g, 0, 1), 3);
+  // A leaf and a spine share the other leaves as neighbors... a leaf's
+  // neighbors are spines only; a spine's neighbors are leaves only.
+  EXPECT_EQ(common_neighbor_count(
+                g, 0, topo::leaf_spine_num_leaves(4, 3)),
+            0);
+}
+
+TEST(CommonNeighbors, DRingAdjacentPairHasTwoNPlusZero) {
+  for (int n : {1, 2, 3}) {
+    const auto d = topo::make_dring(7, n, 1);
+    const NodeId v = d.graph.neighbors(0)[0].neighbor;
+    EXPECT_EQ(common_neighbor_count(d.graph, 0, v), 2 * n) << "n=" << n;
+  }
+}
+
+TEST(MaxDisjointSu2, LeafSpineLeafPairsEqualSpineCount) {
+  for (int y : {1, 2, 4}) {
+    const Graph g = topo::make_leaf_spine(6, y);
+    EXPECT_EQ(max_disjoint_su2_paths(g, 0, 1), y);
+  }
+}
+
+TEST(MaxDisjointSu2, CycleValues) {
+  const Graph g = cycle_graph(8);
+  // Adjacent: direct link, no common neighbors.
+  EXPECT_EQ(max_disjoint_su2_paths(g, 0, 1), 1);
+  // Distance 2: single shortest path through node 1.
+  EXPECT_EQ(max_disjoint_su2_paths(g, 0, 2), 1);
+  // Antipodal: two vertex-disjoint shortest paths.
+  EXPECT_EQ(max_disjoint_su2_paths(g, 0, 4), 2);
+}
+
+TEST(MaxDisjointSu2, TriangleAdjacent) {
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(0, 2);
+  // Direct + detour via the single common neighbor.
+  EXPECT_EQ(max_disjoint_su2_paths(g, 0, 1), 2);
+}
+
+TEST(MaxDisjointSu2, AtLeastGreedyEverywhere) {
+  const Graph g = topo::make_rrg(16, 5, 1, 41);
+  for (NodeId a = 0; a < g.num_switches(); ++a) {
+    for (NodeId b = a + 1; b < g.num_switches(); ++b) {
+      const auto su = shortest_union_paths(g, a, b, 2, 8192);
+      EXPECT_GE(max_disjoint_su2_paths(g, a, b), greedy_disjoint_count(su))
+          << a << "->" << b;
+    }
+  }
+}
+
+// The §4 claim ("Shortest-Union(2) provides at least (n+1) disjoint paths
+// between any two racks"), measured exactly. Our counter shows the claim
+// as stated holds only for rings of m <= 8 supernodes: for m >= 9, racks
+// four supernodes apart see exactly ONE common supernode, so the tight
+// bound is n, not n+1 (verified empirically below and recorded in
+// EXPERIMENTS.md as a deviation).
+struct DRingClaim {
+  int m, n;
+};
+
+class ExactDisjointClaim : public ::testing::TestWithParam<DRingClaim> {};
+
+TEST_P(ExactDisjointClaim, Su2DisjointPathBoundIsTight) {
+  const auto [m, n] = GetParam();
+  const Graph g = topo::make_dring(m, n, 1).graph;
+  const int bound = m <= 8 ? n + 1 : n;
+  int min_disjoint = 1 << 30;
+  for (NodeId a = 0; a < g.num_switches(); ++a) {
+    for (NodeId b = a + 1; b < g.num_switches(); ++b) {
+      const int v = max_disjoint_su2_paths(g, a, b);
+      EXPECT_GE(v, bound) << "pair " << a << "->" << b;
+      min_disjoint = std::min(min_disjoint, v);
+    }
+  }
+  // Tightness: for m >= 7 some pair achieves the bound exactly.
+  if (m >= 7) {
+    EXPECT_EQ(min_disjoint, bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExactDisjointClaim,
+                         ::testing::Values(DRingClaim{5, 2}, DRingClaim{7, 3},
+                                           DRingClaim{8, 2},
+                                           DRingClaim{10, 2},
+                                           DRingClaim{10, 4},
+                                           DRingClaim{12, 3},
+                                           DRingClaim{14, 2}));
+
+TEST(MaxDisjointSu2, RejectsSamePair) {
+  const Graph g = cycle_graph(4);
+  EXPECT_THROW(max_disjoint_su2_paths(g, 1, 1), Error);
+}
+
+}  // namespace
+}  // namespace spineless::routing

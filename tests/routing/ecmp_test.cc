@@ -1,0 +1,96 @@
+#include "routing/ecmp.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/analysis.h"
+#include "topo/builders.h"
+
+namespace spineless::routing {
+namespace {
+
+TEST(EcmpTable, LeafSpineNextHops) {
+  const Graph g = topo::make_leaf_spine(4, 2);
+  const auto t = EcmpTable::compute(g);
+  // Leaf 0 to leaf 1: both spines are valid next hops.
+  EXPECT_EQ(t.next_hops(0, 1).size(), 2u);
+  EXPECT_EQ(t.distance(0, 1), 2);
+  // Leaf to spine: single direct hop.
+  const NodeId spine = topo::leaf_spine_num_leaves(4, 2);
+  EXPECT_EQ(t.next_hops(0, spine).size(), 1u);
+  EXPECT_EQ(t.next_hops(0, spine)[0].neighbor, spine);
+  EXPECT_EQ(t.distance(0, spine), 1);
+}
+
+TEST(EcmpTable, DistancesMatchBfs) {
+  const Graph g = topo::make_dring(6, 2, 1).graph;
+  const auto t = EcmpTable::compute(g);
+  for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
+    const auto d = topo::bfs_distances(g, dst);
+    for (NodeId u = 0; u < g.num_switches(); ++u)
+      EXPECT_EQ(t.distance(u, dst), d[static_cast<std::size_t>(u)]);
+  }
+}
+
+// Validity (loop-freedom + completeness) across the three §5.1 families.
+class EcmpValidity : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcmpValidity, TableValidOnAllFamilies) {
+  const int i = GetParam();
+  const Graph graphs[] = {
+      topo::make_leaf_spine(6 + i, 2),
+      topo::make_dring(5 + i, 2, 1).graph,
+      topo::make_rrg(12 + 2 * i, 4, 1, static_cast<std::uint64_t>(i)),
+  };
+  for (const Graph& g : graphs) {
+    const auto t = EcmpTable::compute(g);
+    EXPECT_TRUE(ecmp_table_valid(g, t)) << g.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EcmpValidity, ::testing::Range(0, 5));
+
+TEST(EcmpTable, DirectNeighborHasSingleNextHopInFlatNetworks) {
+  // The §4 motivation: adjacent racks in a flat network have exactly one
+  // shortest path, so ECMP cannot spread their traffic.
+  const Graph g = topo::make_dring(6, 2, 1).graph;
+  const auto t = EcmpTable::compute(g);
+  for (NodeId u = 0; u < g.num_switches(); ++u)
+    for (const Port& p : g.neighbors(u))
+      EXPECT_EQ(t.next_hops(u, p.neighbor).size(), 1u);
+}
+
+TEST(EcmpTable, LeafSpineLeavesAlwaysHaveYNextHops) {
+  // The contrast: leaf-spine leaves are never directly connected, so ECMP
+  // always sees all y spines.
+  const int y = 3;
+  const Graph g = topo::make_leaf_spine(6, y);
+  const auto t = EcmpTable::compute(g);
+  const NodeId leaves = topo::leaf_spine_num_leaves(6, y);
+  for (NodeId a = 0; a < leaves; ++a)
+    for (NodeId b = 0; b < leaves; ++b)
+      if (a != b) {
+        EXPECT_EQ(t.next_hops(a, b).size(), static_cast<std::size_t>(y));
+      }
+}
+
+TEST(EcmpTable, DisconnectedGraphRejected) {
+  Graph g(3);
+  g.add_link(0, 1);
+  EXPECT_THROW(EcmpTable::compute(g), spineless::Error);
+}
+
+TEST(EcmpTable, ValidityCheckerCatchesCorruption) {
+  // A hand-built table with a wrong next hop must fail validation: build a
+  // valid table on a cycle, then check a *different* graph against it.
+  Graph cyc(4);
+  for (NodeId i = 0; i < 4; ++i) cyc.add_link(i, (i + 1) % 4);
+  Graph line(4);
+  line.add_link(0, 1);
+  line.add_link(1, 2);
+  line.add_link(2, 3);
+  const auto t_line = EcmpTable::compute(line);
+  EXPECT_FALSE(ecmp_table_valid(cyc, t_line));
+}
+
+}  // namespace
+}  // namespace spineless::routing

@@ -1,0 +1,125 @@
+// Mid-simulation link failures: blackholing during the convergence window,
+// recovery after reconvergence, and partition behavior.
+#include <gtest/gtest.h>
+
+#include "sim/tcp.h"
+#include "topo/builders.h"
+
+namespace spineless::sim {
+namespace {
+
+topo::Graph diamond() {
+  // Two disjoint 2-hop paths between ToR 0 and ToR 3.
+  topo::Graph g(4);
+  g.add_link(0, 1);  // link 0
+  g.add_link(0, 2);  // link 1
+  g.add_link(1, 3);  // link 2
+  g.add_link(2, 3);  // link 3
+  g.set_servers(0, 2);
+  g.set_servers(3, 2);
+  return g;
+}
+
+TEST(MidSimFailure, FlowSurvivesWhenAlternatePathExists) {
+  const topo::Graph g = diamond();
+  NetworkConfig cfg;
+  Simulator sim;
+  Network net(g, cfg);
+  FlowDriver driver(net, TcpConfig{});
+  driver.add_flow(sim, 0, 2, 20'000'000, 0);  // ~16 ms at line rate
+  // Fail one branch 2 ms in; reconverge after 1 ms of blackholing.
+  net.schedule_link_failure(sim, /*link=*/0, 2 * units::kMillisecond,
+                            1 * units::kMillisecond);
+  sim.run_until(120 * units::kSecond);
+  EXPECT_EQ(driver.completed_flows(), 1u);
+}
+
+TEST(MidSimFailure, ReconvergenceDelayCostsTime) {
+  // The same failure with a longer convergence window must hurt: the flow
+  // either blackholes into RTOs (if hashed onto the dead path) or is
+  // unaffected — so compare against instant reconvergence for the flow
+  // that IS on the failed branch.
+  auto fct_with_delay = [](Time delay) {
+    const topo::Graph g = diamond();
+    NetworkConfig cfg;
+    cfg.trace_paths = true;
+    Simulator sim;
+    Network net(g, cfg);
+    FlowDriver driver(net, TcpConfig{});
+    driver.add_flow(sim, 0, 2, 20'000'000, 0);
+    // Find which branch the flow hashed to by probing after a moment;
+    // fail whichever link its path uses.
+    sim.run_until(100 * units::kMicrosecond);
+    const auto path = net.traced_path(0);
+    const topo::LinkId victim = path[1] == 1 ? 0 : 1;
+    net.schedule_link_failure(sim, victim, sim.now(), delay);
+    sim.run_until(120 * units::kSecond);
+    EXPECT_EQ(driver.completed_flows(), 1u);
+    return driver.flow(0).record().fct();
+  };
+  const Time fast = fct_with_delay(100 * units::kMicrosecond);
+  const Time slow = fct_with_delay(20 * units::kMillisecond);
+  EXPECT_GT(slow, fast + 10 * units::kMillisecond);
+}
+
+TEST(MidSimFailure, NoRouteDropsWhenPartitioned) {
+  topo::Graph g(2);
+  g.add_link(0, 1);
+  g.set_servers(0, 1);
+  g.set_servers(1, 1);
+  NetworkConfig cfg;
+  Simulator sim;
+  Network net(g, cfg);
+  FlowDriver driver(net, TcpConfig{});
+  driver.add_flow(sim, 0, 1, 5'000'000, 0);
+  net.schedule_link_failure(sim, 0, units::kMillisecond,
+                            units::kMillisecond);
+  sim.run_until(200 * units::kMillisecond);
+  EXPECT_EQ(driver.completed_flows(), 0u);
+  EXPECT_GT(net.stats().queue_drops, 0);     // blackhole phase
+  EXPECT_GT(net.stats().no_route_drops, 0);  // post-reconvergence phase
+}
+
+TEST(MidSimFailure, BringLinkUpRestores) {
+  const topo::Graph g = diamond();
+  NetworkConfig cfg;
+  Simulator sim;
+  Network net(g, cfg);
+  FlowDriver driver(net, TcpConfig{});
+  net.take_link_down(0);
+  net.take_link_down(1);  // ToR 0 fully cut off
+  net.reconverge_tables();
+  driver.add_flow(sim, 0, 2, 50'000, 0);
+  sim.run_until(50 * units::kMillisecond);
+  EXPECT_EQ(driver.completed_flows(), 0u);
+  net.bring_link_up(0);
+  net.bring_link_up(1);
+  net.reconverge_tables();
+  sim.run_until(10 * units::kSecond);  // RTO retries find the route again
+  EXPECT_EQ(driver.completed_flows(), 1u);
+}
+
+TEST(MidSimFailure, SurvivingPathsStillShortestUnion) {
+  // After reconvergence on a DRing with one failed link, SU(2) traffic must
+  // stick to the surviving links (no packets offered to the dead one).
+  const auto d = topo::make_dring(6, 2, 2);
+  NetworkConfig cfg;
+  cfg.mode = RoutingMode::kShortestUnion;
+  Simulator sim;
+  Network net(d.graph, cfg);
+  FlowDriver driver(net, TcpConfig{});
+  net.take_link_down(0);
+  net.reconverge_tables();
+  for (int i = 0; i < 12; ++i)
+    driver.add_flow(sim, i % d.graph.total_servers(),
+                    (i * 5 + 3) % d.graph.total_servers(), 50'000,
+                    i * units::kMicrosecond);
+  sim.run_until(10 * units::kSecond);
+  EXPECT_EQ(driver.completed_flows(), 12u);
+  // The dead link transmitted nothing and dropped nothing (nobody even
+  // tried it after reconvergence happened before any traffic).
+  EXPECT_EQ(net.stats().queue_drops, 0);
+}
+
+}  // namespace
+}  // namespace spineless::sim

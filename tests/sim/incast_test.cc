@@ -1,0 +1,105 @@
+// Partition-aggregate workload + driver tests: generation invariants, QCT
+// accounting, fan-in scaling, and DCTCP's incast advantage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/incast_driver.h"
+#include "topo/builders.h"
+
+namespace spineless::sim {
+namespace {
+
+TEST(IncastGen, WorkersDistinctAndOffAggregatorRack) {
+  const auto g = topo::make_dring(6, 2, 4).graph;
+  Rng rng(3);
+  const auto queries = workload::generate_incast_queries(
+      g, /*queries=*/20, /*workers=*/8, /*bytes=*/50'000,
+      units::kMillisecond, rng);
+  ASSERT_EQ(queries.size(), 20u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.workers.size(), 8u);
+    std::set<topo::HostId> uniq(q.workers.begin(), q.workers.end());
+    EXPECT_EQ(uniq.size(), 8u);
+    for (topo::HostId w : q.workers) {
+      EXPECT_NE(w, q.aggregator);
+      EXPECT_NE(g.tor_of_host(w), g.tor_of_host(q.aggregator));
+    }
+    EXPECT_GE(q.start, 0);
+    EXPECT_LT(q.start, units::kMillisecond);
+  }
+}
+
+TEST(IncastGen, RejectsImpossibleFanIn) {
+  const auto g = topo::make_dring(5, 2, 2).graph;  // 20 hosts
+  Rng rng(1);
+  EXPECT_THROW(workload::generate_incast_queries(g, 1, 20, 1000,
+                                                 units::kMillisecond, rng),
+               Error);
+}
+
+TEST(IncastDriver, QueryCompletesAndQctIsLastResponse) {
+  const auto g = topo::make_dring(5, 2, 4).graph;
+  NetworkConfig cfg;
+  Simulator sim;
+  Network net(g, cfg);
+  IncastDriver driver(net, TcpConfig{});
+  Rng rng(5);
+  const auto queries = workload::generate_incast_queries(
+      g, 4, 6, 100'000, units::kMillisecond, rng);
+  for (const auto& q : queries) driver.add_query(sim, q);
+  sim.run_until(10 * units::kSecond);
+  EXPECT_EQ(driver.completed_queries(), 4u);
+  const auto qct = driver.qct_ms();
+  ASSERT_EQ(qct.count(), 4u);
+  // 6 workers x 100 KB into one 10G NIC: at least 0.48 ms of serialization.
+  EXPECT_GT(qct.min(), 0.45);
+}
+
+TEST(IncastDriver, QctGrowsWithFanIn) {
+  auto p50 = [](int workers) {
+    const auto g = topo::make_dring(6, 2, 8).graph;
+    NetworkConfig cfg;
+    Simulator sim;
+    Network net(g, cfg);
+    IncastDriver driver(net, TcpConfig{});
+    Rng rng(7);
+    const auto queries = workload::generate_incast_queries(
+        g, 6, workers, 50'000, units::kMillisecond, rng);
+    for (const auto& q : queries) driver.add_query(sim, q);
+    sim.run_until(30 * units::kSecond);
+    EXPECT_EQ(driver.completed_queries(), 6u);
+    return driver.qct_ms().median();
+  };
+  EXPECT_LT(p50(4), p50(16));
+}
+
+TEST(IncastDriver, DctcpBeatsRenoAtHighFanIn) {
+  // 32-to-1 with shallow buffers: Reno overflows and pays RTOs; DCTCP's
+  // early marks keep the burst under control. The classic result.
+  auto p99 = [](bool dctcp) {
+    const auto g = topo::make_dring(6, 2, 8).graph;
+    NetworkConfig cfg;
+    cfg.queue_bytes = 40 * kDataPacketBytes;
+    cfg.ecn_threshold_bytes = dctcp ? 10 * kDataPacketBytes : 0;
+    TcpConfig tcp;
+    tcp.dctcp = dctcp;
+    Simulator sim;
+    Network net(g, cfg);
+    IncastDriver driver(net, tcp);
+    Rng rng(11);
+    const auto queries = workload::generate_incast_queries(
+        g, 8, 32, 30'000, 2 * units::kMillisecond, rng);
+    for (const auto& q : queries) driver.add_query(sim, q);
+    sim.run_until(60 * units::kSecond);
+    EXPECT_EQ(driver.completed_queries(), 8u);
+    return driver.qct_ms().p99();
+  };
+  const double reno = p99(false);
+  const double dctcp = p99(true);
+  EXPECT_LT(dctcp, reno);
+}
+
+}  // namespace
+}  // namespace spineless::sim

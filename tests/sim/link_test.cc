@@ -1,0 +1,131 @@
+#include "sim/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spineless::sim {
+namespace {
+
+class CollectingDevice : public Device {
+ public:
+  void receive(Simulator& sim, Packet pkt) override {
+    arrivals.emplace_back(sim.now(), pkt);
+  }
+  std::vector<std::pair<Time, Packet>> arrivals;
+};
+
+Packet data_packet(std::int64_t seq, std::int32_t size = kDataPacketBytes) {
+  Packet p;
+  p.seq = seq;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(Link, SinglePacketLatencyIsSerializationPlusPropagation) {
+  Simulator sim;
+  CollectingDevice dev;
+  // 10 Gbps, 1 us propagation: 1500 B serializes in 1.2 us.
+  Link link(units::gbps(10), units::kMicrosecond, 15000, &dev);
+  link.enqueue(sim, data_packet(0));
+  sim.run();
+  ASSERT_EQ(dev.arrivals.size(), 1u);
+  EXPECT_EQ(dev.arrivals[0].first,
+            units::serialization_time(kDataPacketBytes, units::gbps(10)) +
+                units::kMicrosecond);
+}
+
+TEST(Link, BackToBackPacketsSpacedBySerialization) {
+  Simulator sim;
+  CollectingDevice dev;
+  Link link(units::gbps(10), units::kMicrosecond, 150000, &dev);
+  for (int i = 0; i < 5; ++i) link.enqueue(sim, data_packet(i));
+  sim.run();
+  ASSERT_EQ(dev.arrivals.size(), 5u);
+  const Time ser =
+      units::serialization_time(kDataPacketBytes, units::gbps(10));
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(dev.arrivals[static_cast<std::size_t>(i)].first -
+                  dev.arrivals[static_cast<std::size_t>(i - 1)].first,
+              ser);
+  }
+}
+
+TEST(Link, FifoOrderPreserved) {
+  Simulator sim;
+  CollectingDevice dev;
+  Link link(units::gbps(10), units::kMicrosecond, 150000, &dev);
+  for (int i = 0; i < 20; ++i) link.enqueue(sim, data_packet(i));
+  sim.run();
+  ASSERT_EQ(dev.arrivals.size(), 20u);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(dev.arrivals[static_cast<std::size_t>(i)].second.seq, i);
+}
+
+TEST(Link, DropTailWhenQueueFull) {
+  Simulator sim;
+  CollectingDevice dev;
+  // Queue capacity: 3 full packets.
+  Link link(units::gbps(10), units::kMicrosecond, 3 * kDataPacketBytes, &dev);
+  for (int i = 0; i < 5; ++i) link.enqueue(sim, data_packet(i));
+  sim.run();
+  EXPECT_EQ(dev.arrivals.size(), 3u);
+  EXPECT_EQ(link.stats().drops, 2);
+  EXPECT_EQ(link.stats().packets_tx, 3);
+}
+
+TEST(Link, QueueDrainsAndAcceptsAgain) {
+  Simulator sim;
+  CollectingDevice dev;
+  Link link(units::gbps(10), units::kMicrosecond, 2 * kDataPacketBytes, &dev);
+  link.enqueue(sim, data_packet(0));
+  link.enqueue(sim, data_packet(1));
+  link.enqueue(sim, data_packet(2));  // dropped
+  sim.run();
+  EXPECT_EQ(link.stats().drops, 1);
+  link.enqueue(sim, data_packet(3));  // space again
+  sim.run();
+  EXPECT_EQ(dev.arrivals.size(), 3u);
+  EXPECT_EQ(dev.arrivals.back().second.seq, 3);
+}
+
+TEST(Link, SmallPacketsSerializeFaster) {
+  Simulator sim;
+  CollectingDevice dev;
+  Link link(units::gbps(10), 0, 150000, &dev);
+  link.enqueue(sim, data_packet(0, kAckPacketBytes));
+  sim.run();
+  EXPECT_EQ(dev.arrivals[0].first,
+            units::serialization_time(kAckPacketBytes, units::gbps(10)));
+}
+
+TEST(Link, StatsCountBytes) {
+  Simulator sim;
+  CollectingDevice dev;
+  Link link(units::gbps(10), 0, 150000, &dev);
+  link.enqueue(sim, data_packet(0));
+  link.enqueue(sim, data_packet(1, kAckPacketBytes));
+  sim.run();
+  EXPECT_EQ(link.stats().bytes_tx, kDataPacketBytes + kAckPacketBytes);
+  EXPECT_EQ(link.stats().max_queue_bytes,
+            kDataPacketBytes + kAckPacketBytes);
+}
+
+TEST(Link, InvalidConstruction) {
+  CollectingDevice dev;
+  EXPECT_THROW(Link(0, 0, 100, &dev), Error);
+  EXPECT_THROW(Link(1, 0, 0, &dev), Error);
+  EXPECT_THROW(Link(1, 0, 100, nullptr), Error);
+}
+
+TEST(SerializationTime, ExactFor10G) {
+  // 1500 B at 10 Gbps = 1200 ns exactly.
+  EXPECT_EQ(units::serialization_time(1500, units::gbps(10)),
+            1200 * units::kNanosecond);
+  // 40 B ack = 32 ns.
+  EXPECT_EQ(units::serialization_time(40, units::gbps(10)),
+            32 * units::kNanosecond);
+}
+
+}  // namespace
+}  // namespace spineless::sim

@@ -1,0 +1,234 @@
+// Tests for the extended forwarding modes: source routing, MPTCP-style
+// striping, flowlet switching, and heterogeneous host NIC rates.
+#include <gtest/gtest.h>
+
+#include "routing/ksp.h"
+#include "sim/striping.h"
+#include "topo/builders.h"
+
+namespace spineless::sim {
+namespace {
+
+topo::Graph two_path_graph() {
+  // 0 -- 1 -- 3 and 0 -- 2 -- 3: two disjoint 2-hop paths.
+  topo::Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(1, 3);
+  g.add_link(2, 3);
+  g.set_servers(0, 2);
+  g.set_servers(3, 2);
+  return g;
+}
+
+TEST(SourceRouting, FlowFollowsPinnedPath) {
+  const topo::Graph g = two_path_graph();
+  NetworkConfig cfg;
+  cfg.mode = RoutingMode::kSourceRouted;
+  Simulator sim;
+  Network net(g, cfg);
+  FlowDriver driver(net, TcpConfig{});
+  const auto id = driver.add_flow(sim, 0, 2, 500'000, 0);
+  net.set_flow_routes(id, {0, 1, 3});
+  sim.run_until(units::kSecond);
+  EXPECT_EQ(driver.completed_flows(), 1u);
+  EXPECT_EQ(net.stats().ttl_drops, 0);
+}
+
+TEST(SourceRouting, MissingRouteIsRejected) {
+  const topo::Graph g = two_path_graph();
+  NetworkConfig cfg;
+  cfg.mode = RoutingMode::kSourceRouted;
+  Simulator sim;
+  Network net(g, cfg);
+  FlowDriver driver(net, TcpConfig{});
+  driver.add_flow(sim, 0, 2, 10'000, 0);
+  EXPECT_THROW(sim.run_until(units::kSecond), Error);
+}
+
+TEST(SourceRouting, TwoPathsCarryTwiceTheBandwidth) {
+  // Two flows pinned to disjoint paths finish in about the time one flow
+  // needs for the same bytes on one path.
+  const topo::Graph g = two_path_graph();
+  NetworkConfig cfg;
+  cfg.mode = RoutingMode::kSourceRouted;
+  Simulator sim;
+  Network net(g, cfg);
+  FlowDriver driver(net, TcpConfig{});
+  const std::int64_t bytes = 4'000'000;
+  const auto a = driver.add_flow(sim, 0, 2, bytes, 0);
+  const auto b = driver.add_flow(sim, 1, 3, bytes, 0);
+  net.set_flow_routes(a, {0, 1, 3});
+  net.set_flow_routes(b, {0, 2, 3});
+  sim.run_until(60 * units::kSecond);
+  ASSERT_EQ(driver.completed_flows(), 2u);
+  const Time fct_a = driver.flow(0).record().fct();
+  const Time fct_b = driver.flow(1).record().fct();
+  // No shared bottleneck: both within 25% of solo line-rate time.
+  const double solo_s = static_cast<double>(bytes) * 8 / 10e9;
+  EXPECT_LT(units::to_seconds(std::max(fct_a, fct_b)), solo_s * 1.25);
+}
+
+TEST(Striping, SplitsBytesAndCompletesFaster) {
+  // One 8 MB flow: striped across both disjoint paths it should finish in
+  // roughly half the single-path time. The host NIC must outrun the fabric
+  // for multipath to matter (MPTCP's whole premise).
+  const topo::Graph g = two_path_graph();
+  const routing::PathSet paths{{0, 1, 3}, {0, 2, 3}};
+
+  auto run = [&](int subflows) {
+    NetworkConfig cfg;
+    cfg.host_rate_bps = units::gbps(40);
+    cfg.mode = RoutingMode::kSourceRouted;
+    Simulator sim;
+    Network net(g, cfg);
+    StripedFlowDriver striped(net, TcpConfig{});
+    striped.add_flow(sim, 0, 2, 8'000'000, 0, paths, subflows);
+    sim.run_until(60 * units::kSecond);
+    EXPECT_EQ(striped.completed_flows(), 1u);
+    return striped.fct_ms().mean();
+  };
+  const double one = run(1);
+  const double two = run(2);
+  EXPECT_LT(two, 0.65 * one);
+}
+
+TEST(Striping, SubflowCountCappedByPathCount) {
+  const topo::Graph g = two_path_graph();
+  NetworkConfig cfg;
+  cfg.mode = RoutingMode::kSourceRouted;
+  Simulator sim;
+  Network net(g, cfg);
+  StripedFlowDriver striped(net, TcpConfig{});
+  striped.add_flow(sim, 0, 2, 100'000, 0, {{0, 1, 3}}, 8);
+  sim.run_until(units::kSecond);
+  EXPECT_EQ(striped.completed_flows(), 1u);
+}
+
+TEST(Striping, IncompleteGroupNotCountedInFct) {
+  // One subflow pinned through a link that goes down mid-run: the striped
+  // flow must not appear in the FCT summary until every subflow finishes.
+  const topo::Graph g = two_path_graph();
+  NetworkConfig cfg;
+  cfg.mode = RoutingMode::kSourceRouted;
+  Simulator sim;
+  Network net(g, cfg);
+  StripedFlowDriver striped(net, TcpConfig{});
+  striped.add_flow(sim, 0, 2, 2'000'000, 0, {{0, 1, 3}, {0, 2, 3}}, 2);
+  // Kill the 0-1 branch immediately and never reconverge: the subflow on
+  // it can never finish.
+  net.take_link_down(0);
+  sim.run_until(5 * units::kSecond);
+  EXPECT_EQ(striped.completed_flows(), 0u);
+  EXPECT_EQ(striped.fct_ms().count(), 0u);
+  EXPECT_EQ(striped.num_flows(), 1u);
+}
+
+TEST(Striping, TinyFlowsStillSplitToAtLeastOneByte) {
+  const topo::Graph g = two_path_graph();
+  NetworkConfig cfg;
+  cfg.mode = RoutingMode::kSourceRouted;
+  Simulator sim;
+  Network net(g, cfg);
+  StripedFlowDriver striped(net, TcpConfig{});
+  // 3 bytes over 2 subflows: split 1 + 2, both valid TCP flows.
+  striped.add_flow(sim, 0, 2, 3, 0, {{0, 1, 3}, {0, 2, 3}}, 2);
+  sim.run_until(units::kSecond);
+  EXPECT_EQ(striped.completed_flows(), 1u);
+}
+
+TEST(Striping, RequiresSourceRoutedMode) {
+  const topo::Graph g = two_path_graph();
+  NetworkConfig cfg;  // default kEcmp
+  Simulator sim;
+  Network net(g, cfg);
+  EXPECT_THROW(StripedFlowDriver(net, TcpConfig{}), Error);
+}
+
+TEST(Flowlets, IdleGapRebalancesAndStillDelivers) {
+  // With flowlet switching on, everything must still arrive (reordering
+  // within TCP is handled by the sink) and loops must not appear.
+  const topo::Graph g = topo::make_leaf_spine(4, 4);
+  NetworkConfig cfg;
+  cfg.flowlet_gap = 50 * units::kMicrosecond;
+  Simulator sim;
+  Network net(g, cfg);
+  FlowDriver driver(net, TcpConfig{});
+  for (int i = 0; i < 8; ++i)
+    driver.add_flow(sim, i % 4, g.first_host_of(1) + i % 4, 1'000'000,
+                    i * 200 * units::kMicrosecond);
+  sim.run_until(60 * units::kSecond);
+  EXPECT_EQ(driver.completed_flows(), 8u);
+  EXPECT_EQ(net.stats().ttl_drops, 0);
+}
+
+TEST(Flowlets, DeterministicForSameConfig) {
+  auto run_once = [] {
+    const topo::Graph g = topo::make_dring(5, 2, 2).graph;
+    NetworkConfig cfg;
+    cfg.mode = RoutingMode::kShortestUnion;
+    cfg.flowlet_gap = 100 * units::kMicrosecond;
+    Simulator sim;
+    Network net(g, cfg);
+    FlowDriver driver(net, TcpConfig{});
+    for (int i = 0; i < 6; ++i)
+      driver.add_flow(sim, i, (i + 9) % g.total_servers(), 400'000, 0);
+    sim.run_until(10 * units::kSecond);
+    std::vector<Time> fcts;
+    for (std::size_t i = 0; i < driver.num_flows(); ++i)
+      fcts.push_back(driver.flow(i).record().fct());
+    return fcts;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(HostRate, SlowerNicCapsSingleFlowThroughput) {
+  topo::Graph g(2);
+  g.add_link(0, 1);
+  g.set_servers(0, 1);
+  g.set_servers(1, 1);
+  NetworkConfig cfg;
+  cfg.link_rate_bps = units::gbps(40);  // fast fabric
+  cfg.host_rate_bps = units::gbps(10);  // 10G NICs
+  Simulator sim;
+  Network net(g, cfg);
+  FlowDriver driver(net, TcpConfig{});
+  const std::int64_t bytes = 10'000'000;
+  driver.add_flow(sim, 0, 1, bytes, 0);
+  sim.run_until(60 * units::kSecond);
+  ASSERT_EQ(driver.completed_flows(), 1u);
+  const double goodput =
+      static_cast<double>(bytes) * 8 /
+      units::to_seconds(driver.flow(0).record().fct());
+  EXPECT_LT(goodput, 10e9);
+  EXPECT_GT(goodput, 7e9);
+}
+
+TEST(HostRate, FastFabricRemovesTransitBottleneck) {
+  // 4 hosts on ToR 0 send through one inter-ToR cable. At 10G fabric the
+  // cable is a 4x bottleneck; at 40G it is not.
+  auto run = [](std::int64_t fabric_bps) {
+    topo::Graph g(2);
+    g.add_link(0, 1);
+    g.set_servers(0, 4);
+    g.set_servers(1, 4);
+    NetworkConfig cfg;
+    cfg.link_rate_bps = fabric_bps;
+    cfg.host_rate_bps = units::gbps(10);
+    Simulator sim;
+    Network net(g, cfg);
+    FlowDriver driver(net, TcpConfig{});
+    for (int i = 0; i < 4; ++i)
+      driver.add_flow(sim, i, 4 + i, 2'000'000, 0);
+    sim.run_until(60 * units::kSecond);
+    EXPECT_EQ(driver.completed_flows(), 4u);
+    Time last = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+      last = std::max(last, driver.flow(i).record().finish);
+    return last;
+  };
+  EXPECT_LT(run(units::gbps(40)), run(units::gbps(10)) / 2);
+}
+
+}  // namespace
+}  // namespace spineless::sim

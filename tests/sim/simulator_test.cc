@@ -1,0 +1,97 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spineless::sim {
+namespace {
+
+// Records (time, ctx) of every delivery.
+class Recorder : public EventSink {
+ public:
+  void on_event(Simulator& sim, std::uint64_t ctx) override {
+    log.emplace_back(sim.now(), ctx);
+  }
+  std::vector<std::pair<Time, std::uint64_t>> log;
+};
+
+TEST(Simulator, DeliversInTimeOrder) {
+  Simulator sim;
+  Recorder r;
+  sim.schedule_at(30, &r, 3);
+  sim.schedule_at(10, &r, 1);
+  sim.schedule_at(20, &r, 2);
+  sim.run();
+  ASSERT_EQ(r.log.size(), 3u);
+  EXPECT_EQ(r.log[0], (std::pair<Time, std::uint64_t>{10, 1}));
+  EXPECT_EQ(r.log[1], (std::pair<Time, std::uint64_t>{20, 2}));
+  EXPECT_EQ(r.log[2], (std::pair<Time, std::uint64_t>{30, 3}));
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  Recorder r;
+  for (std::uint64_t i = 0; i < 10; ++i) sim.schedule_at(5, &r, i);
+  sim.run();
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(r.log[i].second, i);
+}
+
+TEST(Simulator, ClockAdvancesMonotonically) {
+  Simulator sim;
+  Recorder r;
+  sim.schedule_at(100, &r, 0);
+  EXPECT_EQ(sim.now(), 0);
+  sim.run();
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  // An event that schedules a follow-up relative to its own firing time.
+  class Chained : public EventSink {
+   public:
+    void on_event(Simulator& sim, std::uint64_t ctx) override {
+      fired.push_back(sim.now());
+      if (ctx > 0) sim.schedule_after(50, this, ctx - 1);
+    }
+    std::vector<Time> fired;
+  } chain;
+  sim.schedule_at(10, &chain, 2);
+  sim.run();
+  ASSERT_EQ(chain.fired.size(), 3u);
+  EXPECT_EQ(chain.fired[1], 60);
+  EXPECT_EQ(chain.fired[2], 110);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  Recorder r;
+  sim.schedule_at(10, &r, 0);
+  sim.schedule_at(100, &r, 1);
+  EXPECT_TRUE(sim.run_until(50));
+  EXPECT_EQ(r.log.size(), 1u);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_FALSE(sim.run_until(200));
+  EXPECT_EQ(r.log.size(), 2u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, EventsProcessedCounter) {
+  Simulator sim;
+  Recorder r;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, &r, 0);
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, EventAtDeadlineIsDelivered) {
+  Simulator sim;
+  Recorder r;
+  sim.schedule_at(50, &r, 0);
+  sim.run_until(50);
+  EXPECT_EQ(r.log.size(), 1u);
+}
+
+}  // namespace
+}  // namespace spineless::sim

@@ -1,0 +1,152 @@
+#include "sim/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+
+namespace spineless::sim {
+namespace {
+
+// Two hosts on directly linked ToRs — the minimal end-to-end network.
+struct TwoHostFixture {
+  TwoHostFixture(NetworkConfig net_cfg = {})
+      : graph(make_graph()), net(graph, net_cfg), driver(net, TcpConfig{}) {}
+
+  static topo::Graph make_graph() {
+    topo::Graph g(2);
+    g.add_link(0, 1);
+    g.set_servers(0, 2);
+    g.set_servers(1, 2);
+    return g;
+  }
+
+  topo::Graph graph;
+  Simulator sim;
+  Network net;
+  FlowDriver driver;
+};
+
+TEST(Tcp, SingleFlowCompletesAndDeliversAllBytes) {
+  TwoHostFixture f;
+  f.driver.add_flow(f.sim, /*src=*/0, /*dst=*/2, /*bytes=*/100'000,
+                    /*start=*/0);
+  f.sim.run_until(units::kSecond);
+  ASSERT_EQ(f.driver.completed_flows(), 1u);
+  const auto& rec = f.driver.flow(0).record();
+  EXPECT_GT(rec.fct(), 0);
+  EXPECT_EQ(f.net.stats().queue_drops, 0);
+}
+
+TEST(Tcp, FctScalesWithFlowSize) {
+  TwoHostFixture f;
+  f.driver.add_flow(f.sim, 0, 2, 10'000, 0);
+  f.driver.add_flow(f.sim, 1, 3, 10'000'000, 0);
+  f.sim.run_until(100 * units::kSecond);
+  ASSERT_EQ(f.driver.completed_flows(), 2u);
+  EXPECT_LT(f.driver.flow(0).record().fct(),
+            f.driver.flow(1).record().fct());
+}
+
+TEST(Tcp, LongFlowApproachesLineRate) {
+  TwoHostFixture f;
+  const std::int64_t bytes = 20'000'000;  // 20 MB
+  f.driver.add_flow(f.sim, 0, 2, bytes, 0);
+  f.sim.run_until(60 * units::kSecond);
+  ASSERT_EQ(f.driver.completed_flows(), 1u);
+  const double fct_s = units::to_seconds(f.driver.flow(0).record().fct());
+  const double goodput = static_cast<double>(bytes) * 8 / fct_s;
+  // Within 25% of the 10G line rate (header overhead + slow start).
+  EXPECT_GT(goodput, 7.5e9);
+  EXPECT_LT(goodput, 10e9);
+}
+
+TEST(Tcp, TinyFlowCompletesInFewRtts) {
+  TwoHostFixture f;
+  f.driver.add_flow(f.sim, 0, 2, 1460, 0);  // single segment
+  f.sim.run_until(units::kSecond);
+  ASSERT_EQ(f.driver.completed_flows(), 1u);
+  // Base RTT here is ~2 * (2 links * (1.2us + 1us)) ~ 9 us; one segment
+  // should finish well under 100 us.
+  EXPECT_LT(f.driver.flow(0).record().fct(), 100 * units::kMicrosecond);
+}
+
+TEST(Tcp, TwoCompetingFlowsShareFairly) {
+  // Both flows cross the single inter-ToR link.
+  TwoHostFixture f;
+  const std::int64_t bytes = 5'000'000;
+  f.driver.add_flow(f.sim, 0, 2, bytes, 0);
+  f.driver.add_flow(f.sim, 1, 3, bytes, 0);
+  f.sim.run_until(60 * units::kSecond);
+  ASSERT_EQ(f.driver.completed_flows(), 2u);
+  const double a = units::to_seconds(f.driver.flow(0).record().fct());
+  const double b = units::to_seconds(f.driver.flow(1).record().fct());
+  EXPECT_LT(std::max(a, b) / std::min(a, b), 1.6);  // rough fairness
+  // Together they can't beat the shared 10G bottleneck.
+  const double sum_goodput = static_cast<double>(bytes) * 8 *
+                             (1 / a + 1 / b);
+  EXPECT_LT(sum_goodput, 10.5e9);
+}
+
+TEST(Tcp, RecoversFromCongestionDrops) {
+  // A tiny queue forces drops during slow start; TCP must still complete.
+  NetworkConfig cfg;
+  cfg.queue_bytes = 8 * kDataPacketBytes;
+  TwoHostFixture f(cfg);
+  f.driver.add_flow(f.sim, 0, 2, 2'000'000, 0);
+  f.driver.add_flow(f.sim, 1, 3, 2'000'000, 0);
+  f.sim.run_until(60 * units::kSecond);
+  EXPECT_EQ(f.driver.completed_flows(), 2u);
+  EXPECT_GT(f.net.stats().queue_drops, 0);
+  EXPECT_GT(f.driver.total_retransmits(), 0);
+}
+
+TEST(Tcp, StartTimeHonored) {
+  TwoHostFixture f;
+  const Time start = 5 * units::kMillisecond;
+  f.driver.add_flow(f.sim, 0, 2, 10'000, start);
+  f.sim.run_until(units::kSecond);
+  const auto& rec = f.driver.flow(0).record();
+  EXPECT_EQ(rec.start, start);
+  EXPECT_GT(rec.finish, start);
+}
+
+TEST(Tcp, RejectsInvalidFlows) {
+  TwoHostFixture f;
+  EXPECT_THROW(f.driver.add_flow(f.sim, 0, 0, 100, 0), Error);
+  EXPECT_THROW(f.driver.add_flow(f.sim, 0, 2, 0, 0), Error);
+}
+
+TEST(Tcp, FctSummaryInMilliseconds) {
+  TwoHostFixture f;
+  f.driver.add_flow(f.sim, 0, 2, 100'000, 0);
+  f.sim.run_until(units::kSecond);
+  const auto s = f.driver.fct_ms();
+  ASSERT_EQ(s.count(), 1u);
+  EXPECT_NEAR(s.mean(), units::to_millis(f.driver.flow(0).record().fct()),
+              1e-12);
+}
+
+TEST(Tcp, ManyParallelSmallFlowsAllComplete) {
+  TwoHostFixture f;
+  for (int i = 0; i < 40; ++i) {
+    f.driver.add_flow(f.sim, i % 2, 2 + i % 2, 20'000,
+                      i * 100 * units::kMicrosecond);
+  }
+  f.sim.run_until(10 * units::kSecond);
+  EXPECT_EQ(f.driver.completed_flows(), 40u);
+}
+
+TEST(Tcp, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    TwoHostFixture f;
+    f.driver.add_flow(f.sim, 0, 2, 1'000'000, 0);
+    f.driver.add_flow(f.sim, 1, 3, 500'000, 100 * units::kMicrosecond);
+    f.sim.run_until(10 * units::kSecond);
+    return std::pair(f.driver.flow(0).record().fct(),
+                     f.driver.flow(1).record().fct());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace spineless::sim

@@ -1,0 +1,68 @@
+#include "topo/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+
+namespace spineless::topo {
+namespace {
+
+TEST(CostReport, ClassifiesCablesByReach) {
+  // Three racks in a row, 1 m apart: link 0-1 is DAC, a long link to a
+  // far rack is AOC.
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.set_servers(0, 1);
+  LayoutConfig layout;
+  layout.racks_per_row = 100;
+  layout.rack_pitch_m = 1.0;
+  layout.slack_m = 2.0;
+  CostModel model;
+  model.dac_reach_m = 4.0;  // 0-1: 3 m -> DAC; 0-2: 4 m -> DAC edge
+  auto pos = row_major_layout(g, layout);
+  const auto r = cost_report(g, pos, layout, model);
+  EXPECT_EQ(r.cables, 2);
+  EXPECT_EQ(r.dac, 2);
+  EXPECT_EQ(r.aoc + r.optics, 0);
+
+  model.dac_reach_m = 3.5;  // now 0-2 (4 m) becomes AOC
+  const auto r2 = cost_report(g, pos, layout, model);
+  EXPECT_EQ(r2.dac, 1);
+  EXPECT_EQ(r2.aoc, 1);
+  EXPECT_GT(r2.cable_usd, r.cable_usd);
+  EXPECT_GT(r2.power_w, r.power_w);  // optics burn watts
+}
+
+TEST(CostReport, SwitchCostCountsPorts) {
+  const Graph g = make_leaf_spine(4, 2);
+  LayoutConfig layout;
+  const auto r = cost_report(g, row_major_layout(g, layout), layout,
+                             CostModel{});
+  // 8 switches; ports used = leaves (2 net + 4 srv) x 6 + spines 6 x 2.
+  const int ports = 6 * 6 + 6 * 2;
+  const CostModel m;
+  EXPECT_DOUBLE_EQ(r.switch_usd,
+                   8 * m.switch_base_usd + ports * m.per_port_usd);
+  EXPECT_EQ(r.cables, g.num_links());
+  EXPECT_GT(r.usd_per_server, 0.0);
+}
+
+TEST(CostReport, EqualEquipmentScenarioSwitchCostsMatch) {
+  // The §3.1 premise in dollars: leaf-spine and its flat rewiring price
+  // identically on switches (same boxes, same ports in use up to the
+  // parity adjustment).
+  const Graph ls = make_leaf_spine(12, 4);
+  const Graph flat = flatten_leaf_spine(12, 4, 1);
+  LayoutConfig layout;
+  const CostModel m;
+  const auto a = cost_report(ls, row_major_layout(ls, layout), layout, m);
+  const auto b =
+      cost_report(flat, row_major_layout(flat, layout), layout, m);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_NEAR(a.switch_usd, b.switch_usd, 2 * m.per_port_usd);
+  EXPECT_EQ(a.cables, b.cables);  // same port budget -> same cable count
+}
+
+}  // namespace
+}  // namespace spineless::topo

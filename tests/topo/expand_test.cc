@@ -1,0 +1,162 @@
+#include "topo/expand.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/analysis.h"
+
+namespace spineless::topo {
+namespace {
+
+TEST(MetadataBuilder, MatchesDirectBuilderForIdentityOrder) {
+  const DRing d = make_dring(7, 3, 2);
+  std::vector<int> servers;
+  for (NodeId t = 0; t < d.graph.num_switches(); ++t)
+    servers.push_back(d.graph.servers(t));
+  const Graph rebuilt = dring_graph_from_metadata(
+      d.supernode_of, d.ring_order, 0, servers);
+  ASSERT_EQ(rebuilt.num_links(), d.graph.num_links());
+  for (NodeId a = 0; a < d.graph.num_switches(); ++a)
+    for (NodeId b = a + 1; b < d.graph.num_switches(); ++b)
+      EXPECT_EQ(rebuilt.adjacent(a, b), d.graph.adjacent(a, b));
+}
+
+TEST(MetadataBuilder, RejectsBadRingOrder) {
+  EXPECT_THROW(dring_graph_from_metadata({0, 1, 2}, {0, 1, 1}, 0, {1, 1, 1}),
+               Error);
+  EXPECT_THROW(dring_graph_from_metadata({0, 1}, {0, 1}, 0, {1, 1}), Error);
+}
+
+TEST(ExpandDRing, PreservesExistingIdsAndServers) {
+  const DRing base = make_dring(6, 2, 4);
+  const auto exp = expand_dring(base, /*new_tors=*/2, /*servers=*/4,
+                                /*after_position=*/2);
+  const DRing& d = exp.dring;
+  EXPECT_EQ(d.supernodes, 7);
+  EXPECT_EQ(d.graph.num_switches(), base.graph.num_switches() + 2);
+  for (NodeId t = 0; t < base.graph.num_switches(); ++t) {
+    EXPECT_EQ(d.supernode_of[static_cast<std::size_t>(t)],
+              base.supernode_of[static_cast<std::size_t>(t)]);
+    EXPECT_EQ(d.graph.servers(t), base.graph.servers(t));
+  }
+  EXPECT_EQ(d.graph.total_servers(), base.graph.total_servers() + 8);
+}
+
+TEST(ExpandDRing, OnlyInsertionPointChordsRemoved) {
+  // Inserting S between ring positions p and p+1 removes exactly the two
+  // +2 chords spanning the gap: (p-1, p+1) and (p, p+2) — n*n cables each.
+  const int n = 3;
+  const DRing base = make_dring(8, n, 2);
+  const auto exp = expand_dring(base, n, 2, /*after_position=*/4);
+  EXPECT_EQ(exp.stats.links_removed, 2 * n * n);
+  // The new supernode wires to 4 neighbors on each side: 4 * n * n.
+  EXPECT_EQ(exp.stats.links_added, 4 * n * n);
+  EXPECT_EQ(exp.stats.links_kept,
+            base.graph.num_links() - exp.stats.links_removed);
+}
+
+TEST(ExpandDRing, ResultIsAValidDRing) {
+  const DRing base = make_dring(6, 2, 3);
+  const auto exp = expand_dring(base, 2, 3, 0);
+  const Graph& g = exp.dring.graph;
+  EXPECT_TRUE(g.connected());
+  // Every switch's degree matches a fresh DRing of the same shape.
+  const DRing fresh = make_dring(7, 2, 3);
+  EXPECT_EQ(g.num_links(), fresh.graph.num_links());
+  for (NodeId t = 0; t < g.num_switches(); ++t)
+    EXPECT_EQ(g.network_degree(t), 8);
+}
+
+TEST(ExpandDRing, RepeatedExpansionGrowsRing) {
+  DRing d = make_dring(5, 2, 1);
+  for (int step = 0; step < 5; ++step) {
+    const auto exp = expand_dring(d, 2, 1, step % d.supernodes);
+    d = exp.dring;
+  }
+  EXPECT_EQ(d.supernodes, 10);
+  EXPECT_EQ(d.graph.num_switches(), 20);
+  EXPECT_TRUE(d.graph.connected());
+  // Structure equivalent to a fresh 10-supernode DRing.
+  EXPECT_EQ(d.graph.num_links(), make_dring(10, 2, 1).graph.num_links());
+}
+
+TEST(ExpandDRing, KeptFractionApproachesOneForLargeRings) {
+  // §3.2's expandability: the disruption is O(n^2) while the network is
+  // O(m n^2) — the untouched fraction grows with m.
+  const DRing small = make_dring(6, 2, 1);
+  const DRing large = make_dring(16, 2, 1);
+  const auto exp_small = expand_dring(small, 2, 1, 0);
+  const auto exp_large = expand_dring(large, 2, 1, 0);
+  const auto kept_fraction = [](const ExpansionStats& s, int before) {
+    return static_cast<double>(s.links_kept) / before;
+  };
+  EXPECT_GT(kept_fraction(exp_large.stats, large.graph.num_links()),
+            kept_fraction(exp_small.stats, small.graph.num_links()));
+  EXPECT_GT(kept_fraction(exp_large.stats, large.graph.num_links()), 0.85);
+}
+
+TEST(ExpandRandom, JellyfishGrowthInvariants) {
+  const Graph base = make_rrg(20, 6, 4, 7);
+  const auto exp = expand_random(base, 6, 4, 11);
+  const Graph& g = exp.graph;
+  EXPECT_EQ(g.num_switches(), 21);
+  EXPECT_EQ(g.network_degree(20), 6);
+  // Every split removes one link and adds two.
+  EXPECT_EQ(exp.stats.links_removed, 3);
+  EXPECT_EQ(exp.stats.links_added, 6);
+  EXPECT_EQ(exp.stats.links_kept, base.num_links() - 3);
+  // Degrees of existing switches unchanged; graph stays simple+connected.
+  for (NodeId n = 0; n < 20; ++n)
+    EXPECT_EQ(g.network_degree(n), base.network_degree(n));
+  EXPECT_TRUE(g.connected());
+  std::set<NodeId> nbrs;
+  for (const Port& p : g.neighbors(20))
+    EXPECT_TRUE(nbrs.insert(p.neighbor).second);
+}
+
+TEST(ExpandRandom, PreservesServersAndIds) {
+  const Graph base = make_rrg(12, 4, 3, 2);
+  const auto exp = expand_random(base, 4, 5, 3);
+  for (NodeId n = 0; n < 12; ++n)
+    EXPECT_EQ(exp.graph.servers(n), base.servers(n));
+  EXPECT_EQ(exp.graph.servers(12), 5);
+  EXPECT_EQ(exp.graph.total_servers(), base.total_servers() + 5);
+}
+
+TEST(ExpandRandom, DeterministicPerSeed) {
+  const Graph base = make_rrg(12, 4, 1, 2);
+  const auto a = expand_random(base, 4, 1, 9);
+  const auto b = expand_random(base, 4, 1, 9);
+  ASSERT_EQ(a.graph.num_links(), b.graph.num_links());
+  for (LinkId l = 0; l < a.graph.num_links(); ++l) {
+    EXPECT_EQ(a.graph.link(l).a, b.graph.link(l).a);
+    EXPECT_EQ(a.graph.link(l).b, b.graph.link(l).b);
+  }
+}
+
+TEST(ExpandRandom, RepeatedGrowthKeepsRegularityOfOldSwitches) {
+  Graph g = make_rrg(10, 4, 1, 1);
+  for (int step = 0; step < 6; ++step)
+    g = expand_random(g, 4, 1, static_cast<std::uint64_t>(step)).graph;
+  EXPECT_EQ(g.num_switches(), 16);
+  EXPECT_TRUE(g.connected());
+  for (NodeId n = 0; n < g.num_switches(); ++n)
+    EXPECT_EQ(g.network_degree(n), 4);
+}
+
+TEST(ExpandRandom, RejectsOddOrTinyDegree) {
+  const Graph base = make_rrg(8, 4, 1, 1);
+  EXPECT_THROW(expand_random(base, 3, 1, 1), Error);
+  EXPECT_THROW(expand_random(base, 0, 1, 1), Error);
+}
+
+TEST(ExpandDRing, InvalidArgumentsRejected) {
+  const DRing base = make_dring(5, 2, 1);
+  EXPECT_THROW(expand_dring(base, 0, 1, 0), Error);
+  EXPECT_THROW(expand_dring(base, 2, 1, 5), Error);
+  EXPECT_THROW(expand_dring(base, 2, 1, -1), Error);
+}
+
+}  // namespace
+}  // namespace spineless::topo

@@ -1,0 +1,83 @@
+#include "topo/wiring.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+
+namespace spineless::topo {
+namespace {
+
+TEST(Layout, RowMajorPositions) {
+  Graph g(5);
+  LayoutConfig cfg;
+  cfg.racks_per_row = 3;
+  cfg.rack_pitch_m = 1.0;
+  cfg.row_pitch_m = 10.0;
+  const auto pos = row_major_layout(g, cfg);
+  ASSERT_EQ(pos.size(), 5u);
+  EXPECT_DOUBLE_EQ(pos[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(pos[2].x, 2.0);
+  EXPECT_DOUBLE_EQ(pos[3].x, 0.0);
+  EXPECT_DOUBLE_EQ(pos[3].y, 10.0);
+  EXPECT_DOUBLE_EQ(pos[4].y, 10.0);
+}
+
+TEST(Layout, CableLengthManhattanPlusSlack) {
+  LayoutConfig cfg;
+  cfg.slack_m = 2.0;
+  EXPECT_DOUBLE_EQ(
+      cable_length_m(RackPosition{0, 0}, RackPosition{3, 4}, cfg), 9.0);
+  EXPECT_DOUBLE_EQ(
+      cable_length_m(RackPosition{1, 1}, RackPosition{1, 1}, cfg), 2.0);
+}
+
+TEST(WiringReport, CountsCablesAndBundles) {
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(0, 1);  // second cable in the same bundle
+  g.add_link(1, 2);
+  LayoutConfig cfg;
+  const auto pos = row_major_layout(g, cfg);
+  const auto rep = wiring_report(g, pos, cfg);
+  EXPECT_EQ(rep.cables, 3);
+  EXPECT_EQ(rep.bundles, 2);
+  EXPECT_GT(rep.total_m, 0.0);
+  EXPECT_GE(rep.max_m, rep.mean_m);
+  EXPECT_EQ(rep.lengths.count(), 3u);
+}
+
+TEST(WiringReport, LocalFractionBounds) {
+  const Graph g = topo::make_dring(8, 2, 1).graph;
+  LayoutConfig cfg;
+  const auto pos = row_major_layout(g, cfg);
+  const auto rep = wiring_report(g, pos, cfg);
+  EXPECT_GE(rep.local_fraction, 0.0);
+  EXPECT_LE(rep.local_fraction, 1.0);
+}
+
+TEST(WiringReport, DRingCablesMoreLocalThanRrg) {
+  // The operational claim: DRing ToRs only talk to neighboring supernodes,
+  // so with supernodes laid out contiguously its cable-length distribution
+  // is tighter than an equal-degree random graph's.
+  const int racks = 32;
+  const DRing dring = make_dring(8, 4, 1);
+  const Graph rrg = make_rrg(racks, 16, 1, 3);
+  LayoutConfig cfg;
+  cfg.racks_per_row = 8;
+  const auto d_rep =
+      wiring_report(dring.graph, row_major_layout(dring.graph, cfg), cfg);
+  const auto r_rep = wiring_report(rrg, row_major_layout(rrg, cfg), cfg);
+  EXPECT_EQ(d_rep.cables, r_rep.cables);  // same equipment
+  EXPECT_LT(d_rep.mean_m, r_rep.mean_m);
+  EXPECT_LT(d_rep.lengths.p99(), r_rep.lengths.p99());
+}
+
+TEST(WiringReport, PositionSizeMismatchRejected) {
+  Graph g(3);
+  g.add_link(0, 1);
+  LayoutConfig cfg;
+  EXPECT_THROW(wiring_report(g, {RackPosition{}}, cfg), Error);
+}
+
+}  // namespace
+}  // namespace spineless::topo

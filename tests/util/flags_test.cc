@@ -1,0 +1,64 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace spineless {
+namespace {
+
+Flags make_flags(std::vector<std::string> args) {
+  std::vector<char*> argv{const_cast<char*>("prog")};
+  for (auto& a : args) argv.push_back(a.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesKeyValuePairs) {
+  auto f = make_flags({"--alpha=1", "--name=dring"});
+  EXPECT_TRUE(f.has("alpha"));
+  EXPECT_EQ(f.get_int("alpha", 0), 1);
+  EXPECT_EQ(f.get("name", ""), "dring");
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  auto f = make_flags({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  auto f = make_flags({});
+  EXPECT_FALSE(f.has("missing"));
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(f.get("missing", "dflt"), "dflt");
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(Flags, NonFlagArgumentsIgnored) {
+  auto f = make_flags({"positional", "-x", "--real=3.5"});
+  EXPECT_FALSE(f.has("positional"));
+  EXPECT_FALSE(f.has("x"));
+  EXPECT_DOUBLE_EQ(f.get_double("real", 0), 3.5);
+}
+
+TEST(Flags, PaperScaleViaFlag) {
+  EXPECT_TRUE(make_flags({"--scale=paper"}).paper_scale());
+  EXPECT_FALSE(make_flags({"--scale=small"}).paper_scale());
+}
+
+TEST(Flags, PaperScaleViaEnv) {
+  ::setenv("SPINELESS_PAPER_SCALE", "1", 1);
+  EXPECT_TRUE(make_flags({}).paper_scale());
+  ::setenv("SPINELESS_PAPER_SCALE", "0", 1);
+  EXPECT_FALSE(make_flags({}).paper_scale());
+  ::unsetenv("SPINELESS_PAPER_SCALE");
+}
+
+TEST(Flags, BoolSpellings) {
+  EXPECT_TRUE(make_flags({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(make_flags({"--a=1"}).get_bool("a", false));
+  EXPECT_FALSE(make_flags({"--a=no"}).get_bool("a", true));
+}
+
+}  // namespace
+}  // namespace spineless

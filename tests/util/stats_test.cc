@@ -1,0 +1,121 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace spineless {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(12.5), 15.0);  // halfway between ranks 0, 1
+}
+
+TEST(Summary, PercentileAfterUnsortedInsertions) {
+  Summary s;
+  for (double v : {5.0, 1.0, 4.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(0.0);  // re-dirty after a percentile query
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), Error);
+  EXPECT_THROW(s.percentile(50), Error);
+}
+
+TEST(Summary, P99OnLargeUniformSample) {
+  Summary s;
+  for (int i = 0; i < 1000; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.p99(), 989.0, 1.0);
+}
+
+TEST(Summary, StddevKnownValue) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(Summary, AddAllMatchesAdd) {
+  Summary a, b;
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  a.add_all(xs);
+  for (double x : xs) b.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+}
+
+TEST(Summary, BriefMentionsCount) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_NE(s.brief().find("n=1"), std::string::npos);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 5.0);
+}
+
+TEST(Histogram, WeightedSamples) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5, 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 2.5);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 2.5);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const auto art = h.ascii();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace spineless

@@ -1,0 +1,106 @@
+#include "workload/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "topo/builders.h"
+#include "util/error.h"
+
+namespace spineless::workload {
+namespace {
+
+std::vector<FlowSpec> sample_flows() {
+  const Graph g = topo::make_dring(5, 2, 4).graph;
+  TmSampler sampler(g, RackTm::uniform(g));
+  Rng rng(3);
+  FlowGenConfig cfg;
+  cfg.offered_load_bps = 2e9;
+  cfg.window = 5 * units::kMillisecond;
+  return generate_flows(sampler, cfg, rng);
+}
+
+TEST(FlowIo, CsvRoundTripsExactly) {
+  const auto flows = sample_flows();
+  const auto parsed = flows_from_csv(flows_to_csv(flows));
+  ASSERT_EQ(parsed.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(parsed[i].src, flows[i].src);
+    EXPECT_EQ(parsed[i].dst, flows[i].dst);
+    EXPECT_EQ(parsed[i].bytes, flows[i].bytes);
+    EXPECT_EQ(parsed[i].start, flows[i].start);
+  }
+}
+
+TEST(FlowIo, FileRoundTrip) {
+  const auto flows = sample_flows();
+  const std::string path = ::testing::TempDir() + "/flows_io_test.csv";
+  write_flows_csv(path, flows);
+  const auto parsed = read_flows_csv(path);
+  EXPECT_EQ(parsed.size(), flows.size());
+  std::remove(path.c_str());
+}
+
+TEST(FlowIo, RejectsBadHeader) {
+  EXPECT_THROW(flows_from_csv("nope\n1,2,3,4\n"), Error);
+}
+
+TEST(FlowIo, RejectsMalformedLine) {
+  EXPECT_THROW(flows_from_csv("src,dst,bytes,start_ps\n1,2,3\n"), Error);
+  EXPECT_THROW(flows_from_csv("src,dst,bytes,start_ps\n1;2;3;4\n"), Error);
+}
+
+TEST(FlowIo, RejectsInvalidFlows) {
+  // Zero bytes, negative start, self-flow.
+  EXPECT_THROW(flows_from_csv("src,dst,bytes,start_ps\n1,2,0,5\n"), Error);
+  EXPECT_THROW(flows_from_csv("src,dst,bytes,start_ps\n1,2,9,-1\n"), Error);
+  EXPECT_THROW(flows_from_csv("src,dst,bytes,start_ps\n3,3,9,5\n"), Error);
+}
+
+TEST(FlowIo, EmptyFlowListIsJustHeader) {
+  EXPECT_EQ(flows_to_csv({}), "src,dst,bytes,start_ps\n");
+  EXPECT_TRUE(flows_from_csv("src,dst,bytes,start_ps\n").empty());
+}
+
+TEST(PermutationTm, IsADerangementWithServerWeights) {
+  const Graph g = topo::make_dring(6, 2, 4).graph;
+  const RackTm tm = RackTm::permutation(g, 5);
+  int senders = 0;
+  for (topo::NodeId a = 0; a < g.num_switches(); ++a) {
+    int dests = 0;
+    for (topo::NodeId b = 0; b < g.num_switches(); ++b) {
+      if (tm.at(a, b) <= 0) continue;
+      ++dests;
+      EXPECT_NE(a, b);  // derangement: nobody sends to itself
+      EXPECT_DOUBLE_EQ(tm.at(a, b), 4.0);
+    }
+    EXPECT_LE(dests, 1);  // permutation: at most one destination
+    senders += dests;
+  }
+  EXPECT_EQ(senders, 12);  // every rack sends
+}
+
+TEST(PermutationTm, EveryRackAlsoReceivesOnce) {
+  const Graph g = topo::make_dring(6, 2, 4).graph;
+  const RackTm tm = RackTm::permutation(g, 7);
+  for (topo::NodeId b = 0; b < g.num_switches(); ++b) {
+    int sources = 0;
+    for (topo::NodeId a = 0; a < g.num_switches(); ++a)
+      sources += tm.at(a, b) > 0;
+    EXPECT_EQ(sources, 1);
+  }
+}
+
+TEST(PermutationTm, DifferentSeedsDifferentMappings) {
+  const Graph g = topo::make_dring(8, 2, 4).graph;
+  const RackTm a = RackTm::permutation(g, 1);
+  const RackTm b = RackTm::permutation(g, 2);
+  bool differ = false;
+  for (topo::NodeId i = 0; i < g.num_switches() && !differ; ++i)
+    for (topo::NodeId j = 0; j < g.num_switches() && !differ; ++j)
+      differ = (a.at(i, j) > 0) != (b.at(i, j) > 0);
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace spineless::workload
