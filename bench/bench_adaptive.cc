@@ -41,32 +41,48 @@ int run(int argc, char** argv) {
   tms.push_back(
       {"FB uniform", workload::RackTm::fb_like_uniform(g, s.seed)});
 
+  // The adaptive policy is a cheap structural decision; resolve it per TM
+  // up front so each (TM, scheme) cell is a plain fixed-mode experiment.
+  std::vector<sim::RoutingMode> chosen;
+  for (const auto& c : tms) chosen.push_back(core::choose_routing(g, c.tm));
+
+  core::Runner runner(bench::jobs_from(flags));
+  const auto results =
+      bench::sweep(runner, tms.size() * 3, [&](std::size_t idx) {
+        const auto& c = tms[idx / 3];
+        core::FctConfig cfg;
+        cfg.flowgen.window = 2 * units::kMillisecond;
+        cfg.flowgen.offered_load_bps =
+            base_load * workload::participating_fraction(g, c.tm);
+        cfg.seed = s.seed + 31;
+        switch (idx % 3) {
+          case 0: cfg.net.mode = sim::RoutingMode::kEcmp; break;
+          case 1: cfg.net.mode = sim::RoutingMode::kShortestUnion; break;
+          default: cfg.net.mode = chosen[idx / 3]; break;
+        }
+        return core::run_fct_experiment(g, c.tm, cfg);
+      });
+
+  bench::BenchJson json("adaptive", flags);
   Table t({"TM", "diversity", "concentration", "chosen", "ecmp p99 (ms)",
            "su2 p99 (ms)", "adaptive p99 (ms)"});
-  for (const auto& c : tms) {
-    core::FctConfig cfg;
-    cfg.flowgen.window = 2 * units::kMillisecond;
-    cfg.flowgen.offered_load_bps =
-        base_load * workload::participating_fraction(g, c.tm);
-    cfg.seed = s.seed + 31;
-
-    auto run_mode = [&](sim::RoutingMode mode) {
-      cfg.net.mode = mode;
-      return core::run_fct_experiment(g, c.tm, cfg);
-    };
-    const auto ecmp = run_mode(sim::RoutingMode::kEcmp);
-    const auto su2 = run_mode(sim::RoutingMode::kShortestUnion);
-    const auto chosen_mode = core::choose_routing(g, c.tm);
-    const auto adaptive = run_mode(chosen_mode);
-
+  for (std::size_t i = 0; i < tms.size(); ++i) {
+    const auto& c = tms[i];
+    const auto& ecmp = results[3 * i].value;
+    const auto& su2 = results[3 * i + 1].value;
+    const auto& adaptive = results[3 * i + 2].value;
     t.add_row({c.name, Table::fmt(core::weighted_path_diversity(g, c.tm), 1),
                Table::fmt(core::demand_concentration(g, c.tm), 2),
-               chosen_mode == sim::RoutingMode::kEcmp ? "ecmp" : "su2",
+               chosen[i] == sim::RoutingMode::kEcmp ? "ecmp" : "su2",
                Table::fmt(ecmp.p99_ms()), Table::fmt(su2.p99_ms()),
                Table::fmt(adaptive.p99_ms())});
     std::fprintf(stderr, "  %s done\n", c.name.c_str());
+    json.add_fct(c.name + " | ecmp", results[3 * i]);
+    json.add_fct(c.name + " | su2", results[3 * i + 1]);
+    json.add_fct(c.name + " | adaptive", results[3 * i + 2]);
   }
   std::printf("%s", t.to_string().c_str());
+  json.write();
   return 0;
 }
 

@@ -151,30 +151,76 @@ int run(int argc, char** argv) {
        workload::RackTm::rack_to_rack(g, 0, g.neighbors(0)[0].neighbor)});
   tms.push_back({"FB skewed", workload::RackTm::fb_like_skewed(g, s.seed)});
 
+  // Each TM's flow list is generated once and shared by all five schemes
+  // (the paired-comparison design); the (TM, scheme) grid then fans out
+  // over the runner. Every scheme builds its own Network, so cells share
+  // only immutable state.
+  std::vector<std::vector<workload::FlowSpec>> flows_by_tm;
   for (const auto& c : tms) {
     const double load =
         base_load * workload::participating_fraction(g, c.tm);
-    const auto flows = make_flows(g, c.tm, load, window, s.seed + 42);
+    flows_by_tm.push_back(make_flows(g, c.tm, load, window, s.seed + 42));
+  }
 
+  struct Scheme {
+    const char* name;
+    const char* hw;
+  };
+  const std::vector<Scheme> schemes = {
+      {"ECMP", "stock"},
+      {"Shortest-Union(2)", "stock (BGP+ECMP+VRF)"},
+      {"SU(2) + flowlets", "flowlet detection"},
+      {"KSP-8 + MPTCP", "MPTCP hosts + source routing"},
+      {"VLB", "source routing"},
+  };
+
+  core::Runner runner(bench::jobs_from(flags));
+  const auto results = bench::sweep(
+      runner, tms.size() * schemes.size(), [&](std::size_t idx) {
+        const std::size_t ti = idx / schemes.size();
+        const auto& flows = flows_by_tm[ti];
+        switch (idx % schemes.size()) {
+          case 0:
+            return run_hashed(g, flows, sim::RoutingMode::kEcmp, 0, window);
+          case 1:
+            return run_hashed(g, flows, sim::RoutingMode::kShortestUnion, 0,
+                              window);
+          case 2:
+            return run_hashed(g, flows, sim::RoutingMode::kShortestUnion,
+                              gap, window);
+          case 3:
+            return run_mptcp(g, flows, 8, window);
+          default:
+            return run_vlb(g, flows, window, s.seed + 7);
+        }
+      });
+
+  bench::BenchJson json("baselines", flags);
+  for (std::size_t ti = 0; ti < tms.size(); ++ti) {
+    const auto& c = tms[ti];
     Table t({"scheme", "hardware needed", "p50 (ms)", "p99 (ms)", "done"});
-    auto row = [&](const char* name, const char* hw, const RunResult& r) {
-      t.add_row({name, hw, Table::fmt(r.p50), Table::fmt(r.p99),
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      const auto& cell = results[ti * schemes.size() + si];
+      const RunResult& r = cell.value;
+      t.add_row({schemes[si].name, schemes[si].hw, Table::fmt(r.p50),
+                 Table::fmt(r.p99),
                  std::to_string(r.completed) + "/" +
                      std::to_string(r.flows)});
-      std::fprintf(stderr, "  [%s | %s] done\n", c.name.c_str(), name);
-    };
-    row("ECMP", "stock",
-        run_hashed(g, flows, sim::RoutingMode::kEcmp, 0, window));
-    row("Shortest-Union(2)", "stock (BGP+ECMP+VRF)",
-        run_hashed(g, flows, sim::RoutingMode::kShortestUnion, 0, window));
-    row("SU(2) + flowlets", "flowlet detection",
-        run_hashed(g, flows, sim::RoutingMode::kShortestUnion, gap, window));
-    row("KSP-8 + MPTCP", "MPTCP hosts + source routing",
-        run_mptcp(g, flows, 8, window));
-    row("VLB", "source routing",
-        run_vlb(g, flows, window, s.seed + 7));
+      std::fprintf(stderr, "  [%s | %s] done\n", c.name.c_str(),
+                   schemes[si].name);
+      bench::BenchJson::Cell jc;
+      jc.label = c.name + " | " + schemes[si].name;
+      jc.wall_s = cell.wall_s;
+      jc.has_fct = true;
+      jc.flows = r.flows;
+      jc.completed = r.completed;
+      jc.p50_ms = r.p50;
+      jc.p99_ms = r.p99;
+      json.add(std::move(jc));
+    }
     std::printf("%s\n%s\n", c.name.c_str(), t.to_string().c_str());
   }
+  json.write();
   return 0;
 }
 

@@ -5,13 +5,26 @@
 //    oversubscription, ~1/2 the port count) that finishes in seconds;
 //  * --scale=paper or SPINELESS_PAPER_SCALE=1 — the paper's §5.1
 //    configuration (leaf-spine(48,16), 3072 servers, 12-supernode DRing).
+//
+// Every bench also supports --jobs=N (default: SPINELESS_JOBS or hardware
+// concurrency): independent cells fan out over a core::Runner, and output
+// is byte-identical for every N because cells derive their randomness from
+// their index and results are collected in index order. Each bench writes
+// a machine-readable BENCH_<name>.json next to the working directory
+// (override the path with --json_out=...).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/fct_experiment.h"
+#include "core/runner.h"
 #include "core/scenario.h"
 #include "util/flags.h"
+#include "util/json.h"
 
 namespace spineless::bench {
 
@@ -34,15 +47,141 @@ inline core::Scenario scenario_from(const Flags& flags) {
   return s;
 }
 
+inline int jobs_from(const Flags& flags) {
+  const auto jobs = flags.get_int("jobs", core::default_jobs());
+  return jobs < 1 ? 1 : static_cast<int>(jobs);
+}
+
 inline void print_header(const char* title, const core::Scenario& s,
                          const Flags& flags) {
   std::printf("== %s ==\n", title);
   std::printf(
       "scenario: leaf-spine(x=%d, y=%d) | %d switches x %d ports | "
-      "%d servers | DRing m=%d | scale=%s\n\n",
+      "%d servers | DRing m=%d | scale=%s | jobs=%d\n\n",
       s.x, s.y, s.num_switches(), s.ports_per_switch(),
       s.leaf_spine_servers(), s.dring_supernodes,
-      flags.paper_scale() ? "paper" : "medium");
+      flags.paper_scale() ? "paper" : "medium", jobs_from(flags));
 }
+
+// A cell result plus the wall-clock seconds that cell took on its worker.
+template <typename R>
+struct Timed {
+  R value{};
+  double wall_s = 0;
+};
+
+// Fans fn(0..n-1) over the runner, wall-timing each cell. Results come
+// back in index order regardless of jobs (see core::Runner's determinism
+// contract), so drivers print them exactly as a serial loop would have.
+template <typename Fn>
+auto sweep(core::Runner& runner, std::size_t n, Fn&& fn)
+    -> std::vector<Timed<std::invoke_result_t<Fn&, std::size_t>>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  return runner.map(n, [&fn](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    Timed<R> timed;
+    timed.value = fn(i);
+    timed.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    return timed;
+  });
+}
+
+// Accumulates per-cell rows and writes BENCH_<name>.json on write():
+//   {"bench": ..., "scale": ..., "jobs": N, "total_wall_s": ...,
+//    "cells": [{"label": ..., "wall_s": ..., "events": ...,
+//               "events_per_sec": ..., "fct": {...}}, ...]}
+class BenchJson {
+ public:
+  struct Cell {
+    std::string label;
+    double wall_s = 0;
+    std::uint64_t events = 0;
+    bool has_fct = false;
+    std::size_t flows = 0;
+    std::size_t completed = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    std::int64_t drops = 0;
+    std::int64_t retransmits = 0;
+  };
+
+  BenchJson(std::string name, const Flags& flags)
+      : name_(std::move(name)),
+        scale_(flags.paper_scale() ? "paper" : "medium"),
+        jobs_(jobs_from(flags)),
+        path_(flags.get("json_out", "BENCH_" + name_ + ".json")),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void add(Cell cell) { cells_.push_back(std::move(cell)); }
+
+  // Convenience: a cell backed by a timed FctResult.
+  void add_fct(const std::string& label,
+               const Timed<core::FctResult>& timed) {
+    const core::FctResult& r = timed.value;
+    Cell c;
+    c.label = label;
+    c.wall_s = timed.wall_s;
+    c.events = r.events;
+    c.has_fct = true;
+    c.flows = r.flows;
+    c.completed = r.completed;
+    c.p50_ms = r.median_ms();
+    c.p99_ms = r.p99_ms();
+    c.drops = r.queue_drops;
+    c.retransmits = r.retransmits;
+    add(std::move(c));
+  }
+
+  // Writes the file; prints a one-line pointer so users find the artifact.
+  void write() const {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("bench", name_);
+    w.kv("scale", scale_);
+    w.kv("jobs", jobs_);
+    w.kv("total_wall_s",
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+             .count());
+    w.key("cells");
+    w.begin_array();
+    for (const Cell& c : cells_) {
+      w.begin_object();
+      w.kv("label", c.label);
+      w.kv("wall_s", c.wall_s);
+      w.kv("events", c.events);
+      w.kv("events_per_sec",
+           c.wall_s > 0 ? static_cast<double>(c.events) / c.wall_s : 0.0);
+      if (c.has_fct) {
+        w.key("fct");
+        w.begin_object();
+        w.kv("flows", static_cast<std::int64_t>(c.flows));
+        w.kv("completed", static_cast<std::int64_t>(c.completed));
+        w.kv("p50_ms", c.p50_ms);
+        w.kv("p99_ms", c.p99_ms);
+        w.kv("drops", c.drops);
+        w.kv("retransmits", c.retransmits);
+        w.end_object();
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (write_json_file(path_, w))
+      std::printf("\nwrote %s (%zu cells)\n", path_.c_str(), cells_.size());
+    else
+      std::fprintf(stderr, "warning: could not write %s\n", path_.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string scale_;
+  int jobs_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Cell> cells_;
+};
 
 }  // namespace spineless::bench

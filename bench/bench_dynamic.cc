@@ -56,8 +56,8 @@ int run(int argc, char** argv) {
   const topo::DRing base = topo::make_dring(m, n, servers);
   const int racks = base.graph.num_switches();
   const int degree = base.graph.network_degree(0);
-  std::printf("%d racks, network degree %d, %d servers/rack\n\n", racks,
-              degree, servers);
+  std::printf("%d racks, network degree %d, %d servers/rack, jobs=%d\n\n",
+              racks, degree, servers, bench::jobs_from(flags));
 
   // Demands: uniform pairs and a skewed burst (one rack to the rest).
   Rng rng(3);
@@ -113,19 +113,47 @@ int run(int argc, char** argv) {
   families.push_back(
       Family{"static RRG", {topo::make_rrg(racks, degree, servers, 99)}});
 
+  // Flatten (family, slot, demand) into independent fluid-solve cells.
+  struct CellId {
+    std::size_t family, slot;
+    bool burst;
+  };
+  std::vector<CellId> cells;
+  for (std::size_t fi = 0; fi < families.size(); ++fi)
+    for (std::size_t si = 0; si < families[fi].slots.size(); ++si)
+      for (const bool burst : {false, true}) cells.push_back({fi, si, burst});
+
+  core::Runner runner(bench::jobs_from(flags));
+  const auto results =
+      bench::sweep(runner, cells.size(), [&](std::size_t idx) {
+        const CellId& c = cells[idx];
+        return mean_rate(families[c.family].slots[c.slot],
+                         c.burst ? burst_pairs : uniform_pairs,
+                         (c.burst ? 13 : 7) + c.slot);
+      });
+
+  bench::BenchJson json("dynamic", flags);
   Table t({"fabric", "slots", "uniform mean (Gbps)", "burst mean (Gbps)"});
-  for (const auto& f : families) {
+  for (std::size_t fi = 0; fi < families.size(); ++fi) {
+    const auto& f = families[fi];
     double uni = 0, burst = 0;
-    for (std::size_t i = 0; i < f.slots.size(); ++i) {
-      uni += mean_rate(f.slots[i], uniform_pairs, 7 + i);
-      burst += mean_rate(f.slots[i], burst_pairs, 13 + i);
+    double wall = 0;
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+      if (cells[idx].family != fi) continue;
+      (cells[idx].burst ? burst : uni) += results[idx].value;
+      wall += results[idx].wall_s;
     }
     uni /= static_cast<double>(f.slots.size());
     burst /= static_cast<double>(f.slots.size());
     t.add_row({f.name, std::to_string(f.slots.size()),
                Table::fmt(uni / 1e9, 2), Table::fmt(burst / 1e9, 2)});
+    bench::BenchJson::Cell jc;
+    jc.label = f.name;
+    jc.wall_s = wall;
+    json.add(std::move(jc));
   }
   std::printf("%s\n", t.to_string().c_str());
+  json.write();
   std::printf(
       "Reading: if rotating among DRing relabelings matches rotating\n"
       "expanders at this scale, dynamic fabrics can keep DRing's wiring\n"

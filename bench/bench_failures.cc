@@ -42,65 +42,93 @@ int run(int argc, char** argv) {
   const double base_load =
       workload::spine_offered_load_bps(s.x, s.y, 10e9, 0.3);
 
+  core::Runner runner(bench::jobs_from(flags));
+  bench::BenchJson json("failures", flags);
+
+  // Each failure fraction is one independent cell: the random link sample,
+  // BGP mesh, FIB census, and degraded-topology FCT all derive from the
+  // fraction and scenario seed alone.
+  const std::vector<double> fracs = {0.0, 0.02, 0.05, 0.10, 0.20};
+  struct FailCell {
+    std::size_t n_fail = 0;
+    int rounds = 0;
+    std::int64_t reachable = 0, total_pairs = 0;
+    double mean_paths = 0;
+    int min_paths = 0;
+    bool partitioned = false;
+    double p99 = 0;
+  };
+  const auto frac_cells =
+      bench::sweep(runner, fracs.size(), [&](std::size_t idx) {
+        const double frac = fracs[idx];
+        FailCell out;
+        out.n_fail = static_cast<std::size_t>(
+            frac * static_cast<double>(g.num_links()));
+        Rng rng(s.seed + 77);
+        std::set<topo::LinkId> dead;
+        for (std::size_t i : rng.sample_without_replacement(
+                 static_cast<std::size_t>(g.num_links()), out.n_fail))
+          dead.insert(static_cast<topo::LinkId>(i));
+
+        // Control plane: fail on the live BGP mesh and reconverge.
+        ctrl::BgpVrfNetwork bgp(g, 2);
+        bgp.converge();
+        for (topo::LinkId l : dead) bgp.fail_link(l);
+        out.rounds = out.n_fail == 0 ? 0 : bgp.converge();
+
+        std::int64_t path_sum = 0;
+        int min_paths = 1 << 30;
+        for (topo::NodeId a = 0; a < g.num_switches(); ++a) {
+          for (topo::NodeId b = 0; b < g.num_switches(); ++b) {
+            if (a == b) continue;
+            ++out.total_pairs;
+            if (!bgp.reachable(a, b)) continue;
+            ++out.reachable;
+            const auto paths = bgp.fib_paths(a, b, 512);
+            path_sum += static_cast<std::int64_t>(paths.size());
+            min_paths = std::min(min_paths, static_cast<int>(paths.size()));
+          }
+        }
+        out.min_paths = out.reachable ? min_paths : 0;
+        out.mean_paths = out.reachable
+                             ? static_cast<double>(path_sum) /
+                                   static_cast<double>(out.reachable)
+                             : 0.0;
+
+        // Data plane on the degraded topology (if it stays connected).
+        const topo::Graph degraded = without_links(g, dead);
+        if (degraded.connected()) {
+          core::FctConfig cfg;
+          cfg.net.mode = sim::RoutingMode::kShortestUnion;
+          cfg.flowgen.window = 2 * units::kMillisecond;
+          cfg.flowgen.offered_load_bps = base_load;
+          cfg.seed = s.seed + 13;
+          out.p99 = core::run_fct_experiment(
+                        degraded, workload::RackTm::uniform(degraded), cfg)
+                        .p99_ms();
+        } else {
+          out.partitioned = true;
+        }
+        return out;
+      });
+
   Table t({"failed links", "fraction", "BGP rounds", "reachable pairs",
            "min FIB paths", "mean FIB paths", "uniform p99 (ms)"});
-  for (const double frac : {0.0, 0.02, 0.05, 0.10, 0.20}) {
-    const auto n_fail =
-        static_cast<std::size_t>(frac * static_cast<double>(g.num_links()));
-    Rng rng(s.seed + 77);
-    std::set<topo::LinkId> dead;
-    for (std::size_t idx : rng.sample_without_replacement(
-             static_cast<std::size_t>(g.num_links()), n_fail))
-      dead.insert(static_cast<topo::LinkId>(idx));
-
-    // Control plane: fail on the live BGP mesh and reconverge.
-    ctrl::BgpVrfNetwork bgp(g, 2);
-    bgp.converge();
-    for (topo::LinkId l : dead) bgp.fail_link(l);
-    const int rounds = n_fail == 0 ? 0 : bgp.converge();
-
-    std::int64_t reachable = 0, total_pairs = 0;
-    std::int64_t path_sum = 0;
-    int min_paths = 1 << 30;
-    for (topo::NodeId a = 0; a < g.num_switches(); ++a) {
-      for (topo::NodeId b = 0; b < g.num_switches(); ++b) {
-        if (a == b) continue;
-        ++total_pairs;
-        if (!bgp.reachable(a, b)) continue;
-        ++reachable;
-        const auto paths = bgp.fib_paths(a, b, 512);
-        path_sum += static_cast<std::int64_t>(paths.size());
-        min_paths = std::min(min_paths, static_cast<int>(paths.size()));
-      }
-    }
-
-    // Data plane on the degraded topology (if it stays connected).
-    std::string p99 = "(partitioned)";
-    const topo::Graph degraded = without_links(g, dead);
-    if (degraded.connected()) {
-      core::FctConfig cfg;
-      cfg.net.mode = sim::RoutingMode::kShortestUnion;
-      cfg.flowgen.window = 2 * units::kMillisecond;
-      cfg.flowgen.offered_load_bps = base_load;
-      cfg.seed = s.seed + 13;
-      const auto res = core::run_fct_experiment(
-          degraded, workload::RackTm::uniform(degraded), cfg);
-      p99 = Table::fmt(res.p99_ms());
-    }
-
-    t.add_row({std::to_string(n_fail), Table::fmt(frac, 2),
-               std::to_string(rounds),
-               Table::fmt(100.0 * static_cast<double>(reachable) /
-                              static_cast<double>(total_pairs),
+  for (std::size_t i = 0; i < fracs.size(); ++i) {
+    const FailCell& c = frac_cells[i].value;
+    t.add_row({std::to_string(c.n_fail), Table::fmt(fracs[i], 2),
+               std::to_string(c.rounds),
+               Table::fmt(100.0 * static_cast<double>(c.reachable) /
+                              static_cast<double>(c.total_pairs),
                           1) +
                    "%",
-               std::to_string(reachable ? min_paths : 0),
-               Table::fmt(reachable ? static_cast<double>(path_sum) /
-                                          static_cast<double>(reachable)
-                                    : 0.0,
-                          1),
-               p99});
-    std::fprintf(stderr, "  frac=%.2f done\n", frac);
+               std::to_string(c.min_paths), Table::fmt(c.mean_paths, 1),
+               c.partitioned ? "(partitioned)" : Table::fmt(c.p99)});
+    std::fprintf(stderr, "  frac=%.2f done\n", fracs[i]);
+    bench::BenchJson::Cell jc;
+    jc.label = "frac=" + Table::fmt(fracs[i], 2);
+    jc.wall_s = frac_cells[i].wall_s;
+    json.add(std::move(jc));
   }
   std::printf("%s\n", t.to_string().c_str());
 
@@ -113,39 +141,64 @@ int run(int argc, char** argv) {
            "blackhole drops", "no-route drops"});
   const auto n_fail =
       static_cast<std::size_t>(0.02 * static_cast<double>(g.num_links()));
-  for (const Time delay :
-       {Time{0}, 100 * units::kMicrosecond, units::kMillisecond,
-        10 * units::kMillisecond}) {
-    Rng rng(s.seed + 78);
-    workload::TmSampler sampler(g, workload::RackTm::uniform(g));
-    workload::FlowGenConfig fg;
-    fg.offered_load_bps = base_load;
-    fg.window = 2 * units::kMillisecond;
-    const auto flows = workload::generate_flows(sampler, fg, rng);
+  const std::vector<Time> delays = {Time{0}, 100 * units::kMicrosecond,
+                                    units::kMillisecond,
+                                    10 * units::kMillisecond};
+  struct WindowCell {
+    double p50 = 0, p99 = 0;
+    std::size_t completed = 0, flows = 0;
+    std::int64_t queue_drops = 0, no_route_drops = 0;
+  };
+  const auto window_cells =
+      bench::sweep(runner, delays.size(), [&](std::size_t idx) {
+        const Time delay = delays[idx];
+        Rng rng(s.seed + 78);
+        workload::TmSampler sampler(g, workload::RackTm::uniform(g));
+        workload::FlowGenConfig fg;
+        fg.offered_load_bps = base_load;
+        fg.window = 2 * units::kMillisecond;
+        const auto flows = workload::generate_flows(sampler, fg, rng);
 
-    sim::NetworkConfig net_cfg;
-    net_cfg.mode = sim::RoutingMode::kShortestUnion;
-    sim::Simulator simulator;
-    sim::Network net(g, net_cfg);
-    sim::FlowDriver driver(net, sim::TcpConfig{});
-    for (const auto& f : flows)
-      driver.add_flow(simulator, f.src, f.dst, f.bytes, f.start);
-    for (std::size_t idx : rng.sample_without_replacement(
-             static_cast<std::size_t>(g.num_links()), n_fail)) {
-      net.schedule_link_failure(simulator, static_cast<topo::LinkId>(idx),
-                                units::kMillisecond / 2, delay);
-    }
-    simulator.run_until(fg.window * 50);
-    const auto fct = driver.fct_ms();
-    w.add_row({Table::fmt(units::to_millis(delay), 1) + " ms",
-               Table::fmt(fct.median()), Table::fmt(fct.p99()),
-               std::to_string(driver.completed_flows()) + "/" +
-                   std::to_string(driver.num_flows()),
-               std::to_string(net.stats().queue_drops),
-               std::to_string(net.stats().no_route_drops)});
-    std::fprintf(stderr, "  delay=%.1fms done\n", units::to_millis(delay));
+        sim::NetworkConfig net_cfg;
+        net_cfg.mode = sim::RoutingMode::kShortestUnion;
+        sim::Simulator simulator;
+        sim::Network net(g, net_cfg);
+        sim::FlowDriver driver(net, sim::TcpConfig{});
+        for (const auto& f : flows)
+          driver.add_flow(simulator, f.src, f.dst, f.bytes, f.start);
+        for (std::size_t i : rng.sample_without_replacement(
+                 static_cast<std::size_t>(g.num_links()), n_fail)) {
+          net.schedule_link_failure(simulator,
+                                    static_cast<topo::LinkId>(i),
+                                    units::kMillisecond / 2, delay);
+        }
+        simulator.run_until(fg.window * 50);
+        const auto fct = driver.fct_ms();
+        return WindowCell{
+            fct.median(),
+            fct.p99(),
+            driver.completed_flows(),
+            driver.num_flows(),
+            static_cast<std::int64_t>(net.stats().queue_drops),
+            static_cast<std::int64_t>(net.stats().no_route_drops)};
+      });
+
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const WindowCell& c = window_cells[i].value;
+    w.add_row({Table::fmt(units::to_millis(delays[i]), 1) + " ms",
+               Table::fmt(c.p50), Table::fmt(c.p99),
+               std::to_string(c.completed) + "/" + std::to_string(c.flows),
+               std::to_string(c.queue_drops),
+               std::to_string(c.no_route_drops)});
+    std::fprintf(stderr, "  delay=%.1fms done\n",
+                 units::to_millis(delays[i]));
+    bench::BenchJson::Cell jc;
+    jc.label = "delay=" + Table::fmt(units::to_millis(delays[i]), 1) + "ms";
+    jc.wall_s = window_cells[i].wall_s;
+    json.add(std::move(jc));
   }
   std::printf("%s", w.to_string().c_str());
+  json.write();
   return 0;
 }
 

@@ -39,39 +39,41 @@ int run(int argc, char** argv) {
   tms.push_back({"FB skewed", workload::RackTm::fb_like_skewed(g, s.seed)});
   tms.push_back({"permutation", workload::RackTm::permutation(g, s.seed)});
 
+  // (TM, engine) grid; even idx = packet TCP, odd = fluid. The per-cell
+  // wall clock from the sweep is the number the speedup column reports.
+  core::Runner runner(bench::jobs_from(flags));
+  const auto results =
+      bench::sweep(runner, tms.size() * 2, [&](std::size_t idx) {
+        const auto& c = tms[idx / 2];
+        core::FctConfig cfg;
+        cfg.net.mode = sim::RoutingMode::kShortestUnion;
+        cfg.flowgen.window = 2 * units::kMillisecond;
+        cfg.flowgen.offered_load_bps =
+            base_load * workload::participating_fraction(g, c.tm);
+        cfg.seed = s.seed + 9;
+        return idx % 2 == 0
+                   ? core::run_fct_experiment(g, c.tm, cfg)
+                   : core::run_fct_experiment_fluid(g, c.tm, cfg);
+      });
+
+  bench::BenchJson json("fidelity", flags);
   Table t({"TM", "engine", "p50 (ms)", "p99 (ms)", "completed",
            "wall (ms)"});
-  for (const auto& c : tms) {
-    core::FctConfig cfg;
-    cfg.net.mode = sim::RoutingMode::kShortestUnion;
-    cfg.flowgen.window = 2 * units::kMillisecond;
-    cfg.flowgen.offered_load_bps =
-        base_load * workload::participating_fraction(g, c.tm);
-    cfg.seed = s.seed + 9;
-
-    using Clock = std::chrono::steady_clock;
-    const auto t0 = Clock::now();
-    const auto packet = core::run_fct_experiment(g, c.tm, cfg);
-    const auto t1 = Clock::now();
-    const auto fluid = core::run_fct_experiment_fluid(g, c.tm, cfg);
-    const auto t2 = Clock::now();
-
-    auto wall_ms = [](auto a, auto b) {
-      return std::chrono::duration<double, std::milli>(b - a).count();
-    };
-    t.add_row({c.name, "packet TCP", Table::fmt(packet.median_ms()),
-               Table::fmt(packet.p99_ms()),
-               std::to_string(packet.completed) + "/" +
-                   std::to_string(packet.flows),
-               Table::fmt(wall_ms(t0, t1), 0)});
-    t.add_row({c.name, "fluid", Table::fmt(fluid.median_ms()),
-               Table::fmt(fluid.p99_ms()),
-               std::to_string(fluid.completed) + "/" +
-                   std::to_string(fluid.flows),
-               Table::fmt(wall_ms(t1, t2), 0)});
-    std::fprintf(stderr, "  %s done\n", c.name.c_str());
+  for (std::size_t i = 0; i < tms.size(); ++i) {
+    for (const bool fluid : {false, true}) {
+      const auto& cell = results[2 * i + (fluid ? 1 : 0)];
+      const auto& r = cell.value;
+      t.add_row({tms[i].name, fluid ? "fluid" : "packet TCP",
+                 Table::fmt(r.median_ms()), Table::fmt(r.p99_ms()),
+                 std::to_string(r.completed) + "/" +
+                     std::to_string(r.flows),
+                 Table::fmt(cell.wall_s * 1e3, 0)});
+      json.add_fct(tms[i].name + (fluid ? " | fluid" : " | packet"), cell);
+    }
+    std::fprintf(stderr, "  %s done\n", tms[i].name.c_str());
   }
   std::printf("%s", t.to_string().c_str());
+  json.write();
   return 0;
 }
 

@@ -104,35 +104,69 @@ int run(int argc, char** argv) {
   for (const auto& c : configs) header.push_back(c.name);
   Table median(header), p99(header);
 
+  // TMs are deterministic in (graph, seed); build them once up front so
+  // the parallel cells share identical workloads per column (the paired-
+  // comparison design: every topology column sees the same flows).
+  std::vector<std::vector<RackTm>> built_tms;
+  built_tms.reserve(tms.size());
   for (const auto& tm_case : tms) {
-    std::vector<std::string> med_row{tm_case.name}, p99_row{tm_case.name};
-    for (const auto& cfg_case : configs) {
-      const Graph& g = *cfg_case.graph;
-      const RackTm tm = tm_case.make(g);
-      double med_sum = 0, p99_sum = 0;
-      std::size_t flows = 0, done = 0;
-      long drops = 0;
-      for (int rep = 0; rep < seeds; ++rep) {
+    std::vector<RackTm> per_config;
+    per_config.reserve(configs.size());
+    for (const auto& cfg_case : configs)
+      per_config.push_back(tm_case.make(*cfg_case.graph));
+    built_tms.push_back(std::move(per_config));
+  }
+
+  // One cell per (TM, topology, rep), fanned over the runner. The seed is
+  // a pure function of the cell's identity (rep), never of scheduling, so
+  // output is byte-identical for every --jobs value.
+  const std::size_t ncfg = configs.size();
+  const auto nseeds = static_cast<std::size_t>(seeds);
+  const std::size_t ncells = tms.size() * ncfg * nseeds;
+  core::Runner runner(bench::jobs_from(flags));
+  const auto results =
+      bench::sweep(runner, ncells, [&](std::size_t idx) {
+        const std::size_t ti = idx / (ncfg * nseeds);
+        const std::size_t ci = (idx / nseeds) % ncfg;
+        const auto rep = static_cast<std::uint64_t>(idx % nseeds);
+        const Graph& g = *configs[ci].graph;
+        const RackTm& tm = built_tms[ti][ci];
         FctConfig cfg;
-        cfg.net.mode = cfg_case.mode;
+        cfg.net.mode = configs[ci].mode;
         cfg.flowgen.window = window;
         cfg.flowgen.offered_load_bps =
             base_load * workload::participating_fraction(g, tm);
-        cfg.random_placement = tm_case.random_placement;
-        cfg.seed = s.seed + 99 + static_cast<std::uint64_t>(rep) * 1000;
-        const auto res = core::run_fct_experiment(g, tm, cfg);
+        cfg.random_placement = tms[ti].random_placement;
+        cfg.seed = s.seed + 99 + rep * 1000;
+        return core::run_fct_experiment(g, tm, cfg);
+      });
+
+  bench::BenchJson json("fig4_fct", flags);
+  for (std::size_t ti = 0; ti < tms.size(); ++ti) {
+    const auto& tm_case = tms[ti];
+    std::vector<std::string> med_row{tm_case.name}, p99_row{tm_case.name};
+    for (std::size_t ci = 0; ci < ncfg; ++ci) {
+      double med_sum = 0, p99_sum = 0;
+      std::size_t flows = 0, done = 0;
+      long drops = 0;
+      for (std::size_t rep = 0; rep < nseeds; ++rep) {
+        const std::size_t idx = (ti * ncfg + ci) * nseeds + rep;
+        const auto& res = results[idx].value;
         med_sum += res.median_ms();
         p99_sum += res.p99_ms();
         flows += res.flows;
         done += res.completed;
         drops += static_cast<long>(res.queue_drops);
+        json.add_fct(tm_case.name + " | " + configs[ci].name + " | rep" +
+                         std::to_string(rep),
+                     results[idx]);
       }
       med_row.push_back(Table::fmt(med_sum / seeds));
       p99_row.push_back(Table::fmt(p99_sum / seeds));
       std::fprintf(stderr,
                    "  [%s | %-18s] flows=%zu done=%zu drops=%ld (x%d)\n",
-                   tm_case.name.c_str(), cfg_case.name.c_str(), flows, done,
-                   drops, seeds);
+                   tm_case.name.c_str(), configs[ci].name.c_str(), flows,
+                   done, drops, seeds);
     }
     median.add_row(std::move(med_row));
     p99.add_row(std::move(p99_row));
@@ -140,6 +174,7 @@ int run(int argc, char** argv) {
 
   std::printf("(a) Median FCT (ms)\n%s\n", median.to_string().c_str());
   std::printf("(b) 99th percentile FCT (ms)\n%s", p99.to_string().c_str());
+  json.write();
   return 0;
 }
 

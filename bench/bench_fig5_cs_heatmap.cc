@@ -35,30 +35,11 @@ std::vector<int> axis(int lo, int hi, int steps) {
   return v;
 }
 
-void panel(const char* title, const topo::Graph& dring,
-           const topo::Graph& ls, const std::vector<int>& cs,
-           sim::RoutingMode dring_mode, std::uint64_t seed) {
-  std::vector<std::vector<double>> cells;
-  std::vector<std::string> row_labels, col_labels;
-  for (int srv : cs) col_labels.push_back(std::to_string(srv));
-  for (int c : cs) {
-    row_labels.push_back(std::to_string(c));
-    std::vector<double> row;
-    for (int srv : cs) {
-      ThroughputConfig ls_cfg;
-      ls_cfg.mode = sim::RoutingMode::kEcmp;
-      ls_cfg.seed = seed;
-      ThroughputConfig dr_cfg = ls_cfg;
-      dr_cfg.mode = dring_mode;
-      const auto base = core::run_cs_throughput(ls, c, srv, ls_cfg);
-      const auto flat = core::run_cs_throughput(dring, c, srv, dr_cfg);
-      row.push_back(flat.mean_bps / base.mean_bps);
-    }
-    cells.push_back(std::move(row));
-  }
-  std::printf("%s\n%s\n", title,
-              render_heatmap(cells, row_labels, col_labels, "C\\S").c_str());
-}
+struct PanelSpec {
+  const char* title;
+  const std::vector<int>* cs;  // shared C and S axis
+  sim::RoutingMode dring_mode;
+};
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
@@ -91,14 +72,62 @@ int run(int argc, char** argv) {
            steps);
   const std::uint64_t seed = s.seed + 5;
 
-  panel("(a) small C,S — DRing ECMP vs leaf-spine ECMP", dring.graph, ls,
-        small_axis, sim::RoutingMode::kEcmp, seed);
-  panel("(b) small C,S — DRing Shortest-Union(2) vs leaf-spine ECMP",
-        dring.graph, ls, small_axis, sim::RoutingMode::kShortestUnion, seed);
-  panel("(c) large C,S — DRing ECMP vs leaf-spine ECMP", dring.graph, ls,
-        large_axis, sim::RoutingMode::kEcmp, seed);
-  panel("(d) large C,S — DRing Shortest-Union(2) vs leaf-spine ECMP",
-        dring.graph, ls, large_axis, sim::RoutingMode::kShortestUnion, seed);
+  const std::vector<PanelSpec> panels = {
+      {"(a) small C,S — DRing ECMP vs leaf-spine ECMP", &small_axis,
+       sim::RoutingMode::kEcmp},
+      {"(b) small C,S — DRing Shortest-Union(2) vs leaf-spine ECMP",
+       &small_axis, sim::RoutingMode::kShortestUnion},
+      {"(c) large C,S — DRing ECMP vs leaf-spine ECMP", &large_axis,
+       sim::RoutingMode::kEcmp},
+      {"(d) large C,S — DRing Shortest-Union(2) vs leaf-spine ECMP",
+       &large_axis, sim::RoutingMode::kShortestUnion},
+  };
+
+  // All four panels' (C, S) cells are independent — one flat sweep.
+  const auto nsteps = static_cast<std::size_t>(steps);
+  const std::size_t per_panel = nsteps * nsteps;
+  core::Runner runner(bench::jobs_from(flags));
+  const auto results = bench::sweep(
+      runner, panels.size() * per_panel, [&](std::size_t idx) {
+        const PanelSpec& p = panels[idx / per_panel];
+        const int c = (*p.cs)[(idx / nsteps) % nsteps];
+        const int srv = (*p.cs)[idx % nsteps];
+        ThroughputConfig ls_cfg;
+        ls_cfg.mode = sim::RoutingMode::kEcmp;
+        ls_cfg.seed = seed;
+        ThroughputConfig dr_cfg = ls_cfg;
+        dr_cfg.mode = p.dring_mode;
+        const auto base = core::run_cs_throughput(ls, c, srv, ls_cfg);
+        const auto flat =
+            core::run_cs_throughput(dring.graph, c, srv, dr_cfg);
+        return flat.mean_bps / base.mean_bps;
+      });
+
+  bench::BenchJson json("fig5_cs_heatmap", flags);
+  for (std::size_t pi = 0; pi < panels.size(); ++pi) {
+    const PanelSpec& p = panels[pi];
+    std::vector<std::vector<double>> cells;
+    std::vector<std::string> row_labels, col_labels;
+    for (int srv : *p.cs) col_labels.push_back(std::to_string(srv));
+    for (std::size_t i = 0; i < nsteps; ++i) {
+      row_labels.push_back(std::to_string((*p.cs)[i]));
+      std::vector<double> row;
+      for (std::size_t j = 0; j < nsteps; ++j) {
+        const auto& cell = results[pi * per_panel + i * nsteps + j];
+        row.push_back(cell.value);
+        bench::BenchJson::Cell jc;
+        jc.label = std::string("panel") + static_cast<char>('a' + pi) +
+                   " C=" + row_labels.back() + " S=" + col_labels[j];
+        jc.wall_s = cell.wall_s;
+        json.add(std::move(jc));
+      }
+      cells.push_back(std::move(row));
+    }
+    std::printf("%s\n%s\n", p.title,
+                render_heatmap(cells, row_labels, col_labels, "C\\S")
+                    .c_str());
+  }
+  json.write();
 
   if (flags.get_bool("validate", false)) {
     // Re-measure a few cells the way the paper did — long-running TCP

@@ -34,35 +34,56 @@ int run(int argc, char** argv) {
   // bisection limit toward the top of the sweep.
   const double per_host_bps = flags.get_double("per_host_gbps", 3.0) * 1e9;
 
+  const int jobs = bench::jobs_from(flags);
   std::printf("== Figure 6: DRing vs RRG, effect of scale ==\n");
   std::printf(
       "%d ToRs/supernode, %d-port switches, %d server links (degree %d), "
-      "%.1f Gbps offered per host, scale=%s\n\n",
+      "%.1f Gbps offered per host, scale=%s, jobs=%d\n\n",
       tors_per_supernode, ports, servers_per_tor, net_degree,
-      per_host_bps / 1e9, paper ? "paper" : "medium");
+      per_host_bps / 1e9, paper ? "paper" : "medium", jobs);
 
-  Table t({"racks", "hosts", "DRing p99 (ms)", "RRG p99 (ms)",
-           "FCT(DRing)/FCT(RRG)"});
-  for (int m = m_lo; m <= m_hi; ++m) {
+  const Time window =
+      flags.get_int("window_ms", 2) * units::kMillisecond;
+
+  // One cell per (m, topology-family): each cell builds its own graph, so
+  // no shared state crosses workers.
+  const auto n_m = static_cast<std::size_t>(m_hi - m_lo + 1);
+  core::Runner runner(jobs);
+  const auto results = bench::sweep(runner, 2 * n_m, [&](std::size_t idx) {
+    const int m = m_lo + static_cast<int>(idx / 2);
+    const bool is_rrg = idx % 2 != 0;
     const topo::DRing dring =
         topo::make_dring(m, tors_per_supernode, servers_per_tor, ports);
-    const int racks = dring.graph.num_switches();
-    const topo::Graph rrg =
-        topo::make_rrg(racks, net_degree, servers_per_tor,
-                       /*seed=*/static_cast<std::uint64_t>(m) * 7 + 1);
-
     core::FctConfig cfg;
     cfg.flowgen.offered_load_bps =
         per_host_bps * dring.graph.total_servers();
-    cfg.flowgen.window = flags.get_int("window_ms", 2) * units::kMillisecond;
+    cfg.flowgen.window = window;
     cfg.seed = 3;
-
     cfg.net.mode = sim::RoutingMode::kShortestUnion;
-    const auto dr = core::run_fct_experiment(
-        dring.graph, workload::RackTm::uniform(dring.graph), cfg);
-    const auto rr = core::run_fct_experiment(
-        rrg, workload::RackTm::uniform(rrg), cfg);
+    if (!is_rrg) {
+      return core::run_fct_experiment(
+          dring.graph, workload::RackTm::uniform(dring.graph), cfg);
+    }
+    const topo::Graph rrg =
+        topo::make_rrg(dring.graph.num_switches(), net_degree,
+                       servers_per_tor,
+                       /*seed=*/static_cast<std::uint64_t>(m) * 7 + 1);
+    return core::run_fct_experiment(rrg, workload::RackTm::uniform(rrg),
+                                    cfg);
+  });
 
+  bench::BenchJson json("fig6_scale", flags);
+  Table t({"racks", "hosts", "DRing p99 (ms)", "RRG p99 (ms)",
+           "FCT(DRing)/FCT(RRG)"});
+  for (std::size_t i = 0; i < n_m; ++i) {
+    const int m = m_lo + static_cast<int>(i);
+    const topo::DRing dring =
+        topo::make_dring(m, tors_per_supernode, servers_per_tor, ports);
+    const int racks = dring.graph.num_switches();
+    const auto& dr = results[2 * i].value;
+    const auto& rr = results[2 * i + 1].value;
+    json.add_fct("DRing m=" + std::to_string(m), results[2 * i]);
+    json.add_fct("RRG m=" + std::to_string(m), results[2 * i + 1]);
     t.add_row({std::to_string(racks),
                std::to_string(dring.graph.total_servers()),
                Table::fmt(dr.p99_ms()), Table::fmt(rr.p99_ms()),
@@ -72,6 +93,7 @@ int run(int argc, char** argv) {
                  static_cast<long>(rr.queue_drops));
   }
   std::printf("%s", t.to_string().c_str());
+  json.write();
   return 0;
 }
 

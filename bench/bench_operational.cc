@@ -37,30 +37,48 @@ int run(int argc, char** argv) {
   layout.racks_per_row =
       static_cast<int>(flags.get_int("racks_per_row", 16));
 
+  // One cell per topology: wiring census + priced BOM under one layout.
+  const std::vector<const topo::Graph*> graphs = {&ls, &rrg, &dring.graph};
+  struct OpsCell {
+    topo::WiringReport wiring;
+    topo::CostReport cost;
+  };
+  topo::CostModel model;
+  core::Runner runner(bench::jobs_from(flags));
+  const auto results =
+      bench::sweep(runner, graphs.size(), [&](std::size_t i) {
+        const topo::Graph& g = *graphs[i];
+        const auto placement = topo::row_major_layout(g, layout);
+        return OpsCell{topo::wiring_report(g, placement, layout),
+                       topo::cost_report(g, placement, layout, model)};
+      });
+
+  bench::BenchJson json("operational", flags);
   Table cabling({"topology", "cables", "bundles", "total (m)", "mean (m)",
                  "p99 (m)", "max (m)", "<=5m fraction"});
-  for (const auto* g : {&ls, &rrg, &dring.graph}) {
-    const auto rep =
-        topo::wiring_report(*g, topo::row_major_layout(*g, layout), layout);
-    cabling.add_row({g->name(), std::to_string(rep.cables),
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto& rep = results[i].value.wiring;
+    cabling.add_row({graphs[i]->name(), std::to_string(rep.cables),
                      std::to_string(rep.bundles), Table::fmt(rep.total_m, 0),
                      Table::fmt(rep.mean_m, 1),
                      Table::fmt(rep.lengths.p99(), 1),
                      Table::fmt(rep.max_m, 1),
                      Table::fmt(rep.local_fraction, 2)});
+    bench::BenchJson::Cell jc;
+    jc.label = graphs[i]->name();
+    jc.wall_s = results[i].wall_s;
+    json.add(std::move(jc));
   }
   std::printf("Cabling census (row-major floor, %d racks/row):\n%s\n",
               layout.racks_per_row, cabling.to_string().c_str());
 
   // Priced BOM under the same layout (same switches by construction; the
   // difference is cable classes).
-  topo::CostModel model;
   Table costs({"topology", "DAC", "AOC", "optics", "switch $", "cable $",
                "total $", "$ / server", "power (kW)"});
-  for (const auto* g : {&ls, &rrg, &dring.graph}) {
-    const auto rep = topo::cost_report(
-        *g, topo::row_major_layout(*g, layout), layout, model);
-    costs.add_row({g->name(), std::to_string(rep.dac),
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto& rep = results[i].value.cost;
+    costs.add_row({graphs[i]->name(), std::to_string(rep.dac),
                    std::to_string(rep.aoc), std::to_string(rep.optics),
                    Table::fmt(rep.switch_usd, 0), Table::fmt(rep.cable_usd, 0),
                    Table::fmt(rep.total_usd, 0),
@@ -110,6 +128,7 @@ int run(int argc, char** argv) {
       "%dth rack\nrequires replacing every spine switch and re-terminating "
       "all %d leaf uplinks.\n",
       s.y * (s.x + s.y), s.x + s.y + 1, s.y * (s.x + s.y));
+  json.write();
   return 0;
 }
 

@@ -71,22 +71,34 @@ int run(int argc, char** argv) {
                           sim::RoutingMode::kShortestUnion, "su2"});
   }
 
+  // One cell per (candidate, TM); even cells are uniform, odd are skewed.
+  core::Runner runner(bench::jobs_from(flags));
+  const auto results =
+      bench::sweep(runner, candidates.size() * 2, [&](std::size_t idx) {
+        const topo::Graph& g = candidates[idx / 2].graph;
+        core::FctConfig cfg;
+        cfg.net.mode = candidates[idx / 2].mode;
+        cfg.flowgen.window = 2 * units::kMillisecond;
+        cfg.flowgen.offered_load_bps =
+            per_host_gbps * 1e9 * g.total_servers();
+        cfg.seed = s.seed + 17;
+        const auto tm = idx % 2 == 0
+                            ? workload::RackTm::uniform(g)
+                            : workload::RackTm::fb_like_skewed(g, s.seed + 2);
+        return core::run_fct_experiment(g, tm, cfg);
+      });
+
+  bench::BenchJson json("other_topologies", flags);
   Table t({"topology", "routing", "switches", "net degree", "hosts",
            "NSR", "diameter", "uniform p50 (ms)", "uniform p99 (ms)",
            "skewed p50 (ms)", "skewed p99 (ms)"});
-  for (const auto& c : candidates) {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& c = candidates[i];
     const topo::Graph& g = c.graph;
-    core::FctConfig cfg;
-    cfg.net.mode = c.mode;
-    cfg.flowgen.window = 2 * units::kMillisecond;
-    cfg.flowgen.offered_load_bps =
-        per_host_gbps * 1e9 * g.total_servers();
-    cfg.seed = s.seed + 17;
-
-    const auto uni = core::run_fct_experiment(
-        g, workload::RackTm::uniform(g), cfg);
-    const auto skew = core::run_fct_experiment(
-        g, workload::RackTm::fb_like_skewed(g, s.seed + 2), cfg);
+    const auto& uni = results[2 * i].value;
+    const auto& skew = results[2 * i + 1].value;
+    json.add_fct(c.name + " uniform", results[2 * i]);
+    json.add_fct(c.name + " skewed", results[2 * i + 1]);
 
     double mean_degree = 0;
     for (topo::NodeId n = 0; n < g.num_switches(); ++n)
@@ -104,6 +116,7 @@ int run(int argc, char** argv) {
   }
   std::printf("Offered load: %.1f Gbps per host\n\n%s", per_host_gbps,
               t.to_string().c_str());
+  json.write();
   return 0;
 }
 

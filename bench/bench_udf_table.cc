@@ -22,7 +22,18 @@ int run(int argc, char** argv) {
   const core::Scenario s = bench::scenario_from(flags);
   bench::print_header("Section 3.1: NSR / UDF analysis", s, flags);
 
-  const core::UdfReport rep = core::make_udf_report(s);
+  // One analytic cell; the sweep still gives per-cell wall time + JSON.
+  core::Runner runner(bench::jobs_from(flags));
+  const auto cells = bench::sweep(
+      runner, 1, [&](std::size_t) { return core::make_udf_report(s); });
+  const core::UdfReport& rep = cells[0].value;
+  bench::BenchJson json("udf_table", flags);
+  {
+    bench::BenchJson::Cell jc;
+    jc.label = "udf_report";
+    jc.wall_s = cells[0].wall_s;
+    json.add(std::move(jc));
+  }
   Table t({"topology", "switches", "servers", "NSR(mean)", "NSR(min)",
            "NSR(max)", "diameter", "mean path", "bisection<="});
   for (const auto* r : {&rep.leaf_spine, &rep.rrg, &rep.dring}) {
@@ -49,6 +60,7 @@ int run(int argc, char** argv) {
   }
   std::printf("UDF is 2 for every leaf-spine(x, y):\n%s",
               sweep.to_string().c_str());
+  json.write();
   return 0;
 }
 

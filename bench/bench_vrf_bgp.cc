@@ -87,11 +87,19 @@ int run(int argc, char** argv) {
   cases.push_back({"RRG (flat)", s.rrg(), 0});
   cases.push_back({"leaf-spine", s.leaf_spine(), 0});
 
+  // One verification cell per topology; each builds its own BGP mesh.
+  core::Runner runner(bench::jobs_from(flags));
+  const auto results = bench::sweep(runner, cases.size(), [&](std::size_t i) {
+    return verify(cases[i].graph, k, check_fib);
+  });
+
+  bench::BenchJson json("vrf_bgp", flags);
   Table t({"topology", "BGP rounds", "routes", "Theorem 1",
            "FIB == SU(K)", "min disjoint", "claim >= n+1",
            "mean #paths ECMP", "mean #paths SU(K)"});
-  for (const auto& c : cases) {
-    const Verification v = verify(c.graph, k, check_fib);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const Verification& v = results[i].value;
     t.add_row({c.name, std::to_string(v.rounds), std::to_string(v.routes),
                v.theorem1 ? "PASS" : "FAIL",
                check_fib ? (v.fib_equals_su ? "PASS" : "FAIL") : "(skipped)",
@@ -101,7 +109,12 @@ int run(int argc, char** argv) {
                    : "-",
                Table::fmt(v.mean_ecmp_paths, 1),
                Table::fmt(v.mean_su_paths, 1)});
+    bench::BenchJson::Cell jc;
+    jc.label = c.name;
+    jc.wall_s = results[i].wall_s;
+    json.add(std::move(jc));
   }
+  json.write();
   std::printf("K = %d\n%s", k, t.to_string().c_str());
   if (s.dring_supernodes >= 9) {
     std::printf(

@@ -2,16 +2,30 @@
 # Full reproduction driver: build, test, run every bench, and capture the
 # outputs the repository's EXPERIMENTS.md is written from.
 #
-#   scripts/reproduce.sh            # medium scale (seconds per bench)
-#   scripts/reproduce.sh --paper    # the paper's full-scale configuration
+#   scripts/reproduce.sh              # medium scale (seconds per bench)
+#   scripts/reproduce.sh --paper      # the paper's full-scale configuration
+#   scripts/reproduce.sh --jobs=8     # fan experiment cells over 8 workers
+#
+# Parallelism: every bench accepts --jobs=N (default: all hardware threads,
+# or the SPINELESS_JOBS environment variable when set). Results are
+# byte-identical for every jobs value — per-cell seeds are pure functions
+# of the cell's identity, never of scheduling order.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE_ENV=()
-if [[ "${1:-}" == "--paper" ]]; then
-  SCALE_ENV=(SPINELESS_PAPER_SCALE=1)
-  echo "== paper-scale reproduction =="
-fi
+JOBS_FLAG=()
+for arg in "$@"; do
+  case "$arg" in
+    --paper)
+      SCALE_ENV=(SPINELESS_PAPER_SCALE=1)
+      echo "== paper-scale reproduction =="
+      ;;
+    --jobs=*)
+      JOBS_FLAG=("$arg")
+      ;;
+  esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
@@ -21,9 +35,18 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 : > bench_output.txt
 for b in build/bench/*; do
   [[ -x "$b" && -f "$b" ]] || continue
-  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
-  env "${SCALE_ENV[@]}" "$b" 2>/dev/null | tee -a bench_output.txt
+  name="$(basename "$b")"
+  echo "===== $name =====" | tee -a bench_output.txt
+  if [[ "$name" == bench_micro ]]; then
+    # google-benchmark harness: no --jobs; the JSON smoke mode is the
+    # machine-readable artifact.
+    env "${SCALE_ENV[@]}" "$b" --json=BENCH_micro.json \
+      2>/dev/null | tee -a bench_output.txt
+  else
+    env "${SCALE_ENV[@]}" "$b" "${JOBS_FLAG[@]}" \
+      2>/dev/null | tee -a bench_output.txt
+  fi
 done
 
 echo
-echo "Wrote test_output.txt and bench_output.txt"
+echo "Wrote test_output.txt, bench_output.txt, and per-bench BENCH_*.json"

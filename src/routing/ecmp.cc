@@ -8,9 +8,10 @@ namespace spineless::routing {
 
 namespace {
 
-// BFS distances honoring a dead-link set.
+// BFS distances honoring a dead-link set. The no-failures case dispatches
+// to the plain BFS up front so the inner loop never tests for it.
 std::vector<int> bfs_avoiding(const Graph& g, NodeId src,
-                              const std::set<LinkId>* dead) {
+                              const LinkSet* dead) {
   if (dead == nullptr || dead->empty()) return topo::bfs_distances(g, src);
   std::vector<int> dist(static_cast<std::size_t>(g.num_switches()), -1);
   std::deque<NodeId> queue{src};
@@ -18,11 +19,12 @@ std::vector<int> bfs_avoiding(const Graph& g, NodeId src,
   while (!queue.empty()) {
     const NodeId u = queue.front();
     queue.pop_front();
+    const int next = dist[static_cast<std::size_t>(u)] + 1;
     for (const Port& p : g.neighbors(u)) {
-      if (dead->count(p.link)) continue;
+      if (dead->contains(p.link)) continue;
       auto& d = dist[static_cast<std::size_t>(p.neighbor)];
       if (d < 0) {
-        d = dist[static_cast<std::size_t>(u)] + 1;
+        d = next;
         queue.push_back(p.neighbor);
       }
     }
@@ -32,48 +34,67 @@ std::vector<int> bfs_avoiding(const Graph& g, NodeId src,
 
 }  // namespace
 
-EcmpTable EcmpTable::compute(const Graph& g, const std::set<LinkId>* dead) {
+EcmpTable EcmpTable::compute(const Graph& g, const LinkSet* dead) {
   const bool filtering = dead != nullptr && !dead->empty();
   EcmpTable t;
+  t.n_ = g.num_switches();
   const auto n = static_cast<std::size_t>(g.num_switches());
-  t.nh_.resize(n);
-  t.dist_.resize(n);
+  t.dist_.resize(n * n, -1);
+  t.off_.reserve(n * n + 1);
+  t.off_.push_back(0);
+  // Each directed edge is a tight next hop toward at most one distance
+  // class per destination, so 2 * links * dsts bounds the pool exactly.
+  t.ports_.reserve(2 * static_cast<std::size_t>(g.num_links()));
   for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
-    auto dist = bfs_avoiding(g, dst, dead);
-    auto& per_node = t.nh_[static_cast<std::size_t>(dst)];
-    per_node.resize(n);
+    const auto dist = bfs_avoiding(g, dst, dead);
+    int* dist_row = t.dist_.data() + static_cast<std::size_t>(dst) * n;
     for (NodeId u = 0; u < g.num_switches(); ++u) {
-      if (u == dst) continue;
-      if (dist[static_cast<std::size_t>(u)] < 0) {
-        SPINELESS_CHECK_MSG(filtering, "disconnected graph in EcmpTable");
-        continue;  // unreachable after failures: empty next-hop set
-      }
-      for (const Port& p : g.neighbors(u)) {
-        if (filtering && dead->count(p.link)) continue;
-        if (dist[static_cast<std::size_t>(p.neighbor)] ==
-            dist[static_cast<std::size_t>(u)] - 1) {
-          per_node[static_cast<std::size_t>(u)].push_back(p);
+      dist_row[static_cast<std::size_t>(u)] =
+          dist[static_cast<std::size_t>(u)];
+      if (u != dst) {
+        const int du = dist[static_cast<std::size_t>(u)];
+        if (du < 0) {
+          SPINELESS_CHECK_MSG(filtering, "disconnected graph in EcmpTable");
+        } else if (filtering) {
+          for (const Port& p : g.neighbors(u)) {
+            if (dead->contains(p.link)) continue;
+            if (dist[static_cast<std::size_t>(p.neighbor)] == du - 1)
+              t.ports_.push_back(p);
+          }
+        } else {
+          for (const Port& p : g.neighbors(u)) {
+            if (dist[static_cast<std::size_t>(p.neighbor)] == du - 1)
+              t.ports_.push_back(p);
+          }
         }
       }
+      t.off_.push_back(static_cast<std::uint32_t>(t.ports_.size()));
     }
-    t.dist_[static_cast<std::size_t>(dst)] = std::move(dist);
   }
   return t;
 }
 
-bool ecmp_table_valid(const Graph& g, const EcmpTable& table) {
+bool ecmp_table_valid(const Graph& g, const EcmpTable& table,
+                      const LinkSet* dead) {
   if (table.num_switches() != g.num_switches()) return false;
+  const bool filtering = dead != nullptr && !dead->empty();
   for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
-    // Table distances must be the true hop distances in g.
-    const auto bfs = topo::bfs_distances(g, dst);
+    // Table distances must be the true hop distances of the surviving graph.
+    const auto bfs = bfs_avoiding(g, dst, dead);
     for (NodeId u = 0; u < g.num_switches(); ++u) {
       if (u == dst) continue;
       if (table.distance(u, dst) != bfs[static_cast<std::size_t>(u)])
         return false;
-      const auto& hops = table.next_hops(u, dst);
+      const auto hops = table.next_hops(u, dst);
+      if (bfs[static_cast<std::size_t>(u)] < 0) {
+        // Cut off by failures: the empty set is the only valid answer.
+        if (!hops.empty()) return false;
+        continue;
+      }
       if (hops.empty()) return false;
       for (const Port& p : hops) {
         if (!g.adjacent(u, p.neighbor)) return false;
+        if (filtering && dead->contains(p.link)) return false;
         if (table.distance(p.neighbor, dst) != table.distance(u, dst) - 1)
           return false;
       }

@@ -3,7 +3,8 @@
 // flat networks.
 #pragma once
 
-#include <set>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "routing/types.h"
@@ -12,33 +13,48 @@ namespace spineless::routing {
 
 // Per-destination next-hop sets: at switch `node`, packets for destination
 // ToR `dst` may take any port whose neighbor is one hop closer to dst.
+//
+// Storage is a flat CSR layout — one contiguous Port pool plus an offset
+// table indexed by (dst, node) — instead of n^2 individual vectors, so
+// per-packet lookups are two loads from contiguous arrays and table
+// construction performs O(1) allocations.
 class EcmpTable {
  public:
   // dead: links to treat as absent (failure modeling) — next hops never use
   // them and distances route around them. Unreachable destinations get an
   // empty next-hop set and distance -1.
-  static EcmpTable compute(const Graph& g,
-                           const std::set<LinkId>* dead = nullptr);
+  static EcmpTable compute(const Graph& g, const LinkSet* dead = nullptr);
 
-  const std::vector<Port>& next_hops(NodeId node, NodeId dst) const {
-    return nh_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(node)];
+  std::span<const Port> next_hops(NodeId node, NodeId dst) const {
+    const std::size_t i = index(node, dst);
+    return {ports_.data() + off_[i], off_[i + 1] - off_[i]};
   }
   int distance(NodeId node, NodeId dst) const {
-    return dist_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(node)];
+    return dist_[index(node, dst)];
   }
-  NodeId num_switches() const {
-    return static_cast<NodeId>(nh_.size());
-  }
+  NodeId num_switches() const noexcept { return n_; }
 
  private:
-  // nh_[dst][node]; dist_[dst][node] = hops from node to dst.
-  std::vector<std::vector<std::vector<Port>>> nh_;
-  std::vector<std::vector<int>> dist_;
+  std::size_t index(NodeId node, NodeId dst) const {
+    return static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(node);
+  }
+
+  NodeId n_ = 0;
+  // CSR over (dst, node): ports_[off_[dst*n+node] .. off_[dst*n+node+1])
+  // are the next hops of `node` toward `dst`; dist_ uses the same index.
+  std::vector<Port> ports_;
+  std::vector<std::uint32_t> off_;
+  std::vector<int> dist_;
 };
 
-// Sanity checker used by tests: every next hop strictly decreases the
-// distance to the destination (hence forwarding is loop-free), and every
-// switch other than dst has at least one next hop.
-bool ecmp_table_valid(const Graph& g, const EcmpTable& table);
+// Sanity checker used by tests and (behind NetworkConfig::validate_tables)
+// by reconvergence: every next hop strictly decreases the distance to the
+// destination (hence forwarding is loop-free), every switch that can still
+// reach dst has at least one next hop, and table distances equal the true
+// BFS distances of the surviving topology. `dead` names failed links, so
+// post-failure tables validate against the degraded graph.
+bool ecmp_table_valid(const Graph& g, const EcmpTable& table,
+                      const LinkSet* dead = nullptr);
 
 }  // namespace spineless::routing

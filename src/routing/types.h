@@ -1,6 +1,8 @@
 // Shared routing types: switch-level paths and path sets.
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "topo/graph.h"
@@ -11,6 +13,50 @@ using topo::Graph;
 using topo::LinkId;
 using topo::NodeId;
 using topo::Port;
+
+// Set of link ids as a growable bitset: O(1) membership on the forwarding
+// and table-computation hot paths (replaces std::set<LinkId>, whose
+// tree walk dominated BFS inner loops at paper scale).
+class LinkSet {
+ public:
+  LinkSet() = default;
+  LinkSet(std::initializer_list<LinkId> links) {
+    for (LinkId l : links) insert(l);
+  }
+
+  void insert(LinkId l) {
+    const auto i = static_cast<std::size_t>(l);
+    if (words_.size() <= i / 64) words_.resize(i / 64 + 1, 0);
+    const std::uint64_t mask = 1ULL << (i % 64);
+    if (!(words_[i / 64] & mask)) {
+      words_[i / 64] |= mask;
+      ++count_;
+    }
+  }
+  void erase(LinkId l) {
+    const auto i = static_cast<std::size_t>(l);
+    if (words_.size() <= i / 64) return;
+    const std::uint64_t mask = 1ULL << (i % 64);
+    if (words_[i / 64] & mask) {
+      words_[i / 64] &= ~mask;
+      --count_;
+    }
+  }
+  bool contains(LinkId l) const noexcept {
+    const auto i = static_cast<std::size_t>(l);
+    return i / 64 < words_.size() && (words_[i / 64] >> (i % 64)) & 1;
+  }
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
+  void clear() noexcept {
+    words_.clear();
+    count_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
+};
 
 // A path is the inclusive switch sequence from source ToR to destination ToR.
 // Length (hop count) is path.size() - 1; a direct link has length 1.

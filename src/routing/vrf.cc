@@ -25,11 +25,10 @@ void for_each_virtual_edge(int j, int k, Fn&& fn) {
 
 }  // namespace
 
-VrfTable VrfTable::compute(const Graph& g, int k,
-                           const std::set<LinkId>* dead) {
+VrfTable VrfTable::compute(const Graph& g, int k, const LinkSet* dead) {
   SPINELESS_CHECK(k >= 1);
   const bool filtering = dead != nullptr && !dead->empty();
-  auto link_dead = [&](LinkId l) { return filtering && dead->count(l) > 0; };
+  auto link_dead = [&](LinkId l) { return filtering && dead->contains(l); };
   VrfTable t;
   t.k_ = k;
   t.num_switches_ = g.num_switches();

@@ -22,7 +22,6 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 
 #include "routing/types.h"
 
@@ -49,7 +48,7 @@ class VrfTable {
   // dead: links to treat as absent (failure modeling); the gadget is built
   // only over surviving links. Unreachable states get empty next-hop sets.
   static VrfTable compute(const Graph& g, int k,
-                          const std::set<LinkId>* dead = nullptr);
+                          const LinkSet* dead = nullptr);
 
   int k() const noexcept { return k_; }
 

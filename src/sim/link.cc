@@ -5,54 +5,68 @@
 namespace spineless::sim {
 
 void Link::enqueue(Simulator& sim, const Packet& pkt) {
-  if (down_) {
+  if (down_ || queued_bytes_ + pkt.size_bytes > queue_capacity_) {
     ++stats_.drops;
     return;
   }
-  if (queued_bytes_ + pkt.size_bytes > queue_capacity_) {
+  enqueue_node(sim, pool_->alloc(pkt));
+}
+
+void Link::enqueue_node(Simulator& sim, PacketNode* node) {
+  if (down_ || queued_bytes_ + node->pkt.size_bytes > queue_capacity_) {
     ++stats_.drops;
+    pool_->release(node);
     return;
   }
-  Packet to_queue = pkt;
   if (ecn_threshold_ > 0 && queued_bytes_ >= ecn_threshold_) {
-    to_queue.ecn_ce = true;
+    node->pkt.ecn_ce = true;
     ++stats_.ecn_marks;
   }
-  queue_.push_back(to_queue);
-  queued_bytes_ += pkt.size_bytes;
+  node->next = nullptr;
+  if (tail_ == nullptr) {
+    head_ = tail_ = node;
+  } else {
+    tail_->next = node;
+    tail_ = node;
+  }
+  queued_bytes_ += node->pkt.size_bytes;
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
   if (!busy_) start_tx(sim);
 }
 
 void Link::start_tx(Simulator& sim) {
-  SPINELESS_DCHECK(!queue_.empty());
+  SPINELESS_DCHECK(head_ != nullptr);
   busy_ = true;
-  sim.schedule_after(
-      units::serialization_time(queue_.front().size_bytes, rate_bps_), this,
-      /*ctx=*/0);
+  const std::int64_t size = head_->pkt.size_bytes;
+  if (size != memo_size_) {
+    memo_size_ = size;
+    memo_time_ = units::serialization_time(size, rate_bps_);
+  }
+  sim.schedule_after(memo_time_, this, /*ctx=*/0);
 }
 
 void Link::on_event(Simulator& sim, std::uint64_t ctx) {
   if (ctx == 0) {
-    // Head packet fully serialized: launch it down the wire.
-    Packet pkt = queue_.front();
-    queue_.pop_front();
-    queued_bytes_ -= pkt.size_bytes;
+    // Head packet fully serialized: launch it down the wire. The node
+    // itself rides the propagation event; arrivals stay FIFO because
+    // serialization completes in order and the delay is constant.
+    PacketNode* node = head_;
+    head_ = node->next;
+    if (head_ == nullptr) tail_ = nullptr;
+    node->next = nullptr;
+    queued_bytes_ -= node->pkt.size_bytes;
     ++stats_.packets_tx;
-    stats_.bytes_tx += pkt.size_bytes;
-    in_flight_.push_back(pkt);
-    sim.schedule_after(prop_delay_, this, /*ctx=*/1);
-    if (!queue_.empty())
+    stats_.bytes_tx += node->pkt.size_bytes;
+    sim.schedule_after(prop_delay_, this,
+                       reinterpret_cast<std::uint64_t>(node));
+    if (head_ != nullptr)
       start_tx(sim);
     else
       busy_ = false;
   } else {
-    // Arrival at the peer. Serialization completes in order and the
-    // propagation delay is constant, so arrivals are FIFO.
-    SPINELESS_DCHECK(!in_flight_.empty());
-    Packet pkt = in_flight_.front();
-    in_flight_.pop_front();
-    peer_->receive(sim, pkt);
+    // Arrival: hand the node to the peer, which now owns it (it either
+    // forwards it onto its next link or releases it to the pool).
+    peer_->receive(sim, reinterpret_cast<PacketNode*>(ctx));
   }
 }
 

@@ -1,22 +1,30 @@
 // A unidirectional link: drop-tail byte-bounded output queue, store-and-
 // forward serialization at the line rate, then fixed propagation delay to
 // the receiving device.
+//
+// Packets live in PacketNodes drawn from a shared PacketPool: the output
+// queue is an intrusive FIFO of nodes, and a packet in flight travels
+// through the event queue as its node pointer (ctx), so the data path
+// performs no heap allocation and no staging copies once the pool is warm.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
 #include "sim/packet.h"
+#include "sim/packet_pool.h"
 #include "sim/simulator.h"
 
 namespace spineless::sim {
 
-// Anything that can accept a packet off a link.
+// Anything that can accept a packet off a link. The device takes ownership
+// of the node: it must either re-enqueue it on another Link or release it
+// back to the pool — this is what lets a packet cross the whole fabric
+// without ever being copied.
 class Device {
  public:
   virtual ~Device() = default;
-  virtual void receive(Simulator& sim, Packet pkt) = 0;
+  virtual void receive(Simulator& sim, PacketNode* node) = 0;
 };
 
 class Link : public EventSink {
@@ -31,23 +39,30 @@ class Link : public EventSink {
 
   // ecn_threshold_bytes > 0 enables ECN: packets enqueued while the queue
   // holds at least that many bytes get the congestion-experienced mark
-  // (DCTCP-style instantaneous-queue marking).
+  // (DCTCP-style instantaneous-queue marking). The pool outlives the link
+  // and is typically shared by every link of a Network.
   Link(std::int64_t rate_bps, Time propagation_delay,
-       std::int64_t queue_capacity_bytes, Device* peer,
+       std::int64_t queue_capacity_bytes, Device* peer, PacketPool* pool,
        std::int64_t ecn_threshold_bytes = 0)
       : rate_bps_(rate_bps),
         prop_delay_(propagation_delay),
         queue_capacity_(queue_capacity_bytes),
         ecn_threshold_(ecn_threshold_bytes),
-        peer_(peer) {
+        peer_(peer),
+        pool_(pool) {
     SPINELESS_CHECK(rate_bps > 0 && queue_capacity_bytes > 0);
     SPINELESS_CHECK(peer != nullptr);
+    SPINELESS_CHECK(pool != nullptr);
   }
 
   // Drop-tail enqueue; starts the transmitter if idle. Packets offered to
   // a downed link are dropped (counted in stats) — the data-plane blackhole
   // between a physical failure and routing reconvergence.
   void enqueue(Simulator& sim, const Packet& pkt);
+  // Zero-copy variant: takes ownership of a node already drawn from the
+  // pool (the forwarding path hands nodes link to link). Dropped nodes are
+  // released back to the pool.
+  void enqueue_node(Simulator& sim, PacketNode* node);
 
   void set_down(bool down) noexcept { down_ = down; }
   bool is_down() const noexcept { return down_; }
@@ -56,7 +71,7 @@ class Link : public EventSink {
   std::int64_t queued_bytes() const noexcept { return queued_bytes_; }
 
   // EventSink: ctx 0 = serialization of head packet finished,
-  //            ctx 1 = packet arrived at peer after propagation.
+  //            ctx != 0 = the PacketNode* that arrived at the peer.
   void on_event(Simulator& sim, std::uint64_t ctx) override;
 
  private:
@@ -67,9 +82,17 @@ class Link : public EventSink {
   std::int64_t queue_capacity_;
   std::int64_t ecn_threshold_ = 0;
   Device* peer_;
+  PacketPool* pool_;
 
-  std::deque<Packet> queue_;       // awaiting serialization (head = in tx)
-  std::deque<Packet> in_flight_;   // serialized, propagating (FIFO arrival)
+  // Serialization-time memo: a direction carries almost exclusively one
+  // packet size (data one way, ACKs the other), so this caches the 128-bit
+  // division in units::serialization_time away from the per-packet path.
+  std::int64_t memo_size_ = -1;
+  Time memo_time_ = 0;
+
+  // Intrusive FIFO awaiting serialization (head = in tx).
+  PacketNode* head_ = nullptr;
+  PacketNode* tail_ = nullptr;
   std::int64_t queued_bytes_ = 0;
   bool busy_ = false;
   bool down_ = false;

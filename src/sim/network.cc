@@ -8,68 +8,77 @@ namespace spineless::sim {
 // the host port.
 class Network::SwitchDev : public Device {
  public:
-  SwitchDev(Network& net, NodeId id) : net_(net), id_(id) {}
-  void receive(Simulator& sim, Packet pkt) override {
-    net_.forward_at_switch(sim, id_, pkt);
+  void init(Network* net, NodeId id) {
+    net_ = net;
+    id_ = id;
+  }
+  void receive(Simulator& sim, PacketNode* node) override {
+    net_->forward_at_switch(sim, id_, node);
   }
 
  private:
-  Network& net_;
-  NodeId id_;
+  Network* net_ = nullptr;
+  NodeId id_ = 0;
 };
 
 // Host device: hands arriving packets to the flow endpoint.
 class Network::HostDev : public Device {
  public:
-  explicit HostDev(Network& net) : net_(net) {}
-  void receive(Simulator& sim, Packet pkt) override {
-    net_.deliver(sim, pkt);
+  void init(Network* net) { net_ = net; }
+  void receive(Simulator& sim, PacketNode* node) override {
+    net_->deliver(sim, node->pkt);
+    net_->pool_.release(node);
   }
 
  private:
-  Network& net_;
+  Network* net_ = nullptr;
 };
 
 Network::Network(const Graph& g, const NetworkConfig& cfg)
-    : graph_(g), cfg_(cfg), ecmp_(routing::EcmpTable::compute(g)) {
-  if (cfg_.mode == RoutingMode::kShortestUnion) {
+    : graph_(g), cfg_(cfg) {
+  // Only the table the active mode forwards with is computed; the other
+  // would be dead weight per construction and per reconvergence.
+  if (cfg_.mode == RoutingMode::kEcmp) {
+    ecmp_ = std::make_unique<routing::EcmpTable>(routing::EcmpTable::compute(g));
+  } else if (cfg_.mode == RoutingMode::kShortestUnion) {
     vrf_ = std::make_unique<routing::VrfTable>(
         routing::VrfTable::compute(g, cfg_.su_k));
   }
   if (cfg_.host_rate_bps == 0) cfg_.host_rate_bps = cfg_.link_rate_bps;
-  switches_.reserve(static_cast<std::size_t>(g.num_switches()));
+  switches_ =
+      std::make_unique<SwitchDev[]>(static_cast<std::size_t>(g.num_switches()));
   for (NodeId n = 0; n < g.num_switches(); ++n)
-    switches_.push_back(std::make_unique<SwitchDev>(*this, n));
+    switches_[static_cast<std::size_t>(n)].init(this, n);
   if (cfg_.flowlet_gap > 0)
     flowlets_.resize(static_cast<std::size_t>(g.num_switches()));
-  hosts_.reserve(static_cast<std::size_t>(g.total_servers()));
+  hosts_ =
+      std::make_unique<HostDev[]>(static_cast<std::size_t>(g.total_servers()));
   for (HostId h = 0; h < g.total_servers(); ++h)
-    hosts_.push_back(std::make_unique<HostDev>(*this));
+    hosts_[static_cast<std::size_t>(h)].init(this);
 
-  net_links_.resize(2 * static_cast<std::size_t>(g.num_links()));
+  net_links_.reserve(2 * static_cast<std::size_t>(g.num_links()));
   for (topo::LinkId l = 0; l < g.num_links(); ++l) {
     const topo::Link& link = g.link(l);
-    net_links_[2 * static_cast<std::size_t>(l)] = std::make_unique<Link>(
-        cfg_.link_rate_bps, cfg_.link_delay, cfg_.queue_bytes,
-        switches_[static_cast<std::size_t>(link.b)].get(),
-        cfg_.ecn_threshold_bytes);
-    net_links_[2 * static_cast<std::size_t>(l) + 1] = std::make_unique<Link>(
-        cfg_.link_rate_bps, cfg_.link_delay, cfg_.queue_bytes,
-        switches_[static_cast<std::size_t>(link.a)].get(),
-        cfg_.ecn_threshold_bytes);
+    net_links_.emplace_back(cfg_.link_rate_bps, cfg_.link_delay,
+                            cfg_.queue_bytes,
+                            &switches_[static_cast<std::size_t>(link.b)],
+                            &pool_, cfg_.ecn_threshold_bytes);
+    net_links_.emplace_back(cfg_.link_rate_bps, cfg_.link_delay,
+                            cfg_.queue_bytes,
+                            &switches_[static_cast<std::size_t>(link.a)],
+                            &pool_, cfg_.ecn_threshold_bytes);
   }
-  host_up_.resize(static_cast<std::size_t>(g.total_servers()));
-  host_down_.resize(static_cast<std::size_t>(g.total_servers()));
+  host_up_.reserve(static_cast<std::size_t>(g.total_servers()));
+  host_down_.reserve(static_cast<std::size_t>(g.total_servers()));
   for (HostId h = 0; h < g.total_servers(); ++h) {
     const NodeId tor = g.tor_of_host(h);
-    host_up_[static_cast<std::size_t>(h)] = std::make_unique<Link>(
-        cfg_.host_rate_bps, cfg_.link_delay, cfg_.queue_bytes,
-        switches_[static_cast<std::size_t>(tor)].get(),
-        cfg_.ecn_threshold_bytes);
-    host_down_[static_cast<std::size_t>(h)] = std::make_unique<Link>(
-        cfg_.host_rate_bps, cfg_.link_delay, cfg_.queue_bytes,
-        hosts_[static_cast<std::size_t>(h)].get(),
-        cfg_.ecn_threshold_bytes);
+    host_up_.emplace_back(cfg_.host_rate_bps, cfg_.link_delay, cfg_.queue_bytes,
+                          &switches_[static_cast<std::size_t>(tor)], &pool_,
+                          cfg_.ecn_threshold_bytes);
+    host_down_.emplace_back(cfg_.host_rate_bps, cfg_.link_delay,
+                            cfg_.queue_bytes,
+                            &hosts_[static_cast<std::size_t>(h)], &pool_,
+                            cfg_.ecn_threshold_bytes);
   }
 }
 
@@ -95,19 +104,25 @@ Network::~Network() = default;
 
 void Network::take_link_down(topo::LinkId link) {
   down_links_.insert(link);
-  net_links_[2 * static_cast<std::size_t>(link)]->set_down(true);
-  net_links_[2 * static_cast<std::size_t>(link) + 1]->set_down(true);
+  net_links_[2 * static_cast<std::size_t>(link)].set_down(true);
+  net_links_[2 * static_cast<std::size_t>(link) + 1].set_down(true);
 }
 
 void Network::bring_link_up(topo::LinkId link) {
   down_links_.erase(link);
-  net_links_[2 * static_cast<std::size_t>(link)]->set_down(false);
-  net_links_[2 * static_cast<std::size_t>(link) + 1]->set_down(false);
+  net_links_[2 * static_cast<std::size_t>(link)].set_down(false);
+  net_links_[2 * static_cast<std::size_t>(link) + 1].set_down(false);
 }
 
 void Network::reconverge_tables() {
-  ecmp_ = routing::EcmpTable::compute(graph_, &down_links_);
-  if (cfg_.mode == RoutingMode::kShortestUnion) {
+  if (cfg_.mode == RoutingMode::kEcmp) {
+    ecmp_ = std::make_unique<routing::EcmpTable>(
+        routing::EcmpTable::compute(graph_, &down_links_));
+    if (cfg_.validate_tables)
+      SPINELESS_CHECK_MSG(
+          routing::ecmp_table_valid(graph_, *ecmp_, &down_links_),
+          "reconverged ECMP table failed validation");
+  } else if (cfg_.mode == RoutingMode::kShortestUnion) {
     vrf_ = std::make_unique<routing::VrfTable>(
         routing::VrfTable::compute(graph_, cfg_.su_k, &down_links_));
   }
@@ -153,7 +168,7 @@ void Network::inject_from_host(Simulator& sim, Packet pkt) {
     pkt.route = pkt.is_ack ? &routes_[idx]->reverse : &routes_[idx]->forward;
     pkt.route_idx = 0;
   }
-  host_up_[static_cast<std::size_t>(pkt.src_host)]->enqueue(sim, pkt);
+  host_up_[static_cast<std::size_t>(pkt.src_host)].enqueue(sim, pkt);
 }
 
 topo::LinkId Network::link_to_neighbor(NodeId node, NodeId neighbor) const {
@@ -169,7 +184,10 @@ std::uint64_t Network::hash_key(Simulator& sim, NodeId node,
       static_cast<std::uint64_t>(pkt.flow_id) * 0x9e3779b97f4a7c15ULL ^
       (static_cast<std::uint64_t>(node) << 32);
   if (cfg_.flowlet_gap > 0) {
-    auto& state = flowlets_[static_cast<std::size_t>(node)][pkt.flow_id];
+    auto& per_switch = flowlets_[static_cast<std::size_t>(node)];
+    const auto fidx = static_cast<std::size_t>(pkt.flow_id);
+    if (per_switch.size() <= fidx) per_switch.resize(fidx + 1);
+    auto& state = per_switch[fidx];
     if (state.last != 0 && sim.now() - state.last > cfg_.flowlet_gap)
       ++state.id;  // idle gap long enough to reorder-safely switch paths
     state.last = sim.now();
@@ -180,10 +198,12 @@ std::uint64_t Network::hash_key(Simulator& sim, NodeId node,
 
 Link& Network::out_link(NodeId node, topo::LinkId link) {
   const bool a_to_b = graph_.link(link).a == node;
-  return *net_links_[2 * static_cast<std::size_t>(link) + (a_to_b ? 0 : 1)];
+  return net_links_[2 * static_cast<std::size_t>(link) + (a_to_b ? 0 : 1)];
 }
 
-void Network::forward_at_switch(Simulator& sim, NodeId node, Packet pkt) {
+void Network::forward_at_switch(Simulator& sim, NodeId node,
+                                PacketNode* packet_node) {
+  Packet& pkt = packet_node->pkt;  // mutated in place; the node moves on
   if (cfg_.trace_paths && !pkt.is_ack && pkt.seq == 0) {
     const auto idx = static_cast<std::size_t>(pkt.flow_id);
     if (traces_.size() <= idx) traces_.resize(idx + 1);
@@ -195,11 +215,13 @@ void Network::forward_at_switch(Simulator& sim, NodeId node, Packet pkt) {
   if (pkt.dst_tor == node) {
     // Local rack: the subnet is directly connected (in every VRF — the
     // standard connected-route leak), hand to the host port.
-    host_down_[static_cast<std::size_t>(pkt.dst_host)]->enqueue(sim, pkt);
+    host_down_[static_cast<std::size_t>(pkt.dst_host)].enqueue_node(
+        sim, packet_node);
     return;
   }
   if (++pkt.hops > 64) {
     ++extra_.ttl_drops;
+    pool_.release(packet_node);
     return;
   }
   if (cfg_.mode == RoutingMode::kSourceRouted) {
@@ -207,7 +229,8 @@ void Network::forward_at_switch(Simulator& sim, NodeId node, Packet pkt) {
                      (*pkt.route)[pkt.route_idx] == node);
     const NodeId next = (*pkt.route)[pkt.route_idx + 1];
     ++pkt.route_idx;
-    out_link(node, link_to_neighbor(node, next)).enqueue(sim, pkt);
+    out_link(node, link_to_neighbor(node, next)).enqueue_node(sim,
+                                                              packet_node);
     return;
   }
   // Hash key: flow and current switch — per-hop independent ECMP, like
@@ -216,18 +239,20 @@ void Network::forward_at_switch(Simulator& sim, NodeId node, Packet pkt) {
   const std::uint64_t key = hash_key(sim, node, pkt);
 
   if (cfg_.mode == RoutingMode::kEcmp) {
-    const auto& hops = ecmp_.next_hops(node, pkt.dst_tor);
+    const auto hops = ecmp_->next_hops(node, pkt.dst_tor);
     if (hops.empty()) {
       ++extra_.no_route_drops;  // destination cut off by failures
+      pool_.release(packet_node);
       return;
     }
     const routing::Port& p = hops[pick(key, hops.size())];
-    out_link(node, p.link).enqueue(sim, pkt);
+    out_link(node, p.link).enqueue_node(sim, packet_node);
     return;
   }
   const auto& hops = vrf_->next_hops(node, pkt.vrf, pkt.dst_tor);
   if (hops.empty()) {
     ++extra_.no_route_drops;
+    pool_.release(packet_node);
     return;
   }
   std::size_t choice;
@@ -246,7 +271,7 @@ void Network::forward_at_switch(Simulator& sim, NodeId node, Packet pkt) {
   }
   const routing::VrfHop& h = hops[choice];
   pkt.vrf = static_cast<std::int8_t>(h.next_vrf);
-  out_link(node, h.port.link).enqueue(sim, pkt);
+  out_link(node, h.port.link).enqueue_node(sim, packet_node);
 }
 
 void Network::deliver(Simulator& sim, const Packet& pkt) {
@@ -265,9 +290,8 @@ routing::Path Network::traced_path(std::int32_t flow_id) const {
 
 Network::NetStats Network::stats() const {
   NetStats s = extra_;
-  auto account = [&s](const std::vector<std::unique_ptr<Link>>& links) {
-    for (const auto& l : links)
-      if (l) s.queue_drops += l->stats().drops;
+  auto account = [&s](const std::vector<Link>& links) {
+    for (const Link& l : links) s.queue_drops += l.stats().drops;
   };
   account(net_links_);
   account(host_up_);
@@ -278,7 +302,7 @@ Network::NetStats Network::stats() const {
 std::vector<std::int64_t> Network::queue_occupancy() const {
   std::vector<std::int64_t> occ;
   occ.reserve(net_links_.size());
-  for (const auto& l : net_links_) occ.push_back(l ? l->queued_bytes() : 0);
+  for (const Link& l : net_links_) occ.push_back(l.queued_bytes());
   return occ;
 }
 
@@ -288,11 +312,8 @@ std::vector<double> Network::link_utilization(Time elapsed) const {
   util.reserve(net_links_.size());
   const double capacity_bytes = static_cast<double>(cfg_.link_rate_bps) / 8.0 *
                                 units::to_seconds(elapsed);
-  for (const auto& l : net_links_) {
-    util.push_back(l ? static_cast<double>(l->stats().bytes_tx) /
-                           capacity_bytes
-                     : 0.0);
-  }
+  for (const Link& l : net_links_)
+    util.push_back(static_cast<double>(l.stats().bytes_tx) / capacity_bytes);
   return util;
 }
 
@@ -310,8 +331,8 @@ Network::UtilizationStats Network::utilization_stats(Time elapsed) const {
 
 std::int64_t Network::max_network_queue_bytes() const {
   std::int64_t peak = 0;
-  for (const auto& l : net_links_)
-    if (l) peak = std::max(peak, l->stats().max_queue_bytes);
+  for (const Link& l : net_links_)
+    peak = std::max(peak, l.stats().max_queue_bytes);
   return peak;
 }
 

@@ -13,8 +13,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "routing/ecmp.h"
@@ -22,6 +20,7 @@
 #include "routing/vrf.h"
 #include "sim/link.h"
 #include "sim/packet.h"
+#include "sim/packet_pool.h"
 #include "sim/simulator.h"
 #include "topo/graph.h"
 #include "util/rng.h"
@@ -67,6 +66,11 @@ struct NetworkConfig {
   // lets tests assert that forwarding really uses (only) the intended
   // path sets. Off by default (costs a per-packet branch).
   bool trace_paths = false;
+  // Re-validate forwarding tables (loop-freedom, distances, dead-link
+  // avoidance) after every reconverge_tables(). The check re-runs a BFS
+  // per destination — O(V*E) per dst — so it is off by default and meant
+  // for tests and debugging, not release benches.
+  bool validate_tables = false;
   std::uint64_t ecmp_salt = 0x5eedULL;
 };
 
@@ -111,6 +115,10 @@ class Network {
   // Peak queue occupancy across switch-switch links (diagnostics).
   std::int64_t max_network_queue_bytes() const;
 
+  // The shared packet-buffer pool (diagnostics: pooling tests assert its
+  // block count plateaus across back-to-back experiments).
+  const PacketPool& packet_pool() const noexcept { return pool_; }
+
   // --- Mid-simulation link failures (the §7 failure questions at the
   // data plane) ---
   // Takes the physical link down immediately: both directions drop all
@@ -120,6 +128,7 @@ class Network {
   // Recomputes the forwarding tables excluding currently-down links —
   // what the control plane installs once it has reconverged. Destinations
   // cut off entirely get empty next-hop sets (counted as no_route_drops).
+  // Only the table the routing mode actually forwards with is recomputed.
   void reconverge_tables();
   // Convenience: schedule a failure at `at` and the table update at
   // `at + reconvergence_delay` (the control-plane convergence window).
@@ -154,30 +163,42 @@ class Network {
   friend class HostDev;
 
   Link& out_link(NodeId node, topo::LinkId link);
-  void forward_at_switch(Simulator& sim, NodeId node, Packet pkt);
+  void forward_at_switch(Simulator& sim, NodeId node, PacketNode* packet_node);
   void deliver(Simulator& sim, const Packet& pkt);
   topo::LinkId link_to_neighbor(NodeId node, NodeId neighbor) const;
   // Per-flow hash key at a switch, with the flowlet id mixed in when
   // flowlet switching is enabled.
   std::uint64_t hash_key(Simulator& sim, NodeId node, const Packet& pkt);
 
+  // Maps the hash onto [0, n) with a multiply-shift instead of a modulo —
+  // the per-hop divide was a measurable slice of forwarding cost.
   std::uint32_t pick(std::uint64_t key, std::size_t n) const {
-    return static_cast<std::uint32_t>(splitmix64(key ^ cfg_.ecmp_salt) % n);
+    const std::uint64_t h = splitmix64(key ^ cfg_.ecmp_salt);
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(h) * n) >> 64);
   }
 
   const Graph& graph_;
   NetworkConfig cfg_;
-  routing::EcmpTable ecmp_;
-  std::unique_ptr<routing::VrfTable> vrf_;  // only in kShortestUnion mode
+  // Forwarding table of the active mode; the other stays null (computing
+  // both doubled reconvergence cost for no data-plane benefit).
+  std::unique_ptr<routing::EcmpTable> ecmp_;  // only in kEcmp mode
+  std::unique_ptr<routing::VrfTable> vrf_;    // only in kShortestUnion mode
 
-  std::vector<std::unique_ptr<SwitchDev>> switches_;
-  std::vector<std::unique_ptr<HostDev>> hosts_;
+  // Declared before the links so it outlives them.
+  PacketPool pool_;
+
+  // Devices and links live in contiguous arrays — the forwarding path
+  // indexes straight into them with no per-object heap indirection, which
+  // keeps the handful of hot Link records packed into few cache lines.
+  std::unique_ptr<SwitchDev[]> switches_;
+  std::unique_ptr<HostDev[]> hosts_;
   // Switch-to-switch: two directed Links per topology link (index 2l for
   // a->b, 2l+1 for b->a).
-  std::vector<std::unique_ptr<Link>> net_links_;
+  std::vector<Link> net_links_;
   // Host NICs: uplink host->ToR and downlink ToR->host per host.
-  std::vector<std::unique_ptr<Link>> host_up_;
-  std::vector<std::unique_ptr<Link>> host_down_;
+  std::vector<Link> host_up_;
+  std::vector<Link> host_down_;
 
   std::vector<Endpoint*> sources_;
   std::vector<Endpoint*> sinks_;
@@ -187,14 +208,16 @@ class Network {
     routing::Path reverse;
   };
   std::vector<std::unique_ptr<FlowRoutes>> routes_;
-  // Flowlet state per switch: flow id -> (last packet time, flowlet id).
+  // Flowlet state per switch, indexed by dense flow id (flat vectors grown
+  // on demand — the per-switch unordered_map lookup was a profiled hot
+  // spot when flowlet switching is enabled).
   struct FlowletState {
     Time last = 0;
     std::uint32_t id = 0;
   };
-  std::vector<std::unordered_map<std::int32_t, FlowletState>> flowlets_;
+  std::vector<std::vector<FlowletState>> flowlets_;
   std::vector<routing::Path> traces_;  // per flow id, when trace_paths
-  std::set<topo::LinkId> down_links_;
+  routing::LinkSet down_links_;
   // Pending failure schedulers (own their EventSink identity).
   class FailureEvent;
   std::vector<std::unique_ptr<FailureEvent>> failure_events_;

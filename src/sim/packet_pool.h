@@ -1,0 +1,69 @@
+// Free-list pool of packet buffer nodes, shared by every Link of a Network.
+//
+// Queued and in-flight packets live in PacketNodes drawn from here; nodes
+// recycle through the free list, so steady-state forwarding performs zero
+// heap allocations and back-to-back experiments on one Network reuse the
+// same buffers (the block count plateaus — asserted by tests/sim/pool_test).
+// In-flight packets ride through the event queue as node pointers, which
+// also removes a per-hop staging copy the old deque design paid.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/packet.h"
+
+namespace spineless::sim {
+
+struct PacketNode {
+  Packet pkt;
+  PacketNode* next = nullptr;
+};
+
+class PacketPool {
+ public:
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  PacketNode* alloc(const Packet& pkt) {
+    if (free_ == nullptr) grow();
+    PacketNode* n = free_;
+    free_ = n->next;
+    n->pkt = pkt;
+    n->next = nullptr;
+    ++in_use_;
+    return n;
+  }
+
+  void release(PacketNode* n) noexcept {
+    n->next = free_;
+    free_ = n;
+    --in_use_;
+  }
+
+  // Diagnostics: pooling tests assert blocks_allocated() plateaus across
+  // experiments; BENCH_*.json records peak buffer usage.
+  std::size_t blocks_allocated() const noexcept { return blocks_.size(); }
+  std::size_t total_nodes() const noexcept { return blocks_.size() * kBlock; }
+  std::size_t in_use() const noexcept { return in_use_; }
+
+ private:
+  static constexpr std::size_t kBlock = 256;
+
+  void grow() {
+    blocks_.push_back(std::make_unique<PacketNode[]>(kBlock));
+    PacketNode* block = blocks_.back().get();
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      block[i].next = free_;
+      free_ = &block[i];
+    }
+  }
+
+  PacketNode* free_ = nullptr;
+  std::size_t in_use_ = 0;
+  std::vector<std::unique_ptr<PacketNode[]>> blocks_;
+};
+
+}  // namespace spineless::sim

@@ -3,24 +3,32 @@
 namespace spineless::sim {
 
 bool Simulator::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().t <= deadline) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty() && heap_[0].t <= deadline) {
+    const Event ev = heap_[0];
     now_ = ev.t;
     ++processed_;
+    top_hole_ = true;  // the root slot may be reused by the first push
     ev.sink->on_event(*this, ev.ctx);
+    if (top_hole_) {
+      top_hole_ = false;
+      pop();
+    }
   }
   if (now_ < deadline) now_ = deadline;
-  return !queue_.empty();
+  return !heap_.empty();
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const Event ev = heap_[0];
     now_ = ev.t;
     ++processed_;
+    top_hole_ = true;
     ev.sink->on_event(*this, ev.ctx);
+    if (top_hole_) {
+      top_hole_ = false;
+      pop();
+    }
   }
 }
 

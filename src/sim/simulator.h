@@ -2,10 +2,14 @@
 // events. Events are delivered to EventSink::on_event with an opaque
 // context word; ties in time break by schedule order (seq), making every
 // run deterministic.
+//
+// The queue is a hand-rolled 4-ary implicit heap rather than
+// std::priority_queue: events are popped and pushed once per packet hop, so
+// the shallower tree (half the levels of a binary heap, each level a cache
+// line of four 32-byte events) measurably raises simulator throughput.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "util/error.h"
@@ -23,19 +27,21 @@ class EventSink {
 
 class Simulator {
  public:
+  Simulator() { heap_.reserve(1024); }
+
   Time now() const noexcept { return now_; }
   std::uint64_t events_processed() const noexcept { return processed_; }
 
   void schedule_at(Time t, EventSink* sink, std::uint64_t ctx) {
     SPINELESS_DCHECK(t >= now_);
     SPINELESS_DCHECK(sink != nullptr);
-    queue_.push(Event{t, seq_++, sink, ctx});
+    push(Event{t, seq_++, sink, ctx});
   }
   void schedule_after(Time dt, EventSink* sink, std::uint64_t ctx) {
     schedule_at(now_ + dt, sink, ctx);
   }
 
-  bool empty() const noexcept { return queue_.empty(); }
+  bool empty() const noexcept { return heap_.empty(); }
 
   // Runs events with time <= deadline; returns true if events remain.
   bool run_until(Time deadline);
@@ -48,13 +54,60 @@ class Simulator {
     std::uint64_t seq;
     EventSink* sink;
     std::uint64_t ctx;
-    bool operator>(const Event& o) const noexcept {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
+    bool before(const Event& o) const noexcept {
+      if (t != o.t) return t < o.t;
+      return seq < o.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  void push(const Event& e) {
+    // Replace-top: while the event being dispatched still occupies the
+    // root, the first push lands there directly — equivalent to pop-then-
+    // push but with a single sift-down instead of sift-down + sift-up.
+    // Most events (hop arrivals, serialization completions, ACK timers)
+    // schedule exactly one successor, so this is the common case.
+    if (top_hole_) {
+      top_hole_ = false;
+      heap_[0] = e;
+      sift_down(0);
+      return;
+    }
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!heap_[i].before(heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (heap_[c].before(heap_[best])) best = c;
+      if (!heap_[best].before(heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  // Removes the minimum; heap_ must be non-empty.
+  void pop() {
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  std::vector<Event> heap_;  // 4-ary min-heap ordered by (t, seq)
+  // True while the root event is being dispatched and its slot may be
+  // reused by the next push (see push()).
+  bool top_hole_ = false;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

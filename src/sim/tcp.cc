@@ -6,7 +6,8 @@
 namespace spineless::sim {
 namespace {
 
-constexpr std::uint64_t kStartCtx = 0;  // timer generations start at 1
+constexpr std::uint64_t kStartCtx = 0;
+constexpr std::uint64_t kRtoCtx = 1;
 
 std::int64_t packets_for(std::int64_t bytes) {
   return (bytes + kMss - 1) / kMss;
@@ -47,8 +48,16 @@ void TcpSource::on_event(Simulator& sim, std::uint64_t ctx) {
     arm_rto(sim);
     return;
   }
-  // RTO timer: ignore stale generations and timers after completion.
-  if (ctx != rto_gen_ || record_.completed()) return;
+  // RTO timer fired. ACKs only advance rto_deadline_, so a fire before the
+  // current deadline just re-arms at the deadline; a fire at or past it is
+  // a real timeout.
+  timer_pending_ = false;
+  if (record_.completed()) return;
+  if (sim.now() < rto_deadline_) {
+    timer_pending_ = true;
+    sim.schedule_at(rto_deadline_, this, kRtoCtx);
+    return;
+  }
   handle_timeout(sim);
 }
 
@@ -74,9 +83,12 @@ void TcpSource::send_available(Simulator& sim) {
 }
 
 void TcpSource::arm_rto(Simulator& sim) {
-  ++rto_gen_;
   const Time timeout = std::min(cfg_.max_rto, rto_ << std::min(backoff_, 6));
-  sim.schedule_after(timeout, this, rto_gen_);
+  rto_deadline_ = sim.now() + timeout;
+  if (!timer_pending_) {
+    timer_pending_ = true;
+    sim.schedule_at(rto_deadline_, this, kRtoCtx);
+  }
 }
 
 void TcpSource::note_rtt_sample(Time rtt) {
@@ -154,7 +166,7 @@ void TcpSource::handle_new_ack(Simulator& sim, std::int64_t acked,
 
   if (cum_ >= total_pkts_) {
     record_.finish = sim.now();
-    ++rto_gen_;  // cancel any outstanding timer
+    // Any pending timer fires once more, sees completed(), and dies.
     return;
   }
   send_available(sim);
@@ -203,10 +215,14 @@ void TcpSink::on_packet(Simulator& sim, const Packet& data) {
          received_[static_cast<std::size_t>(next_expected_)]) {
     ++next_expected_;
   }
+  if (ack_dst_ != data.src_host) {  // resolved once; constant per flow
+    ack_dst_ = data.src_host;
+    ack_tor_ = net_.graph().tor_of_host(data.src_host);
+  }
   Packet ack;
   ack.src_host = data.dst_host;
   ack.dst_host = data.src_host;
-  ack.dst_tor = net_.graph().tor_of_host(data.src_host);
+  ack.dst_tor = ack_tor_;
   ack.flow_id = flow_id_;
   ack.seq = next_expected_;
   ack.size_bytes = kAckPacketBytes;

@@ -66,7 +66,7 @@ class TcpSource : public EventSink, public Endpoint {
 
   // Endpoint: ACK arrival.
   void on_packet(Simulator& sim, const Packet& ack) override;
-  // EventSink: flow start (ctx 0) or RTO timer (ctx = generation).
+  // EventSink: flow start (ctx 0) or RTO timer (ctx 1).
   void on_event(Simulator& sim, std::uint64_t ctx) override;
 
   double dctcp_alpha() const noexcept { return dctcp_alpha_; }
@@ -109,7 +109,13 @@ class TcpSource : public EventSink, public Endpoint {
   Time rttvar_ = 0;
   Time rto_;
   int backoff_ = 0;
-  std::uint64_t rto_gen_ = 0;  // invalidates stale timers
+  // Retransmission timer, deadline-checked: at most one timer event is in
+  // the simulator heap per flow. Each ACK only advances rto_deadline_; the
+  // pending event re-arms itself if it fires before the current deadline.
+  // (Pushing a fresh timer per ACK left thousands of stale events in the
+  // heap, and the deeper sift per push/pop dominated the event loop.)
+  Time rto_deadline_ = 0;
+  bool timer_pending_ = false;
 
   FlowRecord record_;
   bool started_ = false;
@@ -127,6 +133,10 @@ class TcpSink : public Endpoint {
   std::int32_t flow_id_;
   std::int64_t next_expected_ = 0;
   std::vector<bool> received_;  // out-of-order buffer flags
+  // Memoized ACK return address (tor_of_host binary-searches a prefix-sum
+  // array; the sender of a flow never changes).
+  topo::HostId ack_dst_ = -1;
+  topo::NodeId ack_tor_ = 0;
 };
 
 // Builds sources for a whole workload and summarizes FCTs.

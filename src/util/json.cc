@@ -1,0 +1,139 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace spineless {
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+void JsonWriter::append_string(const std::string& s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::append_double(double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out_ += buf;
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma();
+  append_string(k);
+  out_ += ':';
+}
+
+void JsonWriter::kv(const std::string& k, const std::string& v) {
+  key(k);
+  append_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::kv(const std::string& k, const char* v) {
+  kv(k, std::string(v));
+}
+
+void JsonWriter::kv(const std::string& k, double v) {
+  key(k);
+  append_double(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::kv(const std::string& k, std::int64_t v) {
+  key(k);
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::kv(const std::string& k, std::uint64_t v) {
+  key(k);
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::kv(const std::string& k, bool v) {
+  key(k);
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma();
+  append_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  append_double(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+bool write_json_file(const std::string& path, const JsonWriter& writer) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string& s = writer.str();
+  const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace spineless

@@ -1,0 +1,49 @@
+// Minimal JSON emitter for the machine-readable BENCH_*.json artifacts.
+// Streaming writer: begin/end objects and arrays, write keyed or plain
+// values; commas and string escaping are handled here so call sites stay
+// declarative. No DOM, no parsing — benches only ever write.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spineless {
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Keyed forms, valid inside an object.
+  void key(const std::string& k);
+  void kv(const std::string& k, const std::string& v);
+  void kv(const std::string& k, const char* v);
+  void kv(const std::string& k, double v);
+  void kv(const std::string& k, std::int64_t v);
+  void kv(const std::string& k, std::uint64_t v);
+  void kv(const std::string& k, int v) { kv(k, static_cast<std::int64_t>(v)); }
+  void kv(const std::string& k, bool v);
+
+  // Plain values, valid inside an array.
+  void value(const std::string& v);
+  void value(double v);
+  void value(std::int64_t v);
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma();
+  void append_string(const std::string& s);
+  void append_double(double v);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+// Writes `writer`'s document to `path` (+ trailing newline). Returns false
+// (and leaves no partial file guarantees) if the file cannot be written.
+bool write_json_file(const std::string& path, const JsonWriter& writer);
+
+}  // namespace spineless

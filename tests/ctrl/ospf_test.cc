@@ -52,7 +52,8 @@ TEST_P(OspfEquivalence, SpfMatchesAnalyticEcmpTable) {
       if (r == dst) continue;
       EXPECT_EQ(ospf.distance(r, dst), table.distance(r, dst));
       auto mine = ospf.next_hops(r, dst);
-      auto want = table.next_hops(r, dst);
+      const auto want_span = table.next_hops(r, dst);
+      std::vector<Port> want(want_span.begin(), want_span.end());
       auto key = [](const Port& p) { return p.link; };
       std::sort(mine.begin(), mine.end(),
                 [&](const Port& x, const Port& y) { return key(x) < key(y); });

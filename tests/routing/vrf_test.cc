@@ -198,7 +198,7 @@ TEST(VrfTable, DirectLinkWeightOneDetoursWeightOne) {
 
 TEST(VrfTable, DeadLinkFilterRemovesOnlyAffectedPaths) {
   const Graph g = topo::make_dring(6, 2, 1).graph;
-  const std::set<topo::LinkId> dead{0};
+  const LinkSet dead{0};
   const auto full = VrfTable::compute(g, 2);
   const auto filtered = VrfTable::compute(g, 2, &dead);
   for (NodeId src = 0; src < g.num_switches(); ++src) {

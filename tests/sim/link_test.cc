@@ -9,10 +9,15 @@ namespace {
 
 class CollectingDevice : public Device {
  public:
-  void receive(Simulator& sim, Packet pkt) override {
-    arrivals.emplace_back(sim.now(), pkt);
+  explicit CollectingDevice(PacketPool* pool) : pool_(pool) {}
+  void receive(Simulator& sim, PacketNode* node) override {
+    arrivals.emplace_back(sim.now(), node->pkt);
+    pool_->release(node);
   }
   std::vector<std::pair<Time, Packet>> arrivals;
+
+ private:
+  PacketPool* pool_;
 };
 
 Packet data_packet(std::int64_t seq, std::int32_t size = kDataPacketBytes) {
@@ -24,9 +29,10 @@ Packet data_packet(std::int64_t seq, std::int32_t size = kDataPacketBytes) {
 
 TEST(Link, SinglePacketLatencyIsSerializationPlusPropagation) {
   Simulator sim;
-  CollectingDevice dev;
+  PacketPool pool;
+  CollectingDevice dev(&pool);
   // 10 Gbps, 1 us propagation: 1500 B serializes in 1.2 us.
-  Link link(units::gbps(10), units::kMicrosecond, 15000, &dev);
+  Link link(units::gbps(10), units::kMicrosecond, 15000, &dev, &pool);
   link.enqueue(sim, data_packet(0));
   sim.run();
   ASSERT_EQ(dev.arrivals.size(), 1u);
@@ -37,8 +43,9 @@ TEST(Link, SinglePacketLatencyIsSerializationPlusPropagation) {
 
 TEST(Link, BackToBackPacketsSpacedBySerialization) {
   Simulator sim;
-  CollectingDevice dev;
-  Link link(units::gbps(10), units::kMicrosecond, 150000, &dev);
+  PacketPool pool;
+  CollectingDevice dev(&pool);
+  Link link(units::gbps(10), units::kMicrosecond, 150000, &dev, &pool);
   for (int i = 0; i < 5; ++i) link.enqueue(sim, data_packet(i));
   sim.run();
   ASSERT_EQ(dev.arrivals.size(), 5u);
@@ -53,8 +60,9 @@ TEST(Link, BackToBackPacketsSpacedBySerialization) {
 
 TEST(Link, FifoOrderPreserved) {
   Simulator sim;
-  CollectingDevice dev;
-  Link link(units::gbps(10), units::kMicrosecond, 150000, &dev);
+  PacketPool pool;
+  CollectingDevice dev(&pool);
+  Link link(units::gbps(10), units::kMicrosecond, 150000, &dev, &pool);
   for (int i = 0; i < 20; ++i) link.enqueue(sim, data_packet(i));
   sim.run();
   ASSERT_EQ(dev.arrivals.size(), 20u);
@@ -64,9 +72,10 @@ TEST(Link, FifoOrderPreserved) {
 
 TEST(Link, DropTailWhenQueueFull) {
   Simulator sim;
-  CollectingDevice dev;
+  PacketPool pool;
+  CollectingDevice dev(&pool);
   // Queue capacity: 3 full packets.
-  Link link(units::gbps(10), units::kMicrosecond, 3 * kDataPacketBytes, &dev);
+  Link link(units::gbps(10), units::kMicrosecond, 3 * kDataPacketBytes, &dev, &pool);
   for (int i = 0; i < 5; ++i) link.enqueue(sim, data_packet(i));
   sim.run();
   EXPECT_EQ(dev.arrivals.size(), 3u);
@@ -76,8 +85,9 @@ TEST(Link, DropTailWhenQueueFull) {
 
 TEST(Link, QueueDrainsAndAcceptsAgain) {
   Simulator sim;
-  CollectingDevice dev;
-  Link link(units::gbps(10), units::kMicrosecond, 2 * kDataPacketBytes, &dev);
+  PacketPool pool;
+  CollectingDevice dev(&pool);
+  Link link(units::gbps(10), units::kMicrosecond, 2 * kDataPacketBytes, &dev, &pool);
   link.enqueue(sim, data_packet(0));
   link.enqueue(sim, data_packet(1));
   link.enqueue(sim, data_packet(2));  // dropped
@@ -91,8 +101,9 @@ TEST(Link, QueueDrainsAndAcceptsAgain) {
 
 TEST(Link, SmallPacketsSerializeFaster) {
   Simulator sim;
-  CollectingDevice dev;
-  Link link(units::gbps(10), 0, 150000, &dev);
+  PacketPool pool;
+  CollectingDevice dev(&pool);
+  Link link(units::gbps(10), 0, 150000, &dev, &pool);
   link.enqueue(sim, data_packet(0, kAckPacketBytes));
   sim.run();
   EXPECT_EQ(dev.arrivals[0].first,
@@ -101,8 +112,9 @@ TEST(Link, SmallPacketsSerializeFaster) {
 
 TEST(Link, StatsCountBytes) {
   Simulator sim;
-  CollectingDevice dev;
-  Link link(units::gbps(10), 0, 150000, &dev);
+  PacketPool pool;
+  CollectingDevice dev(&pool);
+  Link link(units::gbps(10), 0, 150000, &dev, &pool);
   link.enqueue(sim, data_packet(0));
   link.enqueue(sim, data_packet(1, kAckPacketBytes));
   sim.run();
@@ -112,10 +124,12 @@ TEST(Link, StatsCountBytes) {
 }
 
 TEST(Link, InvalidConstruction) {
-  CollectingDevice dev;
-  EXPECT_THROW(Link(0, 0, 100, &dev), Error);
-  EXPECT_THROW(Link(1, 0, 0, &dev), Error);
-  EXPECT_THROW(Link(1, 0, 100, nullptr), Error);
+  PacketPool pool;
+  CollectingDevice dev(&pool);
+  EXPECT_THROW(Link(0, 0, 100, &dev, &pool), Error);
+  EXPECT_THROW(Link(1, 0, 0, &dev, &pool), Error);
+  EXPECT_THROW(Link(1, 0, 100, nullptr, &pool), Error);
+  EXPECT_THROW(Link(1, 0, 100, &dev, nullptr), Error);
 }
 
 TEST(SerializationTime, ExactFor10G) {

@@ -1,0 +1,94 @@
+#include "sim/packet_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fct_experiment.h"
+#include "sim/network.h"
+#include "sim/tcp.h"
+#include "topo/builders.h"
+#include "workload/tm.h"
+
+namespace spineless::sim {
+namespace {
+
+TEST(PacketPool, RecyclesNodesThroughFreeList) {
+  PacketPool pool;
+  Packet p;
+  p.seq = 42;
+  PacketNode* a = pool.alloc(p);
+  EXPECT_EQ(a->pkt.seq, 42);
+  EXPECT_EQ(pool.in_use(), 1u);
+  pool.release(a);
+  EXPECT_EQ(pool.in_use(), 0u);
+  // The freed node comes straight back.
+  PacketNode* b = pool.alloc(p);
+  EXPECT_EQ(b, a);
+  pool.release(b);
+  EXPECT_EQ(pool.blocks_allocated(), 1u);
+}
+
+TEST(PacketPool, GrowsInBlocks) {
+  PacketPool pool;
+  Packet p;
+  std::vector<PacketNode*> nodes;
+  for (int i = 0; i < 600; ++i) nodes.push_back(pool.alloc(p));
+  EXPECT_EQ(pool.in_use(), 600u);
+  EXPECT_GE(pool.total_nodes(), 600u);
+  const std::size_t blocks = pool.blocks_allocated();
+  for (PacketNode* n : nodes) pool.release(n);
+  EXPECT_EQ(pool.in_use(), 0u);
+  // Releasing never frees blocks; capacity is retained for reuse.
+  EXPECT_EQ(pool.blocks_allocated(), blocks);
+}
+
+// Steady state: running a second experiment on the same Network must not
+// allocate new blocks — every buffer the second run needs was already
+// pooled by the first, and nothing leaked in between.
+TEST(PacketPool, NetworkAllocationPlateausAcrossExperiments) {
+  const topo::Graph g = topo::make_leaf_spine(4, 2);
+  NetworkConfig ncfg;
+  Network net(g, ncfg);
+
+  auto run_once = [&] {
+    Simulator sim;
+    TcpConfig tcfg;
+    FlowDriver driver(net, tcfg);
+    for (topo::HostId h = 0; h < 8; ++h) {
+      driver.add_flow(sim, h, (h + 5) % g.total_servers(),
+                      /*bytes=*/200 * kMss, /*start=*/0);
+    }
+    sim.run();
+    EXPECT_EQ(driver.completed_flows(), 8u);
+  };
+
+  run_once();
+  EXPECT_EQ(net.packet_pool().in_use(), 0u)
+      << "packets leaked after the queues drained";
+  const std::size_t blocks_after_first = net.packet_pool().blocks_allocated();
+  EXPECT_GT(blocks_after_first, 0u);
+
+  run_once();
+  EXPECT_EQ(net.packet_pool().in_use(), 0u);
+  EXPECT_EQ(net.packet_pool().blocks_allocated(), blocks_after_first)
+      << "second identical experiment should reuse pooled buffers";
+}
+
+// Dropped packets (drop-tail and blackholed links) must return to the pool.
+TEST(PacketPool, DropsReleaseNodes) {
+  const topo::Graph g = topo::make_leaf_spine(3, 1);
+  NetworkConfig ncfg;
+  ncfg.queue_bytes = 2 * kDataPacketBytes;  // tiny queues force drops
+  Network net(g, ncfg);
+
+  Simulator sim;
+  TcpConfig tcfg;
+  FlowDriver driver(net, tcfg);
+  for (topo::HostId h = 0; h < 3; ++h)
+    driver.add_flow(sim, h, (h + 4) % g.total_servers(), 100 * kMss, 0);
+  sim.run();
+  EXPECT_GT(net.stats().queue_drops, 0) << "test needs drops to be meaningful";
+  EXPECT_EQ(net.packet_pool().in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace spineless::sim
