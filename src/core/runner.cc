@@ -44,6 +44,15 @@ void Runner::run_batch(std::size_t n,
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Publish the batch state BEFORE any task reaches a queue: a straggler
+    // worker from the previous batch can still be inside try_take() and
+    // will run a task the moment its push is visible. Each push releases
+    // q.mu, so the taker's acquire of q.mu orders these stores before its
+    // read of body_/remaining_.
+    body_ = &body;
+    remaining_ = n;
+    first_error_ = nullptr;
+    ++generation_;
     // Stripe cells round-robin across the worker slots so a sweep whose
     // expensive cells cluster (e.g. paper-scale topologies first) still
     // spreads them; stealing rebalances the rest.
@@ -52,10 +61,6 @@ void Runner::run_batch(std::size_t n,
       std::lock_guard<std::mutex> qlock(q.mu);
       q.tasks.push_back(i);
     }
-    body_ = &body;
-    remaining_ = n;
-    first_error_ = nullptr;
-    ++generation_;
   }
   batch_cv_.notify_all();
   work(/*slot=*/0);  // the caller is worker 0

@@ -44,7 +44,7 @@ EcmpTable EcmpTable::compute(const Graph& g, const LinkSet* dead) {
   t.off_.push_back(0);
   // Each directed edge is a tight next hop toward at most one distance
   // class per destination, so 2 * links * dsts bounds the pool exactly.
-  t.ports_.reserve(2 * static_cast<std::size_t>(g.num_links()));
+  t.ports_.reserve(2 * static_cast<std::size_t>(g.num_links()) * n);
   for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
     const auto dist = bfs_avoiding(g, dst, dead);
     int* dist_row = t.dist_.data() + static_cast<std::size_t>(dst) * n;

@@ -171,6 +171,36 @@ void Network::inject_from_host(Simulator& sim, Packet pkt) {
   host_up_[static_cast<std::size_t>(pkt.src_host)].enqueue(sim, pkt);
 }
 
+Network::FlowletState& Network::FlowletTable::operator[](std::int32_t flow) {
+  if (slots_.empty()) slots_.resize(16);
+  std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = probe_start(flow, mask);; i = (i + 1) & mask) {
+    Slot& s = slots_[i];
+    if (s.flow == flow) return s.state;
+    if (s.flow < 0) {
+      if ((size_ + 1) * 4 > slots_.size() * 3) {  // keep load <= 3/4
+        grow();
+        return (*this)[flow];
+      }
+      s.flow = flow;
+      ++size_;
+      return s.state;
+    }
+  }
+}
+
+void Network::FlowletTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.flow < 0) continue;
+    std::size_t i = probe_start(s.flow, mask);
+    while (slots_[i].flow >= 0) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+}
+
 topo::LinkId Network::link_to_neighbor(NodeId node, NodeId neighbor) const {
   for (const routing::Port& p : graph_.neighbors(node)) {
     if (p.neighbor == neighbor) return p.link;
@@ -184,10 +214,7 @@ std::uint64_t Network::hash_key(Simulator& sim, NodeId node,
       static_cast<std::uint64_t>(pkt.flow_id) * 0x9e3779b97f4a7c15ULL ^
       (static_cast<std::uint64_t>(node) << 32);
   if (cfg_.flowlet_gap > 0) {
-    auto& per_switch = flowlets_[static_cast<std::size_t>(node)];
-    const auto fidx = static_cast<std::size_t>(pkt.flow_id);
-    if (per_switch.size() <= fidx) per_switch.resize(fidx + 1);
-    auto& state = per_switch[fidx];
+    FlowletState& state = flowlets_[static_cast<std::size_t>(node)][pkt.flow_id];
     if (state.last != 0 && sim.now() - state.last > cfg_.flowlet_gap)
       ++state.id;  // idle gap long enough to reorder-safely switch paths
     state.last = sim.now();

@@ -208,14 +208,38 @@ class Network {
     routing::Path reverse;
   };
   std::vector<std::unique_ptr<FlowRoutes>> routes_;
-  // Flowlet state per switch, indexed by dense flow id (flat vectors grown
-  // on demand — the per-switch unordered_map lookup was a profiled hot
-  // spot when flowlet switching is enabled).
+  // Flowlet state per switch. Keyed by flow id in a linear-probing flat
+  // table: the per-switch unordered_map lookup was a profiled hot spot,
+  // but flow ids are global and monotonically increasing, so a dense
+  // per-flow vector per switch would cost O(switches x flows) memory
+  // (GBs at paper scale) — each switch stores only the flows that
+  // actually traverse it.
   struct FlowletState {
     Time last = 0;
     std::uint32_t id = 0;
   };
-  std::vector<std::vector<FlowletState>> flowlets_;
+  class FlowletTable {
+   public:
+    // Finds or inserts the state for `flow`. References are invalidated
+    // by the next call (the table may grow).
+    FlowletState& operator[](std::int32_t flow);
+
+   private:
+    struct Slot {
+      std::int32_t flow = -1;  // -1 = empty
+      FlowletState state;
+    };
+    static std::size_t probe_start(std::int32_t flow, std::size_t mask) {
+      return static_cast<std::size_t>(
+                 splitmix64(static_cast<std::uint64_t>(flow))) &
+             mask;
+    }
+    void grow();
+
+    std::vector<Slot> slots_;  // power-of-two size
+    std::size_t size_ = 0;
+  };
+  std::vector<FlowletTable> flowlets_;
   std::vector<routing::Path> traces_;  // per flow id, when trace_paths
   routing::LinkSet down_links_;
   // Pending failure schedulers (own their EventSink identity).

@@ -48,14 +48,14 @@ void TcpSource::on_event(Simulator& sim, std::uint64_t ctx) {
     arm_rto(sim);
     return;
   }
-  // RTO timer fired. ACKs only advance rto_deadline_, so a fire before the
-  // current deadline just re-arms at the deadline; a fire at or past it is
-  // a real timeout.
-  timer_pending_ = false;
+  // RTO timer fired. A fire before the current deadline is stale: make
+  // sure some pending event covers the deadline and die; a fire at or
+  // past the deadline is a real timeout.
+  SPINELESS_DCHECK(!pending_fires_.empty());
+  pending_fires_.pop_back();  // events fire earliest-first = back()
   if (record_.completed()) return;
   if (sim.now() < rto_deadline_) {
-    timer_pending_ = true;
-    sim.schedule_at(rto_deadline_, this, kRtoCtx);
+    schedule_rto_event(sim);
     return;
   }
   handle_timeout(sim);
@@ -85,8 +85,16 @@ void TcpSource::send_available(Simulator& sim) {
 void TcpSource::arm_rto(Simulator& sim) {
   const Time timeout = std::min(cfg_.max_rto, rto_ << std::min(backoff_, 6));
   rto_deadline_ = sim.now() + timeout;
-  if (!timer_pending_) {
-    timer_pending_ = true;
+  schedule_rto_event(sim);
+}
+
+void TcpSource::schedule_rto_event(Simulator& sim) {
+  // Schedule only if no pending event fires at or before the deadline —
+  // an earlier pending fire will re-check the deadline and re-arm, so it
+  // covers detection; a later-only pending set would detect the loss at
+  // the stale (possibly backed-off, up to ~64x) time.
+  if (pending_fires_.empty() || rto_deadline_ < pending_fires_.back()) {
+    pending_fires_.push_back(rto_deadline_);
     sim.schedule_at(rto_deadline_, this, kRtoCtx);
   }
 }

@@ -76,6 +76,7 @@ class TcpSource : public EventSink, public Endpoint {
   void dctcp_on_ack(std::int64_t delta, bool marked);
   void transmit(Simulator& sim, std::int64_t seq);
   void arm_rto(Simulator& sim);
+  void schedule_rto_event(Simulator& sim);
   void note_rtt_sample(Time rtt);
   void handle_new_ack(Simulator& sim, std::int64_t acked, Time echoed_ts,
                       bool marked);
@@ -109,13 +110,20 @@ class TcpSource : public EventSink, public Endpoint {
   Time rttvar_ = 0;
   Time rto_;
   int backoff_ = 0;
-  // Retransmission timer, deadline-checked: at most one timer event is in
-  // the simulator heap per flow. Each ACK only advances rto_deadline_; the
-  // pending event re-arms itself if it fires before the current deadline.
-  // (Pushing a fresh timer per ACK left thousands of stale events in the
-  // heap, and the deeper sift per push/pop dominated the event loop.)
+  // Retransmission timer, deadline-checked: stale fires re-check
+  // rto_deadline_ and re-arm instead of timing out. (Pushing a fresh timer
+  // per ACK left thousands of stale events in the heap, and the deeper
+  // sift per push/pop dominated the event loop.) Most ACKs only advance
+  // the deadline and piggyback on the pending event, but the deadline can
+  // also move EARLIER (an ACK resets backoff_, RTT samples shrink rto_);
+  // then an extra event is scheduled at the new deadline so a loss is
+  // never detected at a stale backed-off fire time. pending_fires_ holds
+  // the scheduled times of in-flight timer events: new times are pushed
+  // only when strictly earlier than every pending one and events fire in
+  // time order, so it is a strictly-decreasing stack whose back() is the
+  // earliest pending fire.
   Time rto_deadline_ = 0;
-  bool timer_pending_ = false;
+  std::vector<Time> pending_fires_;
 
   FlowRecord record_;
   bool started_ = false;

@@ -57,6 +57,23 @@ TEST(Runner, ReusableAcrossBatches) {
   }
 }
 
+TEST(Runner, BackToBackBatchStress) {
+  // Regression: a straggler worker from batch k can still be spinning in
+  // try_take() when batch k+1's tasks are pushed, and may run one of them
+  // immediately — it must observe the new batch's body and count, never
+  // the stale (nulled) state from its own batch. Many tiny batches
+  // maximize the overlap window.
+  Runner runner(8);
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<int> sum{0};
+    runner.map(16, [&](std::size_t i) {
+      sum += static_cast<int>(i);
+      return 0;
+    });
+    EXPECT_EQ(sum.load(), 120);
+  }
+}
+
 TEST(Runner, FirstExceptionPropagates) {
   Runner runner(4);
   EXPECT_THROW(runner.map(50,

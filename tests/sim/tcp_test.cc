@@ -100,6 +100,35 @@ TEST(Tcp, RecoversFromCongestionDrops) {
   EXPECT_GT(f.driver.total_retransmits(), 0);
 }
 
+TEST(Tcp, RtoTimerFollowsShrinkingDeadline) {
+  // Regression: after a string of backed-off timeouts the pending RTO
+  // event sits far in the future (now + rto << backoff). A new ACK resets
+  // the backoff and pulls rto_deadline_ EARLIER; the timer must then fire
+  // near the new deadline — if only the stale backed-off event remains,
+  // the next loss is detected up to ~64x late.
+  TwoHostFixture f;
+  const auto id = f.driver.add_flow(f.sim, 0, 2, 2'000'000, 0);
+  // Blackhole the inter-ToR link mid-transfer; timeouts back off until a
+  // pending timer sits ~64ms out.
+  f.sim.run_until(100 * units::kMicrosecond);
+  f.net.take_link_down(0);
+  f.sim.run_until(45 * units::kMillisecond);
+  f.net.bring_link_up(0);
+  // The ~63ms backed-off retransmit gets through; ACKs reset the backoff
+  // and pull the deadline in to ~now + 1ms. Blackhole again mid-recovery.
+  f.sim.run_until(64 * units::kMillisecond + 500 * units::kMicrosecond);
+  f.net.take_link_down(0);
+  f.sim.run_until(70 * units::kMillisecond);
+  f.net.bring_link_up(0);
+  f.sim.run_until(units::kSecond);
+  const auto& rec = f.driver.flow(static_cast<std::size_t>(id)).record();
+  ASSERT_TRUE(rec.completed());
+  // The second loss must be detected ~1ms after it happens, so the flow
+  // finishes well before the stale backed-off fire time (~127ms) a
+  // single-event timer would have waited for.
+  EXPECT_LT(rec.finish, 100 * units::kMillisecond);
+}
+
 TEST(Tcp, StartTimeHonored) {
   TwoHostFixture f;
   const Time start = 5 * units::kMillisecond;
