@@ -27,7 +27,7 @@ int run(int argc, char** argv) {
   const topo::Graph& g = dring.graph;
   const int k_max = static_cast<int>(flags.get_int("k_max", 4));
 
-  core::Runner runner(bench::jobs_from(flags));
+  core::Runner runner(bench::outer_jobs(flags));
   bench::BenchJson json("ablation_k", flags);
 
   // Structural census over all ToR pairs, one parallel cell per K.
@@ -86,6 +86,7 @@ int run(int argc, char** argv) {
   const auto fct_cells =
       bench::sweep(runner, 2 * nk + 4, [&](std::size_t idx) {
         core::FctConfig cfg;
+        cfg.net.intra_jobs = bench::intra_jobs_from(flags);
         cfg.net.mode = sim::RoutingMode::kShortestUnion;
         cfg.flowgen.window = 2 * units::kMillisecond;
         cfg.seed = s.seed + 3;

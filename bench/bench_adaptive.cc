@@ -46,11 +46,12 @@ int run(int argc, char** argv) {
   std::vector<sim::RoutingMode> chosen;
   for (const auto& c : tms) chosen.push_back(core::choose_routing(g, c.tm));
 
-  core::Runner runner(bench::jobs_from(flags));
+  core::Runner runner(bench::outer_jobs(flags));
   const auto results =
       bench::sweep(runner, tms.size() * 3, [&](std::size_t idx) {
         const auto& c = tms[idx / 3];
         core::FctConfig cfg;
+        cfg.net.intra_jobs = bench::intra_jobs_from(flags);
         cfg.flowgen.window = 2 * units::kMillisecond;
         cfg.flowgen.offered_load_bps =
             base_load * workload::participating_fraction(g, c.tm);

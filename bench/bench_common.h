@@ -14,6 +14,7 @@
 // (override the path with --json_out=...).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -23,10 +24,18 @@
 #include "core/fct_experiment.h"
 #include "core/runner.h"
 #include "core/scenario.h"
+#include "util/error.h"
 #include "util/flags.h"
 #include "util/json.h"
 
 namespace spineless::bench {
+
+// Process-start timestamp for total_wall_s. A namespace-scope inline
+// constant so it is captured during static initialization — BenchJson used
+// to start this clock at its own construction, after every cell had
+// already run, reporting totals near zero.
+inline const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
 
 inline core::Scenario scenario_from(const Flags& flags) {
   core::Scenario s;
@@ -50,6 +59,19 @@ inline core::Scenario scenario_from(const Flags& flags) {
 inline int jobs_from(const Flags& flags) {
   const auto jobs = flags.get_int("jobs", core::default_jobs());
   return jobs < 1 ? 1 : static_cast<int>(jobs);
+}
+
+// --intra_jobs=N: shards per simulated cell (sharded conservative engine;
+// results are byte-identical for every N). Default 1 = serial engine.
+inline int intra_jobs_from(const Flags& flags) {
+  const auto intra = flags.get_int("intra_jobs", 1);
+  return intra < 1 ? 1 : static_cast<int>(intra);
+}
+
+// Outer (cell-level) worker count once each cell takes intra_jobs threads:
+// --jobs is the total thread budget, split as outer x intra.
+inline int outer_jobs(const Flags& flags) {
+  return std::max(1, jobs_from(flags) / intra_jobs_from(flags));
 }
 
 inline void print_header(const char* title, const core::Scenario& s,
@@ -98,6 +120,8 @@ class BenchJson {
     std::string label;
     double wall_s = 0;
     std::uint64_t events = 0;
+    int intra_jobs = 1;
+    double table_build_s = 0;
     bool has_fct = false;
     std::size_t flows = 0;
     std::size_t completed = 0;
@@ -109,10 +133,9 @@ class BenchJson {
 
   BenchJson(std::string name, const Flags& flags)
       : name_(std::move(name)),
-        scale_(flags.paper_scale() ? "paper" : "medium"),
+        scale_(flags.get("scale", flags.paper_scale() ? "paper" : "medium")),
         jobs_(jobs_from(flags)),
-        path_(flags.get("json_out", "BENCH_" + name_ + ".json")),
-        start_(std::chrono::steady_clock::now()) {}
+        path_(flags.get("json_out", "BENCH_" + name_ + ".json")) {}
 
   void add(Cell cell) { cells_.push_back(std::move(cell)); }
 
@@ -124,6 +147,8 @@ class BenchJson {
     c.label = label;
     c.wall_s = timed.wall_s;
     c.events = r.events;
+    c.intra_jobs = r.intra_jobs;
+    c.table_build_s = r.table_build_s;
     c.has_fct = true;
     c.flows = r.flows;
     c.completed = r.completed;
@@ -136,15 +161,25 @@ class BenchJson {
 
   // Writes the file; prints a one-line pointer so users find the artifact.
   void write() const {
+    // total_wall_s counts from process start: with parallel cells it is
+    // NOT the sum of cell times, but it can never be less than the
+    // longest single cell.
+    const double total_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      kProcessStart)
+            .count();
+    double max_cell_wall_s = 0;
+    for (const Cell& c : cells_)
+      max_cell_wall_s = std::max(max_cell_wall_s, c.wall_s);
+    SPINELESS_CHECK_MSG(total_wall_s >= max_cell_wall_s,
+                        "total_wall_s below the longest cell — the bench "
+                        "clock must start at process start");
     JsonWriter w;
     w.begin_object();
     w.kv("bench", name_);
     w.kv("scale", scale_);
     w.kv("jobs", jobs_);
-    w.kv("total_wall_s",
-         std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start_)
-             .count());
+    w.kv("total_wall_s", total_wall_s);
     w.key("cells");
     w.begin_array();
     for (const Cell& c : cells_) {
@@ -154,6 +189,8 @@ class BenchJson {
       w.kv("events", c.events);
       w.kv("events_per_sec",
            c.wall_s > 0 ? static_cast<double>(c.events) / c.wall_s : 0.0);
+      w.kv("intra_jobs", c.intra_jobs);
+      if (c.table_build_s > 0) w.kv("table_build_s", c.table_build_s);
       if (c.has_fct) {
         w.key("fct");
         w.begin_object();
@@ -180,7 +217,6 @@ class BenchJson {
   std::string scale_;
   int jobs_;
   std::string path_;
-  std::chrono::steady_clock::time_point start_;
   std::vector<Cell> cells_;
 };
 

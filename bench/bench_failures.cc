@@ -42,7 +42,7 @@ int run(int argc, char** argv) {
   const double base_load =
       workload::spine_offered_load_bps(s.x, s.y, 10e9, 0.3);
 
-  core::Runner runner(bench::jobs_from(flags));
+  core::Runner runner(bench::outer_jobs(flags));
   bench::BenchJson json("failures", flags);
 
   // Each failure fraction is one independent cell: the random link sample,
@@ -99,6 +99,7 @@ int run(int argc, char** argv) {
         const topo::Graph degraded = without_links(g, dead);
         if (degraded.connected()) {
           core::FctConfig cfg;
+          cfg.net.intra_jobs = bench::intra_jobs_from(flags);
           cfg.net.mode = sim::RoutingMode::kShortestUnion;
           cfg.flowgen.window = 2 * units::kMillisecond;
           cfg.flowgen.offered_load_bps = base_load;

@@ -41,11 +41,12 @@ int run(int argc, char** argv) {
 
   // (TM, engine) grid; even idx = packet TCP, odd = fluid. The per-cell
   // wall clock from the sweep is the number the speedup column reports.
-  core::Runner runner(bench::jobs_from(flags));
+  core::Runner runner(bench::outer_jobs(flags));
   const auto results =
       bench::sweep(runner, tms.size() * 2, [&](std::size_t idx) {
         const auto& c = tms[idx / 2];
         core::FctConfig cfg;
+        cfg.net.intra_jobs = bench::intra_jobs_from(flags);
         cfg.net.mode = sim::RoutingMode::kShortestUnion;
         cfg.flowgen.window = 2 * units::kMillisecond;
         cfg.flowgen.offered_load_bps =

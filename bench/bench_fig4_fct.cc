@@ -123,7 +123,7 @@ int run(int argc, char** argv) {
   const std::size_t ncfg = configs.size();
   const auto nseeds = static_cast<std::size_t>(seeds);
   const std::size_t ncells = tms.size() * ncfg * nseeds;
-  core::Runner runner(bench::jobs_from(flags));
+  core::Runner runner(bench::outer_jobs(flags));
   const auto results =
       bench::sweep(runner, ncells, [&](std::size_t idx) {
         const std::size_t ti = idx / (ncfg * nseeds);
@@ -132,6 +132,7 @@ int run(int argc, char** argv) {
         const Graph& g = *configs[ci].graph;
         const RackTm& tm = built_tms[ti][ci];
         FctConfig cfg;
+        cfg.net.intra_jobs = bench::intra_jobs_from(flags);
         cfg.net.mode = configs[ci].mode;
         cfg.flowgen.window = window;
         cfg.flowgen.offered_load_bps =

@@ -22,25 +22,33 @@ namespace {
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
   const bool paper = flags.paper_scale();
+  // --scale=large: medium-shaped supernodes, but the sweep extends to
+  // m=20 (120 racks) — single cells big enough that intra-cell sharding
+  // (--intra_jobs) beats adding outer workers.
+  const bool large = flags.get("scale", "") == "large";
   const int tors_per_supernode =
       static_cast<int>(flags.get_int("n", paper ? 6 : 3));
   const int servers_per_tor =
       static_cast<int>(flags.get_int("servers", paper ? 36 : 18));
   const int net_degree = 4 * tors_per_supernode;
   const int ports = net_degree + servers_per_tor;
-  const int m_lo = static_cast<int>(flags.get_int("m_lo", paper ? 7 : 5));
-  const int m_hi = static_cast<int>(flags.get_int("m_hi", paper ? 15 : 15));
+  const int m_lo =
+      static_cast<int>(flags.get_int("m_lo", paper ? 7 : (large ? 12 : 5)));
+  const int m_hi =
+      static_cast<int>(flags.get_int("m_hi", paper ? 15 : (large ? 20 : 15)));
   // Per-host offered load; chosen so the DRing approaches its (constant)
   // bisection limit toward the top of the sweep.
   const double per_host_bps = flags.get_double("per_host_gbps", 3.0) * 1e9;
 
   const int jobs = bench::jobs_from(flags);
+  const int intra_jobs = bench::intra_jobs_from(flags);
   std::printf("== Figure 6: DRing vs RRG, effect of scale ==\n");
   std::printf(
       "%d ToRs/supernode, %d-port switches, %d server links (degree %d), "
-      "%.1f Gbps offered per host, scale=%s, jobs=%d\n\n",
+      "%.1f Gbps offered per host, scale=%s, jobs=%d, intra_jobs=%d\n\n",
       tors_per_supernode, ports, servers_per_tor, net_degree,
-      per_host_bps / 1e9, paper ? "paper" : "medium", jobs);
+      per_host_bps / 1e9, paper ? "paper" : (large ? "large" : "medium"),
+      jobs, intra_jobs);
 
   const Time window =
       flags.get_int("window_ms", 2) * units::kMillisecond;
@@ -48,7 +56,7 @@ int run(int argc, char** argv) {
   // One cell per (m, topology-family): each cell builds its own graph, so
   // no shared state crosses workers.
   const auto n_m = static_cast<std::size_t>(m_hi - m_lo + 1);
-  core::Runner runner(jobs);
+  core::Runner runner(bench::outer_jobs(flags));
   const auto results = bench::sweep(runner, 2 * n_m, [&](std::size_t idx) {
     const int m = m_lo + static_cast<int>(idx / 2);
     const bool is_rrg = idx % 2 != 0;
@@ -60,6 +68,7 @@ int run(int argc, char** argv) {
     cfg.flowgen.window = window;
     cfg.seed = 3;
     cfg.net.mode = sim::RoutingMode::kShortestUnion;
+    cfg.net.intra_jobs = intra_jobs;
     if (!is_rrg) {
       return core::run_fct_experiment(
           dring.graph, workload::RackTm::uniform(dring.graph), cfg);

@@ -72,11 +72,12 @@ int run(int argc, char** argv) {
   }
 
   // One cell per (candidate, TM); even cells are uniform, odd are skewed.
-  core::Runner runner(bench::jobs_from(flags));
+  core::Runner runner(bench::outer_jobs(flags));
   const auto results =
       bench::sweep(runner, candidates.size() * 2, [&](std::size_t idx) {
         const topo::Graph& g = candidates[idx / 2].graph;
         core::FctConfig cfg;
+        cfg.net.intra_jobs = bench::intra_jobs_from(flags);
         cfg.net.mode = candidates[idx / 2].mode;
         cfg.flowgen.window = 2 * units::kMillisecond;
         cfg.flowgen.offered_load_bps =

@@ -42,7 +42,7 @@ int run(int argc, char** argv) {
     tms.push_back({"CS skewed (incast-y)", workload::cs_rack_tm(g, sets)});
   }
 
-  core::Runner runner(bench::jobs_from(flags));
+  core::Runner runner(bench::outer_jobs(flags));
   bench::BenchJson json("transport", flags);
 
   // FCT grid: (TM, transport) cells; even idx = NewReno, odd = DCTCP.
@@ -51,6 +51,7 @@ int run(int argc, char** argv) {
         const bool dctcp = idx % 2 != 0;
         const auto& c = tms[idx / 2];
         core::FctConfig cfg;
+        cfg.net.intra_jobs = bench::intra_jobs_from(flags);
         cfg.net.mode = sim::RoutingMode::kShortestUnion;
         cfg.net.ecn_threshold_bytes =
             dctcp ? 20 * sim::kDataPacketBytes : 0;

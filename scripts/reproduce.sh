@@ -5,16 +5,21 @@
 #   scripts/reproduce.sh              # medium scale (seconds per bench)
 #   scripts/reproduce.sh --paper      # the paper's full-scale configuration
 #   scripts/reproduce.sh --jobs=8     # fan experiment cells over 8 workers
+#   scripts/reproduce.sh --tsan       # ThreadSanitizer pass over the
+#                                     # concurrency test suite only
 #
 # Parallelism: every bench accepts --jobs=N (default: all hardware threads,
-# or the SPINELESS_JOBS environment variable when set). Results are
-# byte-identical for every jobs value — per-cell seeds are pure functions
-# of the cell's identity, never of scheduling order.
+# or the SPINELESS_JOBS environment variable when set) and --intra_jobs=N
+# (shards per simulated cell; see doc/architecture.md). Results are
+# byte-identical for every jobs and intra_jobs value — per-cell seeds are
+# pure functions of the cell's identity, never of scheduling order, and the
+# sharded engine replays the serial event order exactly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE_ENV=()
 JOBS_FLAG=()
+TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --paper)
@@ -24,8 +29,20 @@ for arg in "$@"; do
     --jobs=*)
       JOBS_FLAG=("$arg")
       ;;
+    --tsan)
+      TSAN=1
+      ;;
   esac
 done
+
+if [[ "$TSAN" == 1 ]]; then
+  # Race detection over everything that spawns threads: the experiment
+  # runner, parallel table construction, and the sharded engine.
+  cmake -B build-tsan -G Ninja -DSPINELESS_TSAN=ON
+  cmake --build build-tsan
+  ctest --test-dir build-tsan -L concurrency --output-on-failure
+  exit 0
+fi
 
 cmake -B build -G Ninja
 cmake --build build

@@ -2,6 +2,7 @@
 
 #include "core/throughput_experiment.h"
 #include "flowsim/flow_level_sim.h"
+#include "sim/sharded_engine.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -14,15 +15,25 @@ FctResult run_fct_experiment(const topo::Graph& g, const workload::RackTm& tm,
   if (cfg.random_placement) sampler.apply_random_placement(rng);
   const auto specs = workload::generate_flows(sampler, cfg.flowgen, rng);
 
-  sim::Simulator simulator;
   sim::Network net(g, cfg.net);
   sim::FlowDriver driver(net, cfg.tcp);
-  for (const auto& f : specs)
-    driver.add_flow(simulator, f.src, f.dst, f.bytes, f.start);
-
   const Time deadline = static_cast<Time>(
       static_cast<double>(cfg.flowgen.window) * cfg.drain_factor);
-  simulator.run_until(deadline);
+
+  std::uint64_t events = 0;
+  if (net.sharded()) {
+    sim::ShardedEngine engine(net);
+    for (const auto& f : specs)
+      driver.add_flow(engine.control(), f.src, f.dst, f.bytes, f.start);
+    engine.run_until(deadline);
+    events = engine.events_processed();
+  } else {
+    sim::Simulator simulator;
+    for (const auto& f : specs)
+      driver.add_flow(simulator, f.src, f.dst, f.bytes, f.start);
+    simulator.run_until(deadline);
+    events = simulator.events_processed();
+  }
 
   FctResult r;
   r.fct_ms = driver.fct_ms();
@@ -31,7 +42,9 @@ FctResult run_fct_experiment(const topo::Graph& g, const workload::RackTm& tm,
   r.queue_drops = net.stats().queue_drops;
   r.retransmits = driver.total_retransmits();
   r.max_queue_bytes = net.max_network_queue_bytes();
-  r.events = simulator.events_processed();
+  r.events = events;
+  r.intra_jobs = net.config().intra_jobs;
+  r.table_build_s = net.table_build_seconds();
   return r;
 }
 

@@ -36,12 +36,16 @@ struct FctResult {
   std::int64_t retransmits = 0;
   std::int64_t max_queue_bytes = 0;  // hottest switch-switch queue
   std::uint64_t events = 0;
+  int intra_jobs = 1;           // shards the cell actually ran with
+  double table_build_s = 0.0;   // route-table (re)construction wall time
 
   double median_ms() const { return fct_ms.median(); }
   double p99_ms() const { return fct_ms.p99(); }
 };
 
-// Runs one (topology, TM, routing) cell of Figure 4.
+// Runs one (topology, TM, routing) cell of Figure 4. With
+// cfg.net.intra_jobs > 1 the cell runs on the sharded conservative engine
+// (see sim/sharded_engine.h) — results are byte-identical to serial.
 FctResult run_fct_experiment(const topo::Graph& g, const workload::RackTm& tm,
                              const FctConfig& cfg);
 

@@ -1,93 +1,14 @@
-// Parallel experiment runner: a work-stealing thread pool that fans the
-// independent cells of a benchmark sweep — (topology, traffic matrix,
-// config) triples — across cores.
-//
-// Determinism contract: a cell's randomness must derive only from its index
-// (derive_cell_seed), never from which thread ran it or in what order, and
-// results are collected into index-ordered slots. A sweep therefore
-// produces byte-identical output for any --jobs value, including 1.
+// Forwarding header: the Runner moved to src/util so lower layers
+// (routing's parallel table construction, sim's sharded engine) can use it
+// without depending on core. Existing core::Runner call sites keep working.
 #pragma once
 
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <exception>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <type_traits>
-#include <vector>
-
-#include "util/rng.h"
+#include "util/runner.h"
 
 namespace spineless::core {
 
-// Per-cell seed: decorrelates cells drawn from one base seed without any
-// sequential RNG handoff, so cell i's stream is the same no matter how many
-// worker threads exist or which one picks it up.
-constexpr std::uint64_t derive_cell_seed(std::uint64_t base_seed,
-                                         std::uint64_t cell_index) {
-  return splitmix64(base_seed ^ (cell_index * 0x9e3779b97f4a7c15ULL));
-}
-
-// Default worker count: SPINELESS_JOBS if set (and positive), otherwise
-// std::thread::hardware_concurrency().
-int default_jobs();
-
-class Runner {
- public:
-  // jobs < 1 is clamped to 1. jobs == 1 runs every batch inline on the
-  // calling thread (no pool threads are created).
-  explicit Runner(int jobs = default_jobs());
-  ~Runner();
-
-  Runner(const Runner&) = delete;
-  Runner& operator=(const Runner&) = delete;
-
-  int jobs() const noexcept { return jobs_; }
-
-  // Applies fn(i) for i in [0, n) across the pool and returns the results
-  // in index order. fn must be callable concurrently from multiple
-  // threads; the first exception thrown by any cell is rethrown here
-  // (remaining cells still run). The calling thread participates as a
-  // worker, so map() on a 1-job runner is exactly a serial loop.
-  template <typename Fn>
-  auto map(std::size_t n, Fn&& fn)
-      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
-    using R = std::invoke_result_t<Fn&, std::size_t>;
-    std::vector<R> out(n);
-    run_batch(n, [&](std::size_t i) { out[i] = fn(i); });
-    return out;
-  }
-
-  // Untyped core of map(): runs body(i) for i in [0, n).
-  void run_batch(std::size_t n, const std::function<void(std::size_t)>& body);
-
- private:
-  // One work-stealing deque per worker slot: the owner pops from the
-  // front, thieves take from the back.
-  struct WorkQueue {
-    std::mutex mu;
-    std::deque<std::size_t> tasks;
-  };
-
-  void worker_main(std::size_t slot);
-  // Drains the current batch from `slot`'s queue, stealing when empty.
-  void work(std::size_t slot);
-  bool try_take(std::size_t slot, std::size_t* index);
-
-  const int jobs_;
-  std::vector<std::unique_ptr<WorkQueue>> queues_;
-  std::vector<std::thread> threads_;
-
-  std::mutex mu_;
-  std::condition_variable batch_cv_;  // workers wait here between batches
-  std::condition_variable done_cv_;   // run_batch waits here for drain
-  std::uint64_t generation_ = 0;      // bumped per batch to wake workers
-  bool shutdown_ = false;
-  const std::function<void(std::size_t)>* body_ = nullptr;
-  std::size_t remaining_ = 0;  // tasks not yet completed in this batch
-  std::exception_ptr first_error_;
-};
+using util::default_jobs;
+using util::derive_cell_seed;
+using util::Runner;
 
 }  // namespace spineless::core

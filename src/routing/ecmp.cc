@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "topo/analysis.h"
+#include "util/runner.h"
 
 namespace spineless::routing {
 
@@ -34,42 +35,70 @@ std::vector<int> bfs_avoiding(const Graph& g, NodeId src,
 
 }  // namespace
 
-EcmpTable EcmpTable::compute(const Graph& g, const LinkSet* dead) {
+EcmpTable EcmpTable::compute(const Graph& g, const LinkSet* dead,
+                             util::Runner* runner) {
   const bool filtering = dead != nullptr && !dead->empty();
   EcmpTable t;
   t.n_ = g.num_switches();
   const auto n = static_cast<std::size_t>(g.num_switches());
   t.dist_.resize(n * n, -1);
-  t.off_.reserve(n * n + 1);
-  t.off_.push_back(0);
-  // Each directed edge is a tight next hop toward at most one distance
-  // class per destination, so 2 * links * dsts bounds the pool exactly.
-  t.ports_.reserve(2 * static_cast<std::size_t>(g.num_links()) * n);
-  for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
+  t.off_.assign(n * n + 1, 0);
+
+  // Pass 1 — per destination (independent slices of dist_ and off_): BFS,
+  // store the distance row, and count the tight next hops per (dst, node)
+  // into off_[index + 1].
+  auto count_for_dst = [&](std::size_t d) {
+    const auto dst = static_cast<NodeId>(d);
     const auto dist = bfs_avoiding(g, dst, dead);
-    int* dist_row = t.dist_.data() + static_cast<std::size_t>(dst) * n;
+    int* dist_row = t.dist_.data() + d * n;
+    std::uint32_t* count_row = t.off_.data() + d * n + 1;
     for (NodeId u = 0; u < g.num_switches(); ++u) {
-      dist_row[static_cast<std::size_t>(u)] =
-          dist[static_cast<std::size_t>(u)];
-      if (u != dst) {
-        const int du = dist[static_cast<std::size_t>(u)];
-        if (du < 0) {
-          SPINELESS_CHECK_MSG(filtering, "disconnected graph in EcmpTable");
-        } else if (filtering) {
-          for (const Port& p : g.neighbors(u)) {
-            if (dead->contains(p.link)) continue;
-            if (dist[static_cast<std::size_t>(p.neighbor)] == du - 1)
-              t.ports_.push_back(p);
-          }
-        } else {
-          for (const Port& p : g.neighbors(u)) {
-            if (dist[static_cast<std::size_t>(p.neighbor)] == du - 1)
-              t.ports_.push_back(p);
-          }
-        }
+      const int du = dist[static_cast<std::size_t>(u)];
+      dist_row[static_cast<std::size_t>(u)] = du;
+      if (u == dst) continue;
+      if (du < 0) {
+        SPINELESS_CHECK_MSG(filtering, "disconnected graph in EcmpTable");
+        continue;
       }
-      t.off_.push_back(static_cast<std::uint32_t>(t.ports_.size()));
+      std::uint32_t c = 0;
+      for (const Port& p : g.neighbors(u)) {
+        if (filtering && dead->contains(p.link)) continue;
+        if (dist[static_cast<std::size_t>(p.neighbor)] == du - 1) ++c;
+      }
+      count_row[static_cast<std::size_t>(u)] = c;
     }
+  };
+
+  // Pass 2 — exclusive prefix sum over the counts (serial, cheap) turns
+  // off_ into the CSR offset table, then the ports fill re-derives the
+  // tight sets from the stored distance rows — again per-destination into
+  // disjoint ranges, so parallel order cannot change the layout.
+  auto fill_for_dst = [&](std::size_t d) {
+    const auto dst = static_cast<NodeId>(d);
+    const int* dist_row = t.dist_.data() + d * n;
+    for (NodeId u = 0; u < g.num_switches(); ++u) {
+      if (u == dst) continue;
+      const int du = dist_row[static_cast<std::size_t>(u)];
+      if (du < 0) continue;
+      Port* out = t.ports_.data() + t.off_[d * n + static_cast<std::size_t>(u)];
+      for (const Port& p : g.neighbors(u)) {
+        if (filtering && dead->contains(p.link)) continue;
+        if (dist_row[static_cast<std::size_t>(p.neighbor)] == du - 1)
+          *out++ = p;
+      }
+    }
+  };
+
+  if (runner != nullptr && runner->jobs() > 1 && n > 1) {
+    runner->run_batch(n, count_for_dst);
+    for (std::size_t i = 1; i <= n * n; ++i) t.off_[i] += t.off_[i - 1];
+    t.ports_.resize(t.off_.back());
+    runner->run_batch(n, fill_for_dst);
+  } else {
+    for (std::size_t d = 0; d < n; ++d) count_for_dst(d);
+    for (std::size_t i = 1; i <= n * n; ++i) t.off_[i] += t.off_[i - 1];
+    t.ports_.resize(t.off_.back());
+    for (std::size_t d = 0; d < n; ++d) fill_for_dst(d);
   }
   return t;
 }

@@ -9,6 +9,10 @@
 
 #include "routing/types.h"
 
+namespace spineless::util {
+class Runner;
+}
+
 namespace spineless::routing {
 
 // Per-destination next-hop sets: at switch `node`, packets for destination
@@ -23,7 +27,13 @@ class EcmpTable {
   // dead: links to treat as absent (failure modeling) — next hops never use
   // them and distances route around them. Unreachable destinations get an
   // empty next-hop set and distance -1.
-  static EcmpTable compute(const Graph& g, const LinkSet* dead = nullptr);
+  //
+  // runner: optional pool to fan the per-destination BFS over. Destinations
+  // are independent and every write lands in a pre-sized per-destination
+  // slice, so the result is byte-identical to the serial build (nullptr or
+  // a 1-job runner).
+  static EcmpTable compute(const Graph& g, const LinkSet* dead = nullptr,
+                           util::Runner* runner = nullptr);
 
   std::span<const Port> next_hops(NodeId node, NodeId dst) const {
     const std::size_t i = index(node, dst);

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "topo/analysis.h"
+#include "util/runner.h"
 
 namespace spineless::routing {
 namespace {
@@ -25,7 +26,8 @@ void for_each_virtual_edge(int j, int k, Fn&& fn) {
 
 }  // namespace
 
-VrfTable VrfTable::compute(const Graph& g, int k, const LinkSet* dead) {
+VrfTable VrfTable::compute(const Graph& g, int k, const LinkSet* dead,
+                           util::Runner* runner) {
   SPINELESS_CHECK(k >= 1);
   const bool filtering = dead != nullptr && !dead->empty();
   auto link_dead = [&](LinkId l) { return filtering && dead->contains(l); };
@@ -37,7 +39,11 @@ VrfTable VrfTable::compute(const Graph& g, int k, const LinkSet* dead) {
   t.dist_.resize(static_cast<std::size_t>(g.num_switches()));
   t.nh_.resize(static_cast<std::size_t>(g.num_switches()));
 
-  for (NodeId dst = 0; dst < g.num_switches(); ++dst) {
+  // Each destination's Dijkstra + tight-edge DP reads only the graph and
+  // writes only its own dist_[dst] / nh_[dst] slots, so destinations fan
+  // over the pool with byte-identical results.
+  auto compute_dst = [&](std::size_t d) {
+    const auto dst = static_cast<NodeId>(d);
     auto& h = t.dist_[static_cast<std::size_t>(dst)];
     h.assign(states, kInf);
     // Dijkstra on reversed virtual edges from the goal state (VRF K, dst).
@@ -102,6 +108,13 @@ VrfTable VrfTable::compute(const Graph& g, int k, const LinkSet* dead) {
         });
       }
     }
+  };
+
+  const auto n = static_cast<std::size_t>(g.num_switches());
+  if (runner != nullptr && runner->jobs() > 1 && n > 1) {
+    runner->run_batch(n, compute_dst);
+  } else {
+    for (std::size_t d = 0; d < n; ++d) compute_dst(d);
   }
   return t;
 }

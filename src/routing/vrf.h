@@ -25,6 +25,10 @@
 
 #include "routing/types.h"
 
+namespace spineless::util {
+class Runner;
+}
+
 namespace spineless::routing {
 
 // One forwarding choice in the VRF scheme: which physical port to take and
@@ -47,8 +51,12 @@ class VrfTable {
  public:
   // dead: links to treat as absent (failure modeling); the gadget is built
   // only over surviving links. Unreachable states get empty next-hop sets.
-  static VrfTable compute(const Graph& g, int k,
-                          const LinkSet* dead = nullptr);
+  //
+  // runner: optional pool to fan the per-destination Dijkstra over. Each
+  // destination writes only dist_[dst] / nh_[dst] (pre-sized), so the
+  // result is byte-identical to the serial build.
+  static VrfTable compute(const Graph& g, int k, const LinkSet* dead = nullptr,
+                          util::Runner* runner = nullptr);
 
   int k() const noexcept { return k_; }
 

@@ -45,29 +45,24 @@ void Link::start_tx(Simulator& sim) {
   sim.schedule_after(memo_time_, this, /*ctx=*/0);
 }
 
-void Link::on_event(Simulator& sim, std::uint64_t ctx) {
-  if (ctx == 0) {
-    // Head packet fully serialized: launch it down the wire. The node
-    // itself rides the propagation event; arrivals stay FIFO because
-    // serialization completes in order and the delay is constant.
-    PacketNode* node = head_;
-    head_ = node->next;
-    if (head_ == nullptr) tail_ = nullptr;
-    node->next = nullptr;
-    queued_bytes_ -= node->pkt.size_bytes;
-    ++stats_.packets_tx;
-    stats_.bytes_tx += node->pkt.size_bytes;
-    sim.schedule_after(prop_delay_, this,
-                       reinterpret_cast<std::uint64_t>(node));
-    if (head_ != nullptr)
-      start_tx(sim);
-    else
-      busy_ = false;
-  } else {
-    // Arrival: hand the node to the peer, which now owns it (it either
-    // forwards it onto its next link or releases it to the pool).
-    peer_->receive(sim, reinterpret_cast<PacketNode*>(ctx));
-  }
+void Link::on_event(Simulator& sim, std::uint64_t) {
+  // Head packet fully serialized: launch it down the wire. The node
+  // itself rides the propagation event to the peer device, which then
+  // owns it; arrivals stay FIFO because serialization completes in order
+  // and the delay is constant.
+  PacketNode* node = head_;
+  head_ = node->next;
+  if (head_ == nullptr) tail_ = nullptr;
+  node->next = nullptr;
+  queued_bytes_ -= node->pkt.size_bytes;
+  ++stats_.packets_tx;
+  stats_.bytes_tx += node->pkt.size_bytes;
+  sim.schedule_after(prop_delay_, peer_,
+                     reinterpret_cast<std::uint64_t>(node));
+  if (head_ != nullptr)
+    start_tx(sim);
+  else
+    busy_ = false;
 }
 
 }  // namespace spineless::sim

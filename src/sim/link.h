@@ -21,10 +21,18 @@ namespace spineless::sim {
 // of the node: it must either re-enqueue it on another Link or release it
 // back to the pool — this is what lets a packet cross the whole fabric
 // without ever being copied.
-class Device {
+//
+// A Device is itself an EventSink: propagation-delay arrivals are
+// scheduled directly on the receiving device (ctx = the PacketNode*), so
+// in a sharded run the arrival executes in the device's shard — the only
+// cross-shard events are exactly these link arrivals, which the
+// propagation delay pushes at least one lookahead into the future.
+class Device : public EventSink {
  public:
-  virtual ~Device() = default;
   virtual void receive(Simulator& sim, PacketNode* node) = 0;
+  void on_event(Simulator& sim, std::uint64_t ctx) final {
+    receive(sim, reinterpret_cast<PacketNode*>(ctx));
+  }
 };
 
 class Link : public EventSink {
@@ -70,8 +78,8 @@ class Link : public EventSink {
   const Stats& stats() const noexcept { return stats_; }
   std::int64_t queued_bytes() const noexcept { return queued_bytes_; }
 
-  // EventSink: ctx 0 = serialization of head packet finished,
-  //            ctx != 0 = the PacketNode* that arrived at the peer.
+  // EventSink: serialization of the head packet finished (arrivals are
+  // events on the peer Device, not on the Link).
   void on_event(Simulator& sim, std::uint64_t ctx) override;
 
  private:

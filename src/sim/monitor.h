@@ -27,6 +27,9 @@ class QueueMonitor : public EventSink {
   QueueMonitor(Network& net, Time interval)
       : net_(net), interval_(interval) {
     SPINELESS_CHECK(interval > 0);
+    // A sample reads every queue in the network, so in sharded runs the
+    // monitor must fire barrier-synchronized between shard windows.
+    net.register_global_sink(this);
   }
 
   // Starts sampling at `from` and re-arms every interval until `until`.

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace spineless::sim {
 
@@ -8,77 +9,109 @@ namespace spineless::sim {
 // the host port.
 class Network::SwitchDev : public Device {
  public:
-  void init(Network* net, NodeId id) {
+  void init(Network* net, NodeId id, int slot) {
     net_ = net;
     id_ = id;
+    slot_ = slot;
   }
   void receive(Simulator& sim, PacketNode* node) override {
-    net_->forward_at_switch(sim, id_, node);
+    net_->forward_at_switch(sim, id_, slot_, node);
   }
 
  private:
   Network* net_ = nullptr;
   NodeId id_ = 0;
+  int slot_ = 0;
 };
 
 // Host device: hands arriving packets to the flow endpoint.
 class Network::HostDev : public Device {
  public:
-  void init(Network* net) { net_ = net; }
+  void init(Network* net, int slot) {
+    net_ = net;
+    slot_ = slot;
+  }
   void receive(Simulator& sim, PacketNode* node) override {
-    net_->deliver(sim, node->pkt);
-    net_->pool_.release(node);
+    net_->deliver(sim, slot_, node->pkt);
+    net_->pools_[static_cast<std::size_t>(slot_)]->release(node);
   }
 
  private:
   Network* net_ = nullptr;
+  int slot_ = 0;
 };
 
 Network::Network(const Graph& g, const NetworkConfig& cfg)
     : graph_(g), cfg_(cfg) {
-  // Only the table the active mode forwards with is computed; the other
-  // would be dead weight per construction and per reconvergence.
-  if (cfg_.mode == RoutingMode::kEcmp) {
-    ecmp_ = std::make_unique<routing::EcmpTable>(routing::EcmpTable::compute(g));
-  } else if (cfg_.mode == RoutingMode::kShortestUnion) {
-    vrf_ = std::make_unique<routing::VrfTable>(
-        routing::VrfTable::compute(g, cfg_.su_k));
+  num_shards_ = std::clamp(cfg_.intra_jobs, 1,
+                           static_cast<int>(g.num_switches()));
+  cfg_.intra_jobs = num_shards_;
+  // Block partition: shard s owns switches [s*S/K .. (s+1)*S/K). DRing and
+  // leaf-spine builders number nodes so that blocks are topology-adjacent
+  // (ring arcs, pod groups), which keeps most hops intra-shard.
+  switch_shard_.resize(static_cast<std::size_t>(g.num_switches()));
+  for (NodeId n = 0; n < g.num_switches(); ++n) {
+    switch_shard_[static_cast<std::size_t>(n)] = static_cast<std::int32_t>(
+        (static_cast<std::int64_t>(n) * num_shards_) / g.num_switches());
   }
+  if (num_shards_ > 1)
+    table_runner_ = std::make_unique<util::Runner>(
+        num_shards_, util::Runner::Nested::kAllow);
+  shard_stats_.resize(static_cast<std::size_t>(num_shards_));
+  pools_.reserve(static_cast<std::size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s)
+    pools_.push_back(std::make_unique<PacketPool>());
+
+  rebuild_tables(nullptr);
   if (cfg_.host_rate_bps == 0) cfg_.host_rate_bps = cfg_.link_rate_bps;
+
+  // Everything below consumes oids in a fixed construction order — the
+  // same order every run, serial or sharded, so priorities (and therefore
+  // event execution order) are identical for any intra_jobs.
   switches_ =
       std::make_unique<SwitchDev[]>(static_cast<std::size_t>(g.num_switches()));
-  for (NodeId n = 0; n < g.num_switches(); ++n)
-    switches_[static_cast<std::size_t>(n)].init(this, n);
+  for (NodeId n = 0; n < g.num_switches(); ++n) {
+    SwitchDev& dev = switches_[static_cast<std::size_t>(n)];
+    dev.init(this, n, shard_of_switch(n));
+    dev.set_event_identity(next_oid(), shard_of_switch(n));
+  }
   if (cfg_.flowlet_gap > 0)
     flowlets_.resize(static_cast<std::size_t>(g.num_switches()));
   hosts_ =
       std::make_unique<HostDev[]>(static_cast<std::size_t>(g.total_servers()));
-  for (HostId h = 0; h < g.total_servers(); ++h)
-    hosts_[static_cast<std::size_t>(h)].init(this);
+  for (HostId h = 0; h < g.total_servers(); ++h) {
+    HostDev& dev = hosts_[static_cast<std::size_t>(h)];
+    dev.init(this, shard_of_host(h));
+    dev.set_event_identity(next_oid(), shard_of_host(h));
+  }
 
+  // A link belongs to the shard of its *transmitting* node: every event it
+  // sinks (serialization completions) is scheduled from that shard, so it
+  // stays kShardLocal. Its pool is the transmitter's — enqueue-side
+  // allocs/releases then never cross shards; only delivered packets do.
+  auto add_link = [&](std::vector<Link>& vec, std::int64_t rate, NodeId tx,
+                      Device* peer) {
+    vec.emplace_back(rate, cfg_.link_delay, cfg_.queue_bytes, peer,
+                     pools_[static_cast<std::size_t>(shard_of_switch(tx))].get(),
+                     cfg_.ecn_threshold_bytes);
+    vec.back().set_event_identity(next_oid(), EventSink::kShardLocal);
+  };
   net_links_.reserve(2 * static_cast<std::size_t>(g.num_links()));
   for (topo::LinkId l = 0; l < g.num_links(); ++l) {
     const topo::Link& link = g.link(l);
-    net_links_.emplace_back(cfg_.link_rate_bps, cfg_.link_delay,
-                            cfg_.queue_bytes,
-                            &switches_[static_cast<std::size_t>(link.b)],
-                            &pool_, cfg_.ecn_threshold_bytes);
-    net_links_.emplace_back(cfg_.link_rate_bps, cfg_.link_delay,
-                            cfg_.queue_bytes,
-                            &switches_[static_cast<std::size_t>(link.a)],
-                            &pool_, cfg_.ecn_threshold_bytes);
+    add_link(net_links_, cfg_.link_rate_bps, link.a,
+             &switches_[static_cast<std::size_t>(link.b)]);
+    add_link(net_links_, cfg_.link_rate_bps, link.b,
+             &switches_[static_cast<std::size_t>(link.a)]);
   }
   host_up_.reserve(static_cast<std::size_t>(g.total_servers()));
   host_down_.reserve(static_cast<std::size_t>(g.total_servers()));
   for (HostId h = 0; h < g.total_servers(); ++h) {
     const NodeId tor = g.tor_of_host(h);
-    host_up_.emplace_back(cfg_.host_rate_bps, cfg_.link_delay, cfg_.queue_bytes,
-                          &switches_[static_cast<std::size_t>(tor)], &pool_,
-                          cfg_.ecn_threshold_bytes);
-    host_down_.emplace_back(cfg_.host_rate_bps, cfg_.link_delay,
-                            cfg_.queue_bytes,
-                            &hosts_[static_cast<std::size_t>(h)], &pool_,
-                            cfg_.ecn_threshold_bytes);
+    add_link(host_up_, cfg_.host_rate_bps, tor,
+             &switches_[static_cast<std::size_t>(tor)]);
+    add_link(host_down_, cfg_.host_rate_bps, tor,
+             &hosts_[static_cast<std::size_t>(h)]);
   }
 }
 
@@ -114,24 +147,38 @@ void Network::bring_link_up(topo::LinkId link) {
   net_links_[2 * static_cast<std::size_t>(link) + 1].set_down(false);
 }
 
-void Network::reconverge_tables() {
+// Only the table the active mode forwards with is computed; the other
+// would be dead weight per construction and per reconvergence. Wall time
+// is accumulated into table_build_s_ (BENCH_*.json's table_build_s), and
+// destinations fan over table_runner_ when the network is sharded.
+void Network::rebuild_tables(const routing::LinkSet* dead) {
+  const auto start = std::chrono::steady_clock::now();
   if (cfg_.mode == RoutingMode::kEcmp) {
     ecmp_ = std::make_unique<routing::EcmpTable>(
-        routing::EcmpTable::compute(graph_, &down_links_));
-    if (cfg_.validate_tables)
-      SPINELESS_CHECK_MSG(
-          routing::ecmp_table_valid(graph_, *ecmp_, &down_links_),
-          "reconverged ECMP table failed validation");
+        routing::EcmpTable::compute(graph_, dead, table_runner_.get()));
+    if (dead != nullptr && cfg_.validate_tables)
+      SPINELESS_CHECK_MSG(routing::ecmp_table_valid(graph_, *ecmp_, dead),
+                          "reconverged ECMP table failed validation");
   } else if (cfg_.mode == RoutingMode::kShortestUnion) {
     vrf_ = std::make_unique<routing::VrfTable>(
-        routing::VrfTable::compute(graph_, cfg_.su_k, &down_links_));
+        routing::VrfTable::compute(graph_, cfg_.su_k, dead,
+                                   table_runner_.get()));
   }
+  table_build_s_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 }
+
+void Network::reconverge_tables() { rebuild_tables(&down_links_); }
 
 void Network::schedule_link_failure(Simulator& sim, topo::LinkId link, Time at,
                                     Time reconvergence_delay) {
   failure_events_.push_back(std::make_unique<FailureEvent>(*this, link));
   FailureEvent* ev = failure_events_.back().get();
+  // Failures mutate whole-network state (every Link of the pair, the
+  // forwarding tables), so in sharded runs they execute barrier-
+  // synchronized between windows, at exactly their serial (t, prio) slot.
+  ev->set_event_identity(next_oid(), EventSink::kShardGlobal);
   sim.schedule_at(at, ev, /*ctx=*/0);
   sim.schedule_at(at + reconvergence_delay, ev, /*ctx=*/1);
 }
@@ -145,6 +192,10 @@ void Network::register_flow(std::int32_t flow_id, Endpoint* source,
   }
   sources_[idx] = source;
   sinks_[idx] = sink;
+  // Preallocate the trace slot while registration is still single-threaded:
+  // shards then write disjoint traces_[i] entries without ever resizing
+  // the outer vector mid-run.
+  if (cfg_.trace_paths && traces_.size() <= idx) traces_.resize(idx + 1);
 }
 
 void Network::set_flow_routes(std::int32_t flow_id, routing::Path forward) {
@@ -228,8 +279,10 @@ Link& Network::out_link(NodeId node, topo::LinkId link) {
   return net_links_[2 * static_cast<std::size_t>(link) + (a_to_b ? 0 : 1)];
 }
 
-void Network::forward_at_switch(Simulator& sim, NodeId node,
+void Network::forward_at_switch(Simulator& sim, NodeId node, int slot,
                                 PacketNode* packet_node) {
+  PacketPool& pool = *pools_[static_cast<std::size_t>(slot)];
+  NetStats& stats = shard_stats_[static_cast<std::size_t>(slot)].s;
   Packet& pkt = packet_node->pkt;  // mutated in place; the node moves on
   if (cfg_.trace_paths && !pkt.is_ack && pkt.seq == 0) {
     const auto idx = static_cast<std::size_t>(pkt.flow_id);
@@ -247,8 +300,8 @@ void Network::forward_at_switch(Simulator& sim, NodeId node,
     return;
   }
   if (++pkt.hops > 64) {
-    ++extra_.ttl_drops;
-    pool_.release(packet_node);
+    ++stats.ttl_drops;
+    pool.release(packet_node);
     return;
   }
   if (cfg_.mode == RoutingMode::kSourceRouted) {
@@ -268,8 +321,8 @@ void Network::forward_at_switch(Simulator& sim, NodeId node,
   if (cfg_.mode == RoutingMode::kEcmp) {
     const auto hops = ecmp_->next_hops(node, pkt.dst_tor);
     if (hops.empty()) {
-      ++extra_.no_route_drops;  // destination cut off by failures
-      pool_.release(packet_node);
+      ++stats.no_route_drops;  // destination cut off by failures
+      pool.release(packet_node);
       return;
     }
     const routing::Port& p = hops[pick(key, hops.size())];
@@ -278,8 +331,8 @@ void Network::forward_at_switch(Simulator& sim, NodeId node,
   }
   const auto& hops = vrf_->next_hops(node, pkt.vrf, pkt.dst_tor);
   if (hops.empty()) {
-    ++extra_.no_route_drops;
-    pool_.release(packet_node);
+    ++stats.no_route_drops;
+    pool.release(packet_node);
     return;
   }
   std::size_t choice;
@@ -301,8 +354,8 @@ void Network::forward_at_switch(Simulator& sim, NodeId node,
   out_link(node, h.port.link).enqueue_node(sim, packet_node);
 }
 
-void Network::deliver(Simulator& sim, const Packet& pkt) {
-  ++extra_.delivered;
+void Network::deliver(Simulator& sim, int slot, const Packet& pkt) {
+  ++shard_stats_[static_cast<std::size_t>(slot)].s.delivered;
   const auto idx = static_cast<std::size_t>(pkt.flow_id);
   SPINELESS_DCHECK(idx < sinks_.size());
   Endpoint* ep = pkt.is_ack ? sources_[idx] : sinks_[idx];
@@ -316,7 +369,12 @@ routing::Path Network::traced_path(std::int32_t flow_id) const {
 }
 
 Network::NetStats Network::stats() const {
-  NetStats s = extra_;
+  NetStats s;
+  for (const ShardStats& stripe : shard_stats_) {
+    s.ttl_drops += stripe.s.ttl_drops;
+    s.no_route_drops += stripe.s.no_route_drops;
+    s.delivered += stripe.s.delivered;
+  }
   auto account = [&s](const std::vector<Link>& links) {
     for (const Link& l : links) s.queue_drops += l.stats().drops;
   };

@@ -24,6 +24,7 @@
 #include "sim/simulator.h"
 #include "topo/graph.h"
 #include "util/rng.h"
+#include "util/runner.h"
 #include "util/stats.h"
 
 namespace spineless::sim {
@@ -72,6 +73,14 @@ struct NetworkConfig {
   // for tests and debugging, not release benches.
   bool validate_tables = false;
   std::uint64_t ecmp_salt = 0x5eedULL;
+  // Number of shards for deterministic intra-cell parallelism: switches
+  // (with their hosts, flows, and NICs) are block-partitioned into this
+  // many shards, each with its own event heap and packet pool, advanced by
+  // sim::ShardedEngine in lookahead-wide windows. Route-table construction
+  // fans destinations over the same number of workers. 1 = the plain
+  // serial engine; results are byte-identical either way. Clamped to the
+  // switch count.
+  int intra_jobs = 1;
 };
 
 // A TCP source or sink — receives the packets addressed to its flow.
@@ -115,9 +124,35 @@ class Network {
   // Peak queue occupancy across switch-switch links (diagnostics).
   std::int64_t max_network_queue_bytes() const;
 
-  // The shared packet-buffer pool (diagnostics: pooling tests assert its
-  // block count plateaus across back-to-back experiments).
-  const PacketPool& packet_pool() const noexcept { return pool_; }
+  // The shard-0 packet-buffer pool (diagnostics: pooling tests assert its
+  // block count plateaus across back-to-back experiments; serial networks
+  // have exactly one pool).
+  const PacketPool& packet_pool() const noexcept { return *pools_[0]; }
+
+  // --- Sharding (NetworkConfig::intra_jobs; see sim/sharded_engine.h) ---
+  int num_shards() const noexcept { return num_shards_; }
+  bool sharded() const noexcept { return num_shards_ > 1; }
+  int shard_of_switch(NodeId n) const {
+    return switch_shard_[static_cast<std::size_t>(n)];
+  }
+  int shard_of_host(HostId h) const {
+    return shard_of_switch(graph_.tor_of_host(h));
+  }
+  // Hands out the next deterministic scheduling oid (see EventSink). The
+  // Network consumes ids for its own links/devices at construction;
+  // dynamically created sinks (TcpSource, failure events, monitors) draw
+  // theirs in construction order, which experiments keep identical across
+  // serial and sharded runs.
+  std::uint32_t next_oid() noexcept { return next_oid_++; }
+  // Registers a sink that must execute barrier-synchronized with respect
+  // to every shard (monitors and other whole-network observers).
+  void register_global_sink(EventSink* sink) {
+    sink->set_event_identity(next_oid(), EventSink::kShardGlobal);
+  }
+
+  // Wall seconds spent building forwarding tables (construction plus every
+  // reconvergence) — surfaces setup vs. simulate time in BENCH_*.json.
+  double table_build_seconds() const noexcept { return table_build_s_; }
 
   // --- Mid-simulation link failures (the §7 failure questions at the
   // data plane) ---
@@ -163,8 +198,12 @@ class Network {
   friend class HostDev;
 
   Link& out_link(NodeId node, topo::LinkId link);
-  void forward_at_switch(Simulator& sim, NodeId node, PacketNode* packet_node);
-  void deliver(Simulator& sim, const Packet& pkt);
+  // slot = the executing shard: selects the packet pool and the stats
+  // stripe, so shards never touch each other's counters or free lists.
+  void forward_at_switch(Simulator& sim, NodeId node, int slot,
+                         PacketNode* packet_node);
+  void deliver(Simulator& sim, int slot, const Packet& pkt);
+  void rebuild_tables(const routing::LinkSet* dead);
   topo::LinkId link_to_neighbor(NodeId node, NodeId neighbor) const;
   // Per-flow hash key at a switch, with the flowlet id mixed in when
   // flowlet switching is enabled.
@@ -180,13 +219,26 @@ class Network {
 
   const Graph& graph_;
   NetworkConfig cfg_;
+  // Block partition of switches over shards (shard of switch n); hosts,
+  // NICs, and flows follow their ToR. Contiguous blocks keep each shard's
+  // links/devices adjacent in the arrays below — the per-shard working set
+  // stays cache-local where one global heap walked the whole arrays.
+  int num_shards_ = 1;
+  std::vector<std::int32_t> switch_shard_;
+  std::uint32_t next_oid_ = 1;  // 0 is the simulators' root context
+  // Worker pool for parallel table construction; null when intra_jobs == 1.
+  // Nested::kAllow — the benches divide --jobs between sweep and cell.
+  std::unique_ptr<util::Runner> table_runner_;
+  double table_build_s_ = 0;
   // Forwarding table of the active mode; the other stays null (computing
   // both doubled reconvergence cost for no data-plane benefit).
   std::unique_ptr<routing::EcmpTable> ecmp_;  // only in kEcmp mode
   std::unique_ptr<routing::VrfTable> vrf_;    // only in kShortestUnion mode
 
-  // Declared before the links so it outlives them.
-  PacketPool pool_;
+  // One pool per shard, declared before the links so they outlive them.
+  // Cross-shard packets are released into the receiving shard's free list
+  // (see PacketPool::in_use on the counter skew this allows).
+  std::vector<std::unique_ptr<PacketPool>> pools_;
 
   // Devices and links live in contiguous arrays — the forwarding path
   // indexes straight into them with no per-object heap indirection, which
@@ -245,7 +297,12 @@ class Network {
   // Pending failure schedulers (own their EventSink identity).
   class FailureEvent;
   std::vector<std::unique_ptr<FailureEvent>> failure_events_;
-  mutable NetStats extra_;  // ttl_drops / delivered counters
+  // ttl_drops / no_route_drops / delivered, striped per shard so parallel
+  // windows never share a counter cache line; stats() sums the stripes.
+  struct alignas(64) ShardStats {
+    NetStats s;
+  };
+  std::vector<ShardStats> shard_stats_;
 };
 
 }  // namespace spineless::sim

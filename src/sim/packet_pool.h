@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -44,10 +45,14 @@ class PacketPool {
   }
 
   // Diagnostics: pooling tests assert blocks_allocated() plateaus across
-  // experiments; BENCH_*.json records peak buffer usage.
+  // experiments; BENCH_*.json records peak buffer usage. in_use() is
+  // signed: in a sharded run a node allocated from one shard's pool may be
+  // released into another's free list (both pools outlive the run, so the
+  // memory stays valid), which skews the per-pool counters in opposite
+  // directions.
   std::size_t blocks_allocated() const noexcept { return blocks_.size(); }
   std::size_t total_nodes() const noexcept { return blocks_.size() * kBlock; }
-  std::size_t in_use() const noexcept { return in_use_; }
+  std::int64_t in_use() const noexcept { return in_use_; }
 
  private:
   static constexpr std::size_t kBlock = 256;
@@ -62,7 +67,7 @@ class PacketPool {
   }
 
   PacketNode* free_ = nullptr;
-  std::size_t in_use_ = 0;
+  std::int64_t in_use_ = 0;
   std::vector<std::unique_ptr<PacketNode[]>> blocks_;
 };
 

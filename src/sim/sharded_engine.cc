@@ -1,0 +1,206 @@
+#include "sim/sharded_engine.h"
+
+#include "util/runner.h"
+
+namespace spineless::sim {
+
+ShardedEngine::ShardedEngine(Network& net)
+    : net_(net),
+      num_shards_(net.num_shards()),
+      lookahead_(net.config().link_delay),
+      lanes_(static_cast<std::size_t>(num_shards_) *
+             static_cast<std::size_t>(num_shards_)),
+      barrier_(num_shards_) {
+  SPINELESS_CHECK_MSG(lookahead_ > 0,
+                      "sharded engine needs a positive link delay lookahead");
+  sims_.reserve(static_cast<std::size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    sims_.push_back(std::make_unique<Simulator>());
+    sims_.back()->set_shard_context(this, s);
+  }
+  control_.set_shard_context(this, Simulator::kControlShard);
+  threads_.reserve(static_cast<std::size_t>(num_shards_ - 1));
+  for (int s = 1; s < num_shards_; ++s)
+    threads_.emplace_back([this, s] { worker_main(s); });
+}
+
+ShardedEngine::~ShardedEngine() {
+  quit_.store(true, std::memory_order_release);
+  run_gen_.fetch_add(1, std::memory_order_acq_rel);
+  run_gen_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardedEngine::post(std::int32_t src_shard, std::int32_t dst_shard,
+                         const RoutedEvent& e) {
+  const Simulator::Event ev{e.t, e.prio, e.sink, e.ctx};
+  if (src_shard == Simulator::kControlShard) {
+    // Setup or a global event: every shard is quiescent, push directly.
+    sims_[static_cast<std::size_t>(dst_shard)]->push_event(ev);
+    return;
+  }
+  // Mid-window handoff: the propagation delay guarantees the event lies at
+  // or beyond the window's lookahead horizon, so merging it at the next
+  // barrier cannot be late.
+  SPINELESS_DCHECK(e.t >= lane_floor_);
+  lanes_[static_cast<std::size_t>(src_shard) *
+             static_cast<std::size_t>(num_shards_) +
+         static_cast<std::size_t>(dst_shard)]
+      .events.push_back(ev);
+}
+
+void ShardedEngine::post_global(std::int32_t src_shard, const RoutedEvent& e) {
+  const Simulator::Event ev{e.t, e.prio, e.sink, e.ctx};
+  if (src_shard == Simulator::kControlShard) {
+    globals_.insert(ev);
+    return;
+  }
+  // A shard scheduling a global mid-window must respect the same lookahead
+  // horizon as lane traffic — the planner may already have advanced other
+  // shards up to it.
+  SPINELESS_DCHECK(e.t >= lane_floor_);
+  std::lock_guard<std::mutex> lock(global_mu_);
+  global_inbox_.push_back(ev);
+}
+
+std::uint64_t ShardedEngine::events_processed() const {
+  std::uint64_t n = control_.events_processed();
+  for (const auto& sim : sims_) n += sim->events_processed();
+  return n;
+}
+
+void ShardedEngine::run_until(Time deadline) {
+  SPINELESS_DCHECK(deadline >= deadline_);
+  deadline_ = deadline;
+  plan();
+  if (phase_ == Phase::kStop) return;  // nothing due: clocks already parked
+  done_count_.store(0, std::memory_order_relaxed);
+  run_gen_.fetch_add(1, std::memory_order_acq_rel);
+  run_gen_.notify_all();
+  participant(/*s=*/0);
+  // Wait for every worker to leave the round before returning: a repeated
+  // run_until re-plans on this thread, and that write to the phase state
+  // must not race a worker's final post-barrier phase read.
+  int done = done_count_.load(std::memory_order_acquire);
+  while (done != num_shards_ - 1) {
+    done_count_.wait(done);
+    done = done_count_.load(std::memory_order_acquire);
+  }
+}
+
+void ShardedEngine::worker_main(int shard) {
+  util::ParallelRegion region;
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t gen = run_gen_.load(std::memory_order_acquire);
+    while (gen == seen) {
+      run_gen_.wait(gen);
+      gen = run_gen_.load(std::memory_order_acquire);
+    }
+    seen = gen;
+    if (quit_.load(std::memory_order_acquire)) return;
+    participant(shard);
+    done_count_.fetch_add(1, std::memory_order_acq_rel);
+    done_count_.notify_all();
+  }
+}
+
+void ShardedEngine::participant(int s) {
+  Simulator& sim = *sims_[static_cast<std::size_t>(s)];
+  for (;;) {
+    switch (phase_) {
+      case Phase::kRun:
+        sim.run_until(win_deadline_);
+        break;
+      case Phase::kRunKey:
+        sim.run_until_key(key_t_, key_prio_);
+        break;
+      case Phase::kStop:
+        return;
+    }
+    // Barrier 1: every shard has finished the window and published its
+    // outgoing lanes. Each shard then merges its own incoming lanes.
+    barrier_.arrive_and_wait([] {});
+    merge_lanes_into(s);
+    // Barrier 2: heaps are whole again; the last arriver plans the next
+    // window (and executes any due global events) while the rest wait.
+    barrier_.arrive_and_wait([this] { plan(); });
+  }
+}
+
+void ShardedEngine::merge_lanes_into(int dst) {
+  Simulator& sim = *sims_[static_cast<std::size_t>(dst)];
+  for (int src = 0; src < num_shards_; ++src) {
+    if (src == dst) continue;
+    Lane& lane = lanes_[static_cast<std::size_t>(src) *
+                            static_cast<std::size_t>(num_shards_) +
+                        static_cast<std::size_t>(dst)];
+    for (const Simulator::Event& e : lane.events) sim.push_event(e);
+    lane.events.clear();
+  }
+}
+
+void ShardedEngine::plan() {
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    for (const Simulator::Event& e : global_inbox_) globals_.insert(e);
+    global_inbox_.clear();
+  }
+  for (;;) {
+    // Earliest pending key across the shard heaps. This is exact, not a
+    // bound: all heaps are quiescent and all lanes merged, so nothing
+    // below it can still appear.
+    bool have_min = false;
+    Time tmin = 0;
+    std::uint64_t pmin = 0;
+    for (const auto& sim : sims_) {
+      Time t;
+      std::uint64_t p;
+      if (!sim->peek(&t, &p)) continue;
+      if (!have_min || t < tmin || (t == tmin && p < pmin)) {
+        have_min = true;
+        tmin = t;
+        pmin = p;
+      }
+    }
+    // A global strictly below every pending shard event executes now,
+    // single-threaded on the control simulator; it may schedule into
+    // shards or queue further globals, so re-plan from scratch.
+    if (!globals_.empty()) {
+      const Simulator::Event g = *globals_.begin();
+      if (g.t <= deadline_ &&
+          (!have_min || g.t < tmin || (g.t == tmin && g.prio < pmin))) {
+        globals_.erase(globals_.begin());
+        control_.dispatch_external(g);
+        continue;
+      }
+    }
+    if (!have_min || tmin > deadline_) {
+      // Done: park every clock at the deadline, exactly like the serial
+      // engine's run_until (heaps are quiescent — safe to touch here).
+      for (const auto& sim : sims_) sim->run_until(deadline_);
+      control_.run_until(deadline_);
+      phase_ = Phase::kStop;
+      return;
+    }
+    // Next window [tmin, end): any lane arrival produced inside lands at
+    // >= tmin + lookahead >= end, so no shard can receive an event below
+    // its execution front.
+    Time end = tmin + lookahead_;
+    if (end > deadline_) end = deadline_ + 1;  // run_until is inclusive
+    lane_floor_ = tmin + lookahead_;
+    if (!globals_.empty() && globals_.begin()->t < end) {
+      // A global falls inside the window: shards run strictly below its
+      // key, then it executes at its exact serial position.
+      phase_ = Phase::kRunKey;
+      key_t_ = globals_.begin()->t;
+      key_prio_ = globals_.begin()->prio;
+    } else {
+      phase_ = Phase::kRun;
+      win_deadline_ = end - 1;
+    }
+    return;
+  }
+}
+
+}  // namespace spineless::sim

@@ -1,0 +1,172 @@
+// Deterministic intra-cell parallelism: a conservative parallel
+// discrete-event engine over a sharded Network.
+//
+// The Network block-partitions its switches (and their hosts, NICs, and
+// flows) into K shards; each shard gets its own Simulator (event heap) and
+// packet pool. All per-entity state is touched only by the entity's owning
+// shard, and the only events that cross shards are link-propagation
+// arrivals, which a transmitting shard schedules at least
+//   lookahead = link propagation delay
+// into the future. That is the classic conservative-window guarantee: if W
+// is the earliest pending event time across all shards, every shard can
+// execute its events in [W, W + lookahead) without ever receiving an
+// event below its execution front — so the engine advances all shards
+// through barrier-synchronized windows of that width.
+//
+// Per window: (1) every shard runs its heap up to the window end,
+// buffering cross-shard arrivals into per-(src,dst) lanes; (2) barrier;
+// (3) every shard merges its incoming lanes into its heap; (4) barrier,
+// whose last arriver plans the next window. Because event priorities are
+// (scheduler oid, counter) pairs — globally unique and independent of
+// thread interleaving (see simulator.h) — each heap pops in a total order
+// identical to the serial engine's subsequence for that shard, and merged
+// lane events carry the exact keys the serial run would have used. The
+// result is byte-identical to the serial engine for any intra_jobs.
+//
+// Global events (sinks registered kShardGlobal: link failures, queue
+// monitors) mutate whole-network state, so they cannot run inside a shard.
+// The planner interleaves them exactly: when the next global's key
+// (t, prio) falls inside the upcoming window, shards run only *strictly
+// below* that key (run_until_key), then the planner executes the global
+// single-threaded on the control simulator and re-plans.
+//
+// When to use: intra-cell sharding pays on a single large topology
+// (fig6's m >= 12 cells) where PR 1's cell-level Runner has no cells left
+// to parallelize — i.e. whenever cells < cores. For sweeps with many
+// small cells, outer parallelism has no barrier cost and wins; the
+// benches split --jobs into (outer) x (--intra_jobs) accordingly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace spineless::sim {
+
+class ShardedEngine : public ShardRouter {
+ public:
+  // The network's intra_jobs determines the shard count; its link delay is
+  // the lookahead (and must be positive).
+  explicit ShardedEngine(Network& net);
+  ~ShardedEngine() override;
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // Single-threaded front door for setup and observation: schedule flow
+  // starts, failures, monitors through this simulator — events route to
+  // the owning shard (or the global queue) automatically.
+  Simulator& control() noexcept { return control_; }
+
+  // Runs all shards up to `deadline` (inclusive), like
+  // Simulator::run_until. May be called repeatedly with growing deadlines.
+  void run_until(Time deadline);
+
+  // Total events executed across every shard plus the global events —
+  // equals the serial engine's count for the same scenario.
+  std::uint64_t events_processed() const;
+
+  int num_shards() const noexcept { return num_shards_; }
+  const Simulator& shard(int s) const { return *sims_[static_cast<std::size_t>(s)]; }
+
+  // ShardRouter:
+  void post(std::int32_t src_shard, std::int32_t dst_shard,
+            const RoutedEvent& e) override;
+  void post_global(std::int32_t src_shard, const RoutedEvent& e) override;
+
+ private:
+  enum class Phase { kRun, kRunKey, kStop };
+
+  // Sense-reversing barrier whose last arriver runs a completion step
+  // before releasing the others. Spins briefly (windows are microseconds
+  // of simulated work), then parks in atomic wait so oversubscribed
+  // machines still make progress.
+  class Barrier {
+   public:
+    explicit Barrier(int n) : n_(n) {}
+    template <typename Fn>
+    void arrive_and_wait(Fn&& completion) {
+      const std::uint64_t gen = gen_.load(std::memory_order_acquire);
+      if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+        completion();
+        arrived_.store(0, std::memory_order_relaxed);
+        gen_.store(gen + 1, std::memory_order_release);
+        gen_.notify_all();
+        return;
+      }
+      for (int spin = 0; spin < 4096; ++spin) {
+        if (gen_.load(std::memory_order_acquire) != gen) return;
+      }
+      while (gen_.load(std::memory_order_acquire) == gen) gen_.wait(gen);
+    }
+
+   private:
+    const int n_;
+    std::atomic<int> arrived_{0};
+    std::atomic<std::uint64_t> gen_{0};
+  };
+
+  struct KeyLess {
+    bool operator()(const Simulator::Event& a,
+                    const Simulator::Event& b) const noexcept {
+      return a.before(b);  // keys are globally unique -> strict total order
+    }
+  };
+
+  // One cross-shard lane, padded so the writing shard's push_backs never
+  // false-share with neighbors.
+  struct alignas(64) Lane {
+    std::vector<Simulator::Event> events;
+  };
+
+  void worker_main(int shard);
+  // One run_until(deadline_) protocol round for shard s; returns when the
+  // planner has declared kStop.
+  void participant(int s);
+  // Runs in the second barrier's completion slot, single-threaded while
+  // every other shard waits: executes due globals, then picks the next
+  // window (or stops). All heaps are quiescent here, so it may touch them.
+  void plan();
+  void merge_lanes_into(int dst);
+
+  Network& net_;
+  const int num_shards_;
+  const Time lookahead_;
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  Simulator control_;
+  std::vector<Lane> lanes_;  // lanes_[src * K + dst]
+
+  // Pending global events in key order, plus a mutex-guarded inbox for the
+  // (rare) case of a shard posting a global mid-window.
+  std::set<Simulator::Event, KeyLess> globals_;
+  std::mutex global_mu_;
+  std::vector<Simulator::Event> global_inbox_;
+
+  Barrier barrier_;
+  // Phase state, written only by plan() and read by all shards after the
+  // releasing barrier (which orders the accesses).
+  Phase phase_ = Phase::kStop;
+  Time win_deadline_ = 0;   // kRun: run events with t <= this
+  Time key_t_ = 0;          // kRunKey: run strictly below (key_t_, key_prio_)
+  std::uint64_t key_prio_ = 0;
+  Time deadline_ = 0;       // current run_until target
+  Time lane_floor_ = 0;     // lower bound every lane post must respect
+
+  // Worker threads park here between run_until calls; done_count_ is their
+  // end-of-round acknowledgment, awaited by run_until before it returns so
+  // the next round's planning cannot race a worker still leaving this one.
+  std::atomic<std::uint64_t> run_gen_{0};
+  std::atomic<int> done_count_{0};
+  std::atomic<bool> quit_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace spineless::sim

@@ -3,33 +3,61 @@
 namespace spineless::sim {
 
 bool Simulator::run_until(Time deadline) {
-  while (!heap_.empty() && heap_[0].t <= deadline) {
-    const Event ev = heap_[0];
-    now_ = ev.t;
-    ++processed_;
-    top_hole_ = true;  // the root slot may be reused by the first push
-    ev.sink->on_event(*this, ev.ctx);
-    if (top_hole_) {
-      top_hole_ = false;
-      pop();
-    }
-  }
+  while (!heap_.empty() && heap_[0].t <= deadline) dispatch_top();
+  cur_key_ = &root_key_;
   if (now_ < deadline) now_ = deadline;
   return !heap_.empty();
 }
 
-void Simulator::run() {
-  while (!heap_.empty()) {
-    const Event ev = heap_[0];
-    now_ = ev.t;
-    ++processed_;
-    top_hole_ = true;
-    ev.sink->on_event(*this, ev.ctx);
-    if (top_hole_) {
-      top_hole_ = false;
-      pop();
-    }
+void Simulator::run_until_key(Time t_bound, std::uint64_t prio_bound) {
+  while (!heap_.empty() &&
+         (heap_[0].t < t_bound ||
+          (heap_[0].t == t_bound && heap_[0].prio < prio_bound))) {
+    dispatch_top();
   }
+  cur_key_ = &root_key_;
+}
+
+void Simulator::run() {
+  while (!heap_.empty()) dispatch_top();
+  cur_key_ = &root_key_;
+}
+
+void Simulator::dispatch_external(const Event& e) {
+  SPINELESS_DCHECK(e.t >= now_);
+  now_ = e.t;
+  ++processed_;
+  cur_key_ = &e.sink->prio_key_;
+  e.sink->on_event(*this, e.ctx);
+  cur_key_ = &root_key_;
+}
+
+void Simulator::assign_lazy_oid() {
+  SPINELESS_DCHECK(lazy_oid_ > 0);
+  *cur_key_ = static_cast<std::uint64_t>(lazy_oid_--)
+              << EventSink::kPrioCounterBits;
+}
+
+bool Simulator::route_external(Time t, std::uint64_t prio, EventSink* sink,
+                               std::uint64_t ctx) {
+  const std::int32_t target = sink->shard_;
+  if (target == self_shard_ || target == EventSink::kShardLocal) {
+    // kShardLocal sinks scheduled from the control context would land in
+    // the control heap, which never runs — every sink a sharded run
+    // touches from setup/global context must carry a real shard or be
+    // global (Network assigns these identities).
+    SPINELESS_CHECK_MSG(
+        self_shard_ != kControlShard || target != EventSink::kShardLocal,
+        "scheduling a shard-local sink from the sharded control context");
+    return false;
+  }
+  const ShardRouter::RoutedEvent e{t, prio, sink, ctx};
+  if (target == EventSink::kShardGlobal) {
+    router_->post_global(self_shard_, e);
+  } else {
+    router_->post(self_shard_, target, e);
+  }
+  return true;
 }
 
 }  // namespace spineless::sim

@@ -1,7 +1,21 @@
 // Discrete-event simulation core: a monotonic clock and a priority queue of
 // events. Events are delivered to EventSink::on_event with an opaque
-// context word; ties in time break by schedule order (seq), making every
-// run deterministic.
+// context word.
+//
+// Ordering. Ties in time break by a deterministic priority key
+//   prio = (scheduler oid << 38) | scheduler counter
+// where the *scheduler* is the sink whose on_event is executing when
+// schedule_at is called (or the simulator's root context for scheduling
+// done outside any event, e.g. pre-run setup). Every entity that schedules
+// events owns an oid — assigned deterministically at construction — and a
+// counter that advances once per event it schedules. Unlike a global
+// schedule-order sequence number, this key does not depend on the
+// interleaving of *other* entities' executions, so the sharded parallel
+// engine (sharded_engine.h) reproduces it exactly and serial and sharded
+// runs execute the identical event sequence. Keys are globally unique
+// (oid, counter) pairs, which also makes the heap's pop order a total
+// order. Within one scheduler, ties at equal time still fire in schedule
+// order, exactly like the old global-seq scheme.
 //
 // The queue is a hand-rolled 4-ary implicit heap rather than
 // std::priority_queue: events are popped and pushed once per packet hop, so
@@ -18,15 +32,93 @@
 namespace spineless::sim {
 
 class Simulator;
+class ShardRouter;
 
 class EventSink {
  public:
+  // Low bits of the priority key hold the per-scheduler counter; the high
+  // bits hold the oid, so oids must fit in 64 - kPrioCounterBits bits.
+  static constexpr int kPrioCounterBits = 38;
+  static constexpr std::uint64_t kPrioCounterMask =
+      (std::uint64_t{1} << kPrioCounterBits) - 1;
+  static constexpr std::uint32_t kMaxOid =
+      (std::uint32_t{1} << (64 - kPrioCounterBits)) - 1;
+
+  // shard() values: >= 0 targets that shard of a sharded run; kShardLocal
+  // always executes in whatever simulator scheduled it (links, self-timers
+  // in serial runs); kShardGlobal executes barrier-synchronized between
+  // shard windows (failure events, monitors).
+  static constexpr std::int32_t kShardLocal = -1;
+  static constexpr std::int32_t kShardGlobal = -2;
+
   virtual ~EventSink() = default;
   virtual void on_event(Simulator& sim, std::uint64_t ctx) = 0;
+
+  // Assigns this sink's deterministic scheduling identity. Entities that
+  // participate in sharded runs must be given one in a construction order
+  // identical across serial and sharded execution (Network::next_oid does
+  // this); sinks without one get a lazy oid on first schedule, which is
+  // deterministic only in serial runs.
+  void set_event_identity(std::uint32_t oid, std::int32_t shard) noexcept {
+    SPINELESS_DCHECK(oid <= kMaxOid);
+    prio_key_ = static_cast<std::uint64_t>(oid) << kPrioCounterBits;
+    shard_ = shard;
+  }
+  std::int32_t shard() const noexcept { return shard_; }
+
+ private:
+  friend class Simulator;
+  static constexpr std::uint64_t kPrioUnassigned = ~std::uint64_t{0};
+
+  // Next priority key this sink will hand out as a scheduler: oid in the
+  // high bits, counter in the low bits, bumped per scheduled event.
+  std::uint64_t prio_key_ = kPrioUnassigned;
+  std::int32_t shard_ = kShardLocal;
+};
+
+// Cross-shard event transport, implemented by the sharded engine. A
+// simulator with a router installed forwards events whose target sink
+// belongs to another shard instead of pushing them onto its own heap.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  struct RoutedEvent {
+    Time t;
+    std::uint64_t prio;
+    EventSink* sink;
+    std::uint64_t ctx;
+  };
+
+  // Handoff from src_shard's window execution into dst_shard's lane;
+  // merged into dst's heap at the next barrier. src_shard may be
+  // Simulator::kControlShard for single-threaded contexts (setup, global
+  // events), where the push lands directly in the target heap.
+  virtual void post(std::int32_t src_shard, std::int32_t dst_shard,
+                    const RoutedEvent& e) = 0;
+  // Event for a kShardGlobal sink: executed barrier-synchronized, in
+  // exact (t, prio) order relative to every shard event.
+  virtual void post_global(std::int32_t src_shard, const RoutedEvent& e) = 0;
 };
 
 class Simulator {
  public:
+  struct Event {
+    Time t;
+    std::uint64_t prio;
+    EventSink* sink;
+    std::uint64_t ctx;
+    bool before(const Event& o) const noexcept {
+      if (t != o.t) return t < o.t;
+      return prio < o.prio;
+    }
+  };
+
+  // self_shard() of a simulator driven single-threaded by the sharded
+  // engine (setup + global events); its cross-shard posts go straight into
+  // the target heaps instead of lanes.
+  static constexpr std::int32_t kControlShard = -3;
+
   Simulator() { heap_.reserve(1024); }
 
   Time now() const noexcept { return now_; }
@@ -35,7 +127,9 @@ class Simulator {
   void schedule_at(Time t, EventSink* sink, std::uint64_t ctx) {
     SPINELESS_DCHECK(t >= now_);
     SPINELESS_DCHECK(sink != nullptr);
-    push(Event{t, seq_++, sink, ctx});
+    const std::uint64_t prio = next_prio();
+    if (router_ != nullptr && route_external(t, prio, sink, ctx)) return;
+    push(Event{t, prio, sink, ctx});
   }
   void schedule_after(Time dt, EventSink* sink, std::uint64_t ctx) {
     schedule_at(now_ + dt, sink, ctx);
@@ -44,21 +138,76 @@ class Simulator {
   bool empty() const noexcept { return heap_.empty(); }
 
   // Runs events with time <= deadline; returns true if events remain.
+  // Advances now() to the deadline even if the queue drains first.
   bool run_until(Time deadline);
   // Runs until the queue drains.
   void run();
 
+  // --- Sharded-engine interface (see sharded_engine.h) ---
+
+  // Installs the cross-shard router; self_shard is this simulator's shard
+  // index (or kControlShard). Events for sinks of other shards are posted
+  // to the router instead of the local heap.
+  void set_shard_context(ShardRouter* router, std::int32_t self_shard) {
+    router_ = router;
+    self_shard_ = self_shard;
+  }
+  std::int32_t self_shard() const noexcept { return self_shard_; }
+
+  // Runs events with key strictly below (t_bound, prio_bound). Unlike
+  // run_until, now() is left at the last executed event — the bound is an
+  // ordering fence (a pending global event's key), not a time advance.
+  void run_until_key(Time t_bound, std::uint64_t prio_bound);
+
+  // Key of the earliest pending event; false if the heap is empty. Only
+  // meaningful between runs (single-threaded phases of the engine).
+  bool peek(Time* t, std::uint64_t* prio) const {
+    if (heap_.empty()) return false;
+    *t = heap_[0].t;
+    *prio = heap_[0].prio;
+    return true;
+  }
+
+  // Merges an externally routed event into the heap. Must not be called
+  // while this simulator is mid-dispatch (the engine calls it only at
+  // barriers and during setup, when the simulator is quiescent).
+  void push_event(const Event& e) {
+    SPINELESS_DCHECK(!top_hole_);
+    SPINELESS_DCHECK(e.t >= now_);
+    push(e);
+  }
+
+  // Executes one externally held event (a global, on the engine's control
+  // simulator) as if it had been popped from the heap: advances now(),
+  // counts it, and attributes scheduling done inside to the sink.
+  void dispatch_external(const Event& e);
+
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    EventSink* sink;
-    std::uint64_t ctx;
-    bool before(const Event& o) const noexcept {
-      if (t != o.t) return t < o.t;
-      return seq < o.seq;
+  std::uint64_t next_prio() {
+    if (*cur_key_ == EventSink::kPrioUnassigned) assign_lazy_oid();
+    SPINELESS_DCHECK((*cur_key_ & EventSink::kPrioCounterMask) !=
+                     EventSink::kPrioCounterMask);
+    return (*cur_key_)++;
+  }
+  void assign_lazy_oid();
+  // Returns true if the event was handed to the router (target sink lives
+  // in another shard or is global); out-of-line, serial runs never get here.
+  bool route_external(Time t, std::uint64_t prio, EventSink* sink,
+                      std::uint64_t ctx);
+  // Pops and dispatches the top event, tracking the executing sink so
+  // schedule_at can stamp priorities with its (oid, counter).
+  void dispatch_top() {
+    const Event ev = heap_[0];
+    now_ = ev.t;
+    ++processed_;
+    cur_key_ = &ev.sink->prio_key_;
+    top_hole_ = true;  // the root slot may be reused by the first push
+    ev.sink->on_event(*this, ev.ctx);
+    if (top_hole_) {
+      top_hole_ = false;
+      pop();
     }
-  };
+  }
 
   void push(const Event& e) {
     // Replace-top: while the event being dispatched still occupies the
@@ -104,13 +253,25 @@ class Simulator {
     if (!heap_.empty()) sift_down(0);
   }
 
-  std::vector<Event> heap_;  // 4-ary min-heap ordered by (t, seq)
+  std::vector<Event> heap_;  // 4-ary min-heap ordered by (t, prio)
   // True while the root event is being dispatched and its slot may be
   // reused by the next push (see push()).
   bool top_hole_ = false;
   Time now_ = 0;
-  std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
+
+  // Priority key of the root (outside-any-event) scheduling context: oid 0.
+  std::uint64_t root_key_ = 0;
+  // Key slot of whichever context is scheduling right now: the executing
+  // sink's during dispatch, the root's otherwise.
+  std::uint64_t* cur_key_ = &root_key_;
+  // Lazy oids for sinks never given an identity, assigned from the top of
+  // the oid space downward so they cannot collide with Network-assigned
+  // oids, which grow upward from 1.
+  std::uint32_t lazy_oid_ = EventSink::kMaxOid;
+
+  ShardRouter* router_ = nullptr;
+  std::int32_t self_shard_ = EventSink::kShardLocal;
 };
 
 }  // namespace spineless::sim

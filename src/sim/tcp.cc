@@ -32,6 +32,10 @@ TcpSource::TcpSource(Network& net, std::int32_t flow_id, topo::HostId src,
   record_.flow_id = flow_id;
   record_.bytes = bytes;
   net_.register_flow(flow_id, this, sink_.get());
+  // Deterministic scheduling identity, drawn in flow-construction order;
+  // the source's timers execute in its host's shard (ACKs already arrive
+  // there — a host shares its ToR's shard).
+  set_event_identity(net.next_oid(), net.shard_of_host(src));
 }
 
 TcpSource::~TcpSource() = default;

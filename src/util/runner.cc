@@ -1,9 +1,22 @@
-#include "core/runner.h"
+#include "util/runner.h"
 
 #include <cstdlib>
-#include <string>
 
-namespace spineless::core {
+namespace spineless::util {
+namespace {
+
+// Depth of parallel-region nesting on this thread. A Runner constructed at
+// depth > 0 with Nested::kSerialize runs serially instead of multiplying
+// the worker count.
+thread_local int tl_parallel_depth = 0;
+
+int clamp_jobs(int jobs, Runner::Nested nested) {
+  if (jobs < 1) jobs = 1;
+  if (nested == Runner::Nested::kSerialize && tl_parallel_depth > 0) return 1;
+  return jobs;
+}
+
+}  // namespace
 
 int default_jobs() {
   if (const char* env = std::getenv("SPINELESS_JOBS")) {
@@ -14,14 +27,20 @@ int default_jobs() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-Runner::Runner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {
+bool in_parallel_region() { return tl_parallel_depth > 0; }
+
+ParallelRegion::ParallelRegion() { ++tl_parallel_depth; }
+ParallelRegion::~ParallelRegion() { --tl_parallel_depth; }
+
+Runner::Runner(int jobs, Nested nested) : jobs_(clamp_jobs(jobs, nested)) {
   queues_.reserve(static_cast<std::size_t>(jobs_));
   for (int i = 0; i < jobs_; ++i)
     queues_.push_back(std::make_unique<WorkQueue>());
   // Slot 0 is the calling thread; slots 1..jobs-1 get pool threads.
   threads_.reserve(static_cast<std::size_t>(jobs_ - 1));
   for (int i = 1; i < jobs_; ++i)
-    threads_.emplace_back([this, i] { worker_main(static_cast<std::size_t>(i)); });
+    threads_.emplace_back(
+        [this, i] { worker_main(static_cast<std::size_t>(i)); });
 }
 
 Runner::~Runner() {
@@ -63,7 +82,10 @@ void Runner::run_batch(std::size_t n,
     }
   }
   batch_cv_.notify_all();
-  work(/*slot=*/0);  // the caller is worker 0
+  {
+    ParallelRegion region;  // the caller is worker 0
+    work(/*slot=*/0);
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [this] { return remaining_ == 0; });
@@ -73,6 +95,7 @@ void Runner::run_batch(std::size_t n,
 }
 
 void Runner::worker_main(std::size_t slot) {
+  ParallelRegion region;
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
@@ -130,4 +153,4 @@ void Runner::work(std::size_t slot) {
   }
 }
 
-}  // namespace spineless::core
+}  // namespace spineless::util
