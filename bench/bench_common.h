@@ -129,6 +129,18 @@ class BenchJson {
     double p99_ms = 0;
     std::int64_t drops = 0;
     std::int64_t retransmits = 0;
+    // Fault-injection cells (bench_failures part 3): degradation metrics
+    // from the FaultInjector / DegradationMonitor pair.
+    bool has_fault = false;
+    double blackhole_s = 0;
+    double detect_ms = -1;  // first outage: BFD detection delay
+    double outage_ms = -1;  // first outage: until tables routed around it
+    std::int64_t blackhole_drops = 0;
+    std::int64_t gray_drops = 0;
+    std::int64_t corrupt_drops = 0;
+    std::size_t rescued_flows = 0;   // completed only thanks to an RTO
+    double goodput_recovery = 0;     // post-restore / pre-fault goodput
+    int undetected_gray_windows = 0;
   };
 
   BenchJson(std::string name, const Flags& flags)
@@ -200,6 +212,20 @@ class BenchJson {
         w.kv("p99_ms", c.p99_ms);
         w.kv("drops", c.drops);
         w.kv("retransmits", c.retransmits);
+        w.end_object();
+      }
+      if (c.has_fault) {
+        w.key("fault");
+        w.begin_object();
+        w.kv("blackhole_s", c.blackhole_s);
+        w.kv("detect_ms", c.detect_ms);
+        w.kv("outage_ms", c.outage_ms);
+        w.kv("blackhole_drops", c.blackhole_drops);
+        w.kv("gray_drops", c.gray_drops);
+        w.kv("corrupt_drops", c.corrupt_drops);
+        w.kv("rescued_flows", static_cast<std::int64_t>(c.rescued_flows));
+        w.kv("goodput_recovery", c.goodput_recovery);
+        w.kv("undetected_gray_windows", c.undetected_gray_windows);
         w.end_object();
       }
       w.end_object();

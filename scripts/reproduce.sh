@@ -6,7 +6,9 @@
 #   scripts/reproduce.sh --paper      # the paper's full-scale configuration
 #   scripts/reproduce.sh --jobs=8     # fan experiment cells over 8 workers
 #   scripts/reproduce.sh --tsan       # ThreadSanitizer pass over the
-#                                     # concurrency test suite only
+#                                     # concurrency + fault test suites
+#   scripts/reproduce.sh --asan       # Address/UB-sanitizer pass over the
+#                                     # full test suite
 #
 # Parallelism: every bench accepts --jobs=N (default: all hardware threads,
 # or the SPINELESS_JOBS environment variable when set) and --intra_jobs=N
@@ -20,6 +22,7 @@ cd "$(dirname "$0")/.."
 SCALE_ENV=()
 JOBS_FLAG=()
 TSAN=0
+ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --paper)
@@ -32,15 +35,29 @@ for arg in "$@"; do
     --tsan)
       TSAN=1
       ;;
+    --asan)
+      ASAN=1
+      ;;
   esac
 done
 
 if [[ "$TSAN" == 1 ]]; then
   # Race detection over everything that spawns threads: the experiment
-  # runner, parallel table construction, and the sharded engine.
+  # runner, parallel table construction, the sharded engine, and the fault
+  # subsystem's sharded BFD sessions / incremental repairs.
   cmake -B build-tsan -G Ninja -DSPINELESS_TSAN=ON
   cmake --build build-tsan
-  ctest --test-dir build-tsan -L concurrency --output-on-failure
+  ctest --test-dir build-tsan -L 'concurrency|fault' --output-on-failure
+  exit 0
+fi
+
+if [[ "$ASAN" == 1 ]]; then
+  # Address + UB sanitizers (the SPINELESS_SANITIZE CMake option) over the
+  # full suite — the fault injector's dynamic session arrays and the
+  # incremental CSR splicing are the newest memory-layout risks.
+  cmake -B build-asan -G Ninja -DSPINELESS_SANITIZE=ON
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
   exit 0
 fi
 

@@ -87,9 +87,10 @@ std::optional<std::vector<NodeId>> BgpVrfNetwork::best_route(int s,
   return *best;
 }
 
-int BgpVrfNetwork::converge(int max_rounds) {
+int BgpVrfNetwork::converge(int max_rounds, bool* converged) {
   const int num_speakers = static_cast<int>(num_routers_) * k_;
   int max_rounds_used = 0;
+  if (converged != nullptr) *converged = true;
 
   // Prefixes converge independently; run each to fixpoint.
   for (NodeId d = 0; d < num_routers_; ++d) {
@@ -97,7 +98,11 @@ int BgpVrfNetwork::converge(int max_rounds) {
     int rounds = 0;
     bool changed = true;
     while (changed) {
-      SPINELESS_CHECK_MSG(rounds < max_rounds, "BGP did not converge");
+      if (rounds >= max_rounds) {
+        SPINELESS_CHECK_MSG(converged != nullptr, "BGP did not converge");
+        *converged = false;
+        return max_rounds;
+      }
       changed = false;
       // Snapshot every speaker's current best, then deliver advertisements.
       std::vector<std::optional<std::vector<NodeId>>> bests(

@@ -51,8 +51,13 @@ class BgpVrfNetwork {
   int k() const noexcept { return k_; }
 
   // Runs synchronous advertisement rounds until no RIB changes anywhere.
-  // Returns the number of rounds executed (0 if already converged).
-  int converge(int max_rounds = 10'000);
+  // Returns the number of rounds executed (0 if already converged). If any
+  // prefix is still churning after max_rounds: with `converged == nullptr`
+  // (the default) this throws; otherwise it sets *converged = false and
+  // returns max_rounds, leaving the RIBs mid-convergence — callers that
+  // sweep adversarial failure batches can report non-convergence instead
+  // of dying. On success *converged is set to true.
+  int converge(int max_rounds = 10'000, bool* converged = nullptr);
 
   // Tears down all sessions riding on the physical link (both directions).
   // Stored routes via those sessions are withdrawn; call converge() to let

@@ -1,0 +1,190 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace spineless::fault {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::vector<std::string> tokens(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+// key=value pairs after the clause keyword.
+std::map<std::string, std::string> keyvals(
+    const std::vector<std::string>& toks, const std::string& clause) {
+  std::map<std::string, std::string> kv;
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const auto eq = toks[i].find('=');
+    SPINELESS_CHECK_MSG(eq != std::string::npos && eq > 0,
+                        "FaultPlan: expected key=value in clause '" + clause +
+                            "', got '" + toks[i] + "'");
+    kv[toks[i].substr(0, eq)] = toks[i].substr(eq + 1);
+  }
+  return kv;
+}
+
+const std::string& require(const std::map<std::string, std::string>& kv,
+                           const std::string& key, const std::string& clause) {
+  const auto it = kv.find(key);
+  SPINELESS_CHECK_MSG(it != kv.end(), "FaultPlan: clause '" + clause +
+                                          "' is missing " + key + "=");
+  return it->second;
+}
+
+double parse_real(const std::string& s) {
+  std::size_t used = 0;
+  const double v = std::stod(s, &used);
+  SPINELESS_CHECK_MSG(used == s.size(),
+                      "FaultPlan: bad number '" + s + "'");
+  return v;
+}
+
+topo::LinkId parse_link(const std::string& s, const topo::Graph& g) {
+  const double v = parse_real(s);
+  const auto l = static_cast<topo::LinkId>(v);
+  SPINELESS_CHECK_MSG(static_cast<double>(l) == v && l >= 0 &&
+                          l < g.num_links(),
+                      "FaultPlan: link id out of range: " + s);
+  return l;
+}
+
+}  // namespace
+
+Time parse_time(const std::string& s) {
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(s, &used);
+  } catch (const std::exception&) {
+    throw Error("FaultPlan: bad time '" + s + "'");
+  }
+  const std::string suffix = s.substr(used);
+  Time mult = 0;
+  if (suffix == "ns") {
+    mult = units::kNanosecond;
+  } else if (suffix == "us") {
+    mult = units::kMicrosecond;
+  } else if (suffix == "ms") {
+    mult = units::kMillisecond;
+  } else if (suffix == "s") {
+    mult = units::kSecond;
+  } else {
+    throw Error("FaultPlan: time '" + s + "' needs an ns/us/ms/s suffix");
+  }
+  SPINELESS_CHECK_MSG(v >= 0, "FaultPlan: negative time '" + s + "'");
+  return static_cast<Time>(std::llround(v * static_cast<double>(mult)));
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec, const topo::Graph& g,
+                           std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  for (const std::string& clause : split(spec, ';')) {
+    const auto toks = tokens(clause);
+    if (toks.empty()) continue;  // empty clause (trailing ';')
+    const std::string& kind = toks[0];
+    const auto kv = keyvals(toks, clause);
+    auto flap_links = [&](const std::vector<topo::LinkId>& links) {
+      const Time down = parse_time(require(kv, "down", clause));
+      const Time up = parse_time(require(kv, "up", clause));
+      SPINELESS_CHECK_MSG(up > down,
+                          "FaultPlan: up must follow down in '" + clause + "'");
+      for (const topo::LinkId l : links) {
+        plan.actions_.push_back({FaultAction::Kind::kLinkDown, down, l});
+        plan.actions_.push_back({FaultAction::Kind::kLinkUp, up, l});
+      }
+    };
+    if (kind == "flap") {
+      flap_links({parse_link(require(kv, "link", clause), g)});
+    } else if (kind == "fail") {
+      plan.actions_.push_back({FaultAction::Kind::kLinkDown,
+                               parse_time(require(kv, "at", clause)),
+                               parse_link(require(kv, "link", clause), g)});
+    } else if (kind == "switch") {
+      const double nv = parse_real(require(kv, "node", clause));
+      const auto node = static_cast<topo::NodeId>(nv);
+      SPINELESS_CHECK_MSG(static_cast<double>(node) == nv && node >= 0 &&
+                              node < g.num_switches(),
+                          "FaultPlan: node id out of range in '" + clause +
+                              "'");
+      std::vector<topo::LinkId> incident;
+      for (const topo::Port& p : g.neighbors(node))
+        incident.push_back(p.link);
+      SPINELESS_CHECK_MSG(!incident.empty(),
+                          "FaultPlan: switch clause on isolated node");
+      flap_links(incident);
+    } else if (kind == "gray") {
+      const topo::LinkId l = parse_link(require(kv, "link", clause), g);
+      FaultAction on{FaultAction::Kind::kGrayOn,
+                     parse_time(require(kv, "from", clause)), l};
+      on.drop_prob = parse_real(require(kv, "drop", clause));
+      const auto cit = kv.find("corrupt");
+      on.corrupt_prob = cit != kv.end() ? parse_real(cit->second) : 0.0;
+      SPINELESS_CHECK_MSG(on.drop_prob >= 0 && on.corrupt_prob >= 0 &&
+                              on.drop_prob + on.corrupt_prob <= 1.0,
+                          "FaultPlan: gray probabilities out of range in '" +
+                              clause + "'");
+      plan.actions_.push_back(on);
+      const auto uit = kv.find("until");
+      if (uit != kv.end()) {
+        const Time until = parse_time(uit->second);
+        SPINELESS_CHECK_MSG(until > on.at,
+                            "FaultPlan: until must follow from in '" + clause +
+                                "'");
+        plan.actions_.push_back({FaultAction::Kind::kGrayOff, until, l});
+      }
+    } else if (kind == "degrade") {
+      const topo::LinkId l = parse_link(require(kv, "link", clause), g);
+      FaultAction on{FaultAction::Kind::kDegradeOn,
+                     parse_time(require(kv, "from", clause)), l};
+      on.rate_factor = parse_real(require(kv, "rate", clause));
+      SPINELESS_CHECK_MSG(on.rate_factor > 0 && on.rate_factor <= 1.0,
+                          "FaultPlan: rate factor out of (0, 1] in '" +
+                              clause + "'");
+      plan.actions_.push_back(on);
+      const auto uit = kv.find("until");
+      if (uit != kv.end()) {
+        const Time until = parse_time(uit->second);
+        SPINELESS_CHECK_MSG(until > on.at,
+                            "FaultPlan: until must follow from in '" + clause +
+                                "'");
+        FaultAction off{FaultAction::Kind::kDegradeOff, until, l};
+        plan.actions_.push_back(off);
+      }
+    } else {
+      throw Error("FaultPlan: unknown clause kind '" + kind + "'");
+    }
+  }
+  // Stable: simultaneous actions apply in spec order.
+  std::stable_sort(
+      plan.actions_.begin(), plan.actions_.end(),
+      [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+  return plan;
+}
+
+}  // namespace spineless::fault

@@ -1,0 +1,71 @@
+// Deterministic, seed-driven fault schedules.
+//
+// A FaultPlan is parsed from a small spec string (benches and tests embed
+// it next to the scenario it describes) into a time-sorted list of
+// primitive actions over topology links. Everything downstream — which
+// packets a gray link eats, when a BFD session trips, what the repaired
+// tables look like — is a pure function of (spec, seed, topology), so a
+// plan replays byte-identically under any --jobs / --intra_jobs split.
+//
+// Grammar: clauses separated by ';', tokens by whitespace, values as
+// key=value. Times take ns/us/ms/s suffixes (fractions allowed).
+//
+//   flap    link=L down=2ms up=6ms            link L fails, then recovers
+//   fail    link=L at=2ms                     fails and never recovers
+//   switch  node=N down=2ms up=6ms            every link incident to N flaps
+//   gray    link=L drop=0.01 corrupt=0.001 from=1ms until=9ms
+//   degrade link=L rate=0.5 from=1ms until=8ms
+//
+// `corrupt=`, `until=` are optional (0 / forever). Gray drop/corruption is
+// per-packet i.i.d. with a per-(seed, link, direction) RNG stream;
+// corrupted packets cross the fabric and are discarded by the receiver's
+// checksum. Degrade scales the port serialization rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/graph.h"
+#include "util/units.h"
+
+namespace spineless::fault {
+
+struct FaultAction {
+  enum class Kind {
+    kLinkDown,    // physical blackhole begins (both directions)
+    kLinkUp,      // physical recovery
+    kGrayOn,      // probabilistic drop / corruption begins
+    kGrayOff,
+    kDegradeOn,   // port rate scaled by rate_factor
+    kDegradeOff,  // rate restored
+  };
+  Kind kind = Kind::kLinkDown;
+  Time at = 0;
+  topo::LinkId link = 0;
+  double drop_prob = 0;      // kGrayOn
+  double corrupt_prob = 0;   // kGrayOn
+  double rate_factor = 1.0;  // kDegradeOn
+};
+
+class FaultPlan {
+ public:
+  // Parses `spec` against `g` (link/node ids are validated). Throws
+  // spineless::Error on malformed specs. `seed` feeds every stochastic
+  // element (gray-link RNG streams).
+  static FaultPlan parse(const std::string& spec, const topo::Graph& g,
+                         std::uint64_t seed);
+
+  // Sorted by (time, clause order) — the order the injector applies them.
+  const std::vector<FaultAction>& actions() const noexcept { return actions_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::vector<FaultAction> actions_;
+  std::uint64_t seed_ = 0;
+};
+
+// "2ms", "1.5us", "250ns", "0.01s" -> picoseconds. Exposed for tests.
+Time parse_time(const std::string& s);
+
+}  // namespace spineless::fault

@@ -1,5 +1,6 @@
 #include "routing/ecmp.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "topo/analysis.h"
@@ -101,6 +102,124 @@ EcmpTable EcmpTable::compute(const Graph& g, const LinkSet* dead,
     for (std::size_t d = 0; d < n; ++d) fill_for_dst(d);
   }
   return t;
+}
+
+void EcmpTable::recompute_destinations(const Graph& g, const LinkSet* dead,
+                                       const std::vector<NodeId>& dsts,
+                                       util::Runner* runner) {
+  if (dsts.empty()) return;
+  const bool filtering = dead != nullptr && !dead->empty();
+  const auto n = static_cast<std::size_t>(n_);
+  std::vector<char> affected(n, 0);
+  for (const NodeId d : dsts) affected[static_cast<std::size_t>(d)] = 1;
+
+  // The old CSR stays alive so unaffected destinations' slices (which are
+  // contiguous per destination) can be copied over verbatim; dist_ is
+  // updated in place because only affected rows change.
+  const std::vector<Port> old_ports = std::move(ports_);
+  const std::vector<std::uint32_t> old_off = std::move(off_);
+  ports_ = {};
+  off_.assign(n * n + 1, 0);
+
+  // Pass 1: fresh BFS + next-hop counts for each affected destination;
+  // unaffected destinations re-derive their counts from the old offsets.
+  auto count_affected = [&](std::size_t i) {
+    const NodeId dst = dsts[i];
+    const auto d = static_cast<std::size_t>(dst);
+    const auto dist = bfs_avoiding(g, dst, dead);
+    int* dist_row = dist_.data() + d * n;
+    std::uint32_t* count_row = off_.data() + d * n + 1;
+    for (NodeId u = 0; u < n_; ++u) {
+      const int du = dist[static_cast<std::size_t>(u)];
+      dist_row[static_cast<std::size_t>(u)] = du;
+      if (u == dst) continue;
+      if (du < 0) {
+        SPINELESS_CHECK_MSG(filtering, "disconnected graph in EcmpTable");
+        continue;
+      }
+      std::uint32_t c = 0;
+      for (const Port& p : g.neighbors(u)) {
+        if (filtering && dead->contains(p.link)) continue;
+        if (dist[static_cast<std::size_t>(p.neighbor)] == du - 1) ++c;
+      }
+      count_row[static_cast<std::size_t>(u)] = c;
+    }
+  };
+  if (runner != nullptr && runner->jobs() > 1 && dsts.size() > 1) {
+    runner->run_batch(dsts.size(), count_affected);
+  } else {
+    for (std::size_t i = 0; i < dsts.size(); ++i) count_affected(i);
+  }
+  for (std::size_t d = 0; d < n; ++d) {
+    if (affected[d]) continue;
+    const std::uint32_t* old_row = old_off.data() + d * n;
+    std::uint32_t* count_row = off_.data() + d * n + 1;
+    for (std::size_t u = 0; u < n; ++u)
+      count_row[u] = old_row[u + 1] - old_row[u];
+  }
+
+  for (std::size_t i = 1; i <= n * n; ++i) off_[i] += off_[i - 1];
+  ports_.resize(off_.back());
+
+  // Pass 2: fill affected slices from the fresh dist rows, copy unaffected
+  // slices wholesale (per-destination ranges are disjoint, so parallel
+  // order cannot change the layout).
+  auto fill_dst = [&](std::size_t d) {
+    if (!affected[d]) {
+      std::copy(old_ports.begin() + old_off[d * n],
+                old_ports.begin() + old_off[(d + 1) * n],
+                ports_.begin() + off_[d * n]);
+      return;
+    }
+    const auto dst = static_cast<NodeId>(d);
+    const int* dist_row = dist_.data() + d * n;
+    for (NodeId u = 0; u < n_; ++u) {
+      if (u == dst) continue;
+      const int du = dist_row[static_cast<std::size_t>(u)];
+      if (du < 0) continue;
+      Port* out = ports_.data() + off_[d * n + static_cast<std::size_t>(u)];
+      for (const Port& p : g.neighbors(u)) {
+        if (filtering && dead->contains(p.link)) continue;
+        if (dist_row[static_cast<std::size_t>(p.neighbor)] == du - 1)
+          *out++ = p;
+      }
+    }
+  };
+  if (runner != nullptr && runner->jobs() > 1 && n > 1) {
+    runner->run_batch(n, fill_dst);
+  } else {
+    for (std::size_t d = 0; d < n; ++d) fill_dst(d);
+  }
+}
+
+std::vector<NodeId> EcmpTable::destinations_affected_by(const Graph& g,
+                                                        topo::LinkId link,
+                                                        bool now_dead) const {
+  const NodeId a = g.link(link).a;
+  const NodeId b = g.link(link).b;
+  std::vector<NodeId> out;
+  for (NodeId d = 0; d < n_; ++d) {
+    if (now_dead) {
+      // Removal: d is affected iff the link sits on some shortest path
+      // toward d, i.e. either endpoint's next-hop set references it.
+      bool used = false;
+      for (const Port& p : next_hops(a, d))
+        if (p.link == link) { used = true; break; }
+      if (!used)
+        for (const Port& p : next_hops(b, d))
+          if (p.link == link) { used = true; break; }
+      if (used) out.push_back(d);
+    } else {
+      // Restore: a link joining nodes at equal distance to d creates no
+      // new shortest path; one joining a reachable to an unreachable node
+      // (or nodes at different distances) can.
+      const int da = distance(a, d);
+      const int db = distance(b, d);
+      if (da < 0 && db < 0) continue;
+      if (da < 0 || db < 0 || da != db) out.push_back(d);
+    }
+  }
+  return out;
 }
 
 bool ecmp_table_valid(const Graph& g, const EcmpTable& table,

@@ -35,6 +35,25 @@ class EcmpTable {
   static EcmpTable compute(const Graph& g, const LinkSet* dead = nullptr,
                            util::Runner* runner = nullptr);
 
+  // Incremental repair (fault injection): recompute only the destinations
+  // in `dsts` against the new dead set, splicing every other destination's
+  // existing rows into the rebuilt CSR unchanged. BFS cost is
+  // O(|dsts| * (V+E)) instead of O(V * (V+E)) for a full compute; pair
+  // with destinations_affected_by to pick a sound `dsts` set.
+  void recompute_destinations(const Graph& g, const LinkSet* dead,
+                              const std::vector<NodeId>& dsts,
+                              util::Runner* runner = nullptr);
+
+  // Destinations whose distances or next-hop sets can change when `link`
+  // fails (now_dead = true) or is restored (now_dead = false), judged
+  // against this (pre-change) table. Exact for removals: a link is on some
+  // shortest path toward d iff an endpoint's next-hop set references it.
+  // For restores the criterion is the endpoints' distance gap (a link
+  // joining equal-distance nodes creates no new shortest path).
+  std::vector<NodeId> destinations_affected_by(const Graph& g,
+                                               topo::LinkId link,
+                                               bool now_dead) const;
+
   std::span<const Port> next_hops(NodeId node, NodeId dst) const {
     const std::size_t i = index(node, dst);
     return {ports_.data() + off_[i], off_[i + 1] - off_[i]};

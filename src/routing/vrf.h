@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "routing/types.h"
 
@@ -58,6 +59,27 @@ class VrfTable {
   static VrfTable compute(const Graph& g, int k, const LinkSet* dead = nullptr,
                           util::Runner* runner = nullptr);
 
+  // distance() value for unreachable states.
+  static constexpr int kInfCost = std::numeric_limits<int>::max() / 4;
+
+  // Incremental repair (fault injection): rerun the per-destination
+  // Dijkstra + tight-edge DP only for the destinations in `dsts` against
+  // the new dead set; every other destination's dist_/nh_ slot is left
+  // untouched. Pair with destinations_affected_by for a sound `dsts` set.
+  void recompute_destinations(const Graph& g, const LinkSet* dead,
+                              const std::vector<NodeId>& dsts,
+                              util::Runner* runner = nullptr);
+
+  // Destinations whose VRF-graph distances or next-hop sets can change
+  // when `link` fails (now_dead = true) or is restored (now_dead = false),
+  // judged against this (pre-change) table. Removal: d is affected iff
+  // some tight edge toward d crosses the link. Restore: iff some gadget
+  // edge over the link would be tight-or-better under the current
+  // distances (c + dist(v-state) <= dist(u-state)).
+  std::vector<NodeId> destinations_affected_by(const Graph& g,
+                                               topo::LinkId link,
+                                               bool now_dead) const;
+
   int k() const noexcept { return k_; }
 
   // Minimum VRF-graph cost from (vrf, node) to (VRF K, dst).
@@ -85,6 +107,10 @@ class VrfTable {
   PathSet project_paths(NodeId src, NodeId dst, std::size_t cap = 4096) const;
 
  private:
+  // Dijkstra + tight-edge DP for one destination, writing dist_[dst] and
+  // nh_[dst] only (parallel-safe across destinations).
+  void compute_destination(const Graph& g, const LinkSet* dead, NodeId dst);
+
   std::size_t index(NodeId node, int vrf) const {
     SPINELESS_DCHECK(vrf >= 1 && vrf <= k_);
     return static_cast<std::size_t>(node) * static_cast<std::size_t>(k_) +

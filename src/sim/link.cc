@@ -6,6 +6,7 @@ namespace spineless::sim {
 
 void Link::enqueue(Simulator& sim, const Packet& pkt) {
   if (down_ || queued_bytes_ + pkt.size_bytes > queue_capacity_) {
+    if (down_ && pkt.flow_id >= 0) ++stats_.down_drops;
     ++stats_.drops;
     return;
   }
@@ -14,9 +15,25 @@ void Link::enqueue(Simulator& sim, const Packet& pkt) {
 
 void Link::enqueue_node(Simulator& sim, PacketNode* node) {
   if (down_ || queued_bytes_ + node->pkt.size_bytes > queue_capacity_) {
+    if (down_ && node->pkt.flow_id >= 0) ++stats_.down_drops;
     ++stats_.drops;
     pool_->release(node);
     return;
+  }
+  if (gray_ != nullptr) {
+    // One draw per packet regardless of outcome keeps the stream aligned
+    // across drop/corrupt/pass decisions.
+    const double u = gray_->rng.uniform_real();
+    if (u < gray_->drop_prob) {
+      if (node->pkt.flow_id >= 0) ++stats_.gray_drops;
+      ++stats_.drops;
+      pool_->release(node);
+      return;
+    }
+    if (u < gray_->drop_prob + gray_->corrupt_prob && !node->pkt.corrupted) {
+      node->pkt.corrupted = true;
+      ++stats_.corrupt_marks;
+    }
   }
   if (ecn_threshold_ > 0 && queued_bytes_ >= ecn_threshold_) {
     node->pkt.ecn_ce = true;
@@ -32,6 +49,24 @@ void Link::enqueue_node(Simulator& sim, PacketNode* node) {
   queued_bytes_ += node->pkt.size_bytes;
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
   if (!busy_) start_tx(sim);
+}
+
+void Link::set_gray(double drop_prob, double corrupt_prob,
+                    std::uint64_t seed) {
+  SPINELESS_CHECK(drop_prob >= 0 && corrupt_prob >= 0 &&
+                  drop_prob + corrupt_prob <= 1.0);
+  gray_ = std::make_unique<GrayState>();
+  gray_->drop_prob = drop_prob;
+  gray_->corrupt_prob = corrupt_prob;
+  gray_->rng.reseed(seed);
+}
+
+void Link::set_rate_factor(double factor) {
+  SPINELESS_CHECK(factor > 0 && factor <= 1.0);
+  rate_bps_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(base_rate_bps_) *
+                                   factor));
+  memo_size_ = -1;  // re-derive serialization time at the new rate
 }
 
 void Link::start_tx(Simulator& sim) {

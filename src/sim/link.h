@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "sim/packet.h"
 #include "sim/packet_pool.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace spineless::sim {
 
@@ -43,6 +45,13 @@ class Link : public EventSink {
     std::int64_t drops = 0;
     std::int64_t ecn_marks = 0;
     std::int64_t max_queue_bytes = 0;
+    // Fault-layer accounting (data/ACK packets only; control hellos are
+    // not counted). down_drops and gray_drops are also included in
+    // `drops`, preserving its meaning of "every packet this link ate".
+    std::int64_t down_drops = 0;     // blackholed while physically down
+    std::int64_t gray_drops = 0;     // silently dropped by a gray fault
+    std::int64_t corrupt_marks = 0;  // corrupted in flight (discarded at
+                                     // the receiver's checksum)
   };
 
   // ecn_threshold_bytes > 0 enables ECN: packets enqueued while the queue
@@ -61,6 +70,7 @@ class Link : public EventSink {
     SPINELESS_CHECK(rate_bps > 0 && queue_capacity_bytes > 0);
     SPINELESS_CHECK(peer != nullptr);
     SPINELESS_CHECK(pool != nullptr);
+    base_rate_bps_ = rate_bps;
   }
 
   // Drop-tail enqueue; starts the transmitter if idle. Packets offered to
@@ -75,6 +85,21 @@ class Link : public EventSink {
   void set_down(bool down) noexcept { down_ = down; }
   bool is_down() const noexcept { return down_; }
 
+  // Gray failure: each enqueued packet is independently dropped with
+  // probability drop_prob or marked corrupted with probability
+  // corrupt_prob (the receiver's checksum discards it on delivery, so the
+  // loss is visible only end-to-end). The per-link RNG stream makes the
+  // fault replayable: a link's packets enqueue in serial-identical order
+  // under the sharded engine, so the draws are byte-identical too.
+  void set_gray(double drop_prob, double corrupt_prob, std::uint64_t seed);
+  void clear_gray() noexcept { gray_.reset(); }
+  bool is_gray() const noexcept { return gray_ != nullptr; }
+
+  // Port degradation: scales the serialization rate by `factor` in
+  // (0, 1]; 1 restores the configured rate. Takes effect from the next
+  // packet to start transmitting.
+  void set_rate_factor(double factor);
+
   const Stats& stats() const noexcept { return stats_; }
   std::int64_t queued_bytes() const noexcept { return queued_bytes_; }
 
@@ -83,6 +108,12 @@ class Link : public EventSink {
   void on_event(Simulator& sim, std::uint64_t ctx) override;
 
  private:
+  struct GrayState {
+    double drop_prob = 0;
+    double corrupt_prob = 0;
+    Rng rng;
+  };
+
   void start_tx(Simulator& sim);
 
   std::int64_t rate_bps_;
@@ -104,6 +135,9 @@ class Link : public EventSink {
   std::int64_t queued_bytes_ = 0;
   bool busy_ = false;
   bool down_ = false;
+  std::int64_t base_rate_bps_ = 0;  // configured rate; rate_bps_ may be
+                                    // degraded below it (set_rate_factor)
+  std::unique_ptr<GrayState> gray_;
   Stats stats_;
 };
 

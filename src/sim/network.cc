@@ -136,15 +136,57 @@ class Network::FailureEvent : public EventSink {
 Network::~Network() = default;
 
 void Network::take_link_down(topo::LinkId link) {
-  down_links_.insert(link);
-  net_links_[2 * static_cast<std::size_t>(link)].set_down(true);
-  net_links_[2 * static_cast<std::size_t>(link) + 1].set_down(true);
+  set_link_phys(link, /*up=*/false);
+  set_link_routed_out(link, /*out=*/true);
 }
 
 void Network::bring_link_up(topo::LinkId link) {
-  down_links_.erase(link);
-  net_links_[2 * static_cast<std::size_t>(link)].set_down(false);
-  net_links_[2 * static_cast<std::size_t>(link) + 1].set_down(false);
+  set_link_phys(link, /*up=*/true);
+  set_link_routed_out(link, /*out=*/false);
+}
+
+void Network::set_link_phys(topo::LinkId link, bool up) {
+  net_links_[2 * static_cast<std::size_t>(link)].set_down(!up);
+  net_links_[2 * static_cast<std::size_t>(link) + 1].set_down(!up);
+}
+
+void Network::set_link_gray(topo::LinkId link, double drop_prob,
+                            double corrupt_prob, std::uint64_t seed) {
+  // Mix the direction in so the two streams are independent but both pure
+  // functions of (plan seed, link).
+  net_links_[2 * static_cast<std::size_t>(link)].set_gray(
+      drop_prob, corrupt_prob, splitmix64(seed));
+  net_links_[2 * static_cast<std::size_t>(link) + 1].set_gray(
+      drop_prob, corrupt_prob, splitmix64(seed ^ 0x9e3779b97f4a7c15ULL));
+}
+
+void Network::clear_link_gray(topo::LinkId link) {
+  net_links_[2 * static_cast<std::size_t>(link)].clear_gray();
+  net_links_[2 * static_cast<std::size_t>(link) + 1].clear_gray();
+}
+
+void Network::set_link_rate_factor(topo::LinkId link, double factor) {
+  net_links_[2 * static_cast<std::size_t>(link)].set_rate_factor(factor);
+  net_links_[2 * static_cast<std::size_t>(link) + 1].set_rate_factor(factor);
+}
+
+void Network::set_link_routed_out(topo::LinkId link, bool out) {
+  if (out) {
+    down_links_.insert(link);
+  } else {
+    down_links_.erase(link);
+  }
+  pending_repair_.push_back(link);
+}
+
+void Network::send_hello(Simulator& sim, topo::LinkId link, int dir) {
+  Packet pkt;
+  pkt.flow_id = kCtrlFlowId;
+  pkt.size_bytes = kHelloPacketBytes;
+  pkt.seq = 2 * static_cast<std::int64_t>(link) + dir;
+  const topo::Link& l = graph_.link(link);
+  pkt.dst_tor = dir == 0 ? l.b : l.a;
+  net_links_[2 * static_cast<std::size_t>(link) + dir].enqueue(sim, pkt);
 }
 
 // Only the table the active mode forwards with is computed; the other
@@ -164,12 +206,74 @@ void Network::rebuild_tables(const routing::LinkSet* dead) {
         routing::VrfTable::compute(graph_, cfg_.su_k, dead,
                                    table_runner_.get()));
   }
+  installed_dead_ = dead != nullptr ? *dead : routing::LinkSet{};
+  pending_repair_.clear();
   table_build_s_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 }
 
 void Network::reconverge_tables() { rebuild_tables(&down_links_); }
+
+void Network::repair_tables() {
+  // Links whose routed-out state actually differs from what the installed
+  // tables were built against (a flap that went down and up between
+  // repairs is a no-op).
+  std::sort(pending_repair_.begin(), pending_repair_.end());
+  pending_repair_.erase(
+      std::unique(pending_repair_.begin(), pending_repair_.end()),
+      pending_repair_.end());
+  std::vector<std::pair<topo::LinkId, bool>> changed;
+  for (const topo::LinkId l : pending_repair_) {
+    const bool now_dead = down_links_.contains(l);
+    if (now_dead != installed_dead_.contains(l)) changed.emplace_back(l, now_dead);
+  }
+  pending_repair_.clear();
+  if (changed.empty()) {
+    installed_dead_ = down_links_;
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto n = static_cast<std::size_t>(graph_.num_switches());
+  std::vector<char> mark(n, 0);
+  std::vector<NodeId> dsts;
+  for (const auto& [l, now_dead] : changed) {
+    std::vector<NodeId> aff;
+    if (ecmp_ != nullptr) {
+      aff = ecmp_->destinations_affected_by(graph_, l, now_dead);
+    } else if (vrf_ != nullptr) {
+      aff = vrf_->destinations_affected_by(graph_, l, now_dead);
+    }
+    for (const NodeId d : aff) {
+      if (!mark[static_cast<std::size_t>(d)]) {
+        mark[static_cast<std::size_t>(d)] = 1;
+        dsts.push_back(d);
+      }
+    }
+  }
+  std::sort(dsts.begin(), dsts.end());
+  if (2 * dsts.size() >= n) {
+    // Most of the table changes anyway — the full rebuild's tighter loops
+    // win (it also resets installed_dead_ and the wall-time accounting).
+    rebuild_tables(&down_links_);
+    return;
+  }
+  if (ecmp_ != nullptr) {
+    ecmp_->recompute_destinations(graph_, &down_links_, dsts,
+                                  table_runner_.get());
+    if (cfg_.validate_tables)
+      SPINELESS_CHECK_MSG(
+          routing::ecmp_table_valid(graph_, *ecmp_, &down_links_),
+          "incrementally repaired ECMP table failed validation");
+  } else if (vrf_ != nullptr) {
+    vrf_->recompute_destinations(graph_, &down_links_, dsts,
+                                 table_runner_.get());
+  }
+  installed_dead_ = down_links_;
+  table_build_s_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
 
 void Network::schedule_link_failure(Simulator& sim, topo::LinkId link, Time at,
                                     Time reconvergence_delay) {
@@ -284,6 +388,14 @@ void Network::forward_at_switch(Simulator& sim, NodeId node, int slot,
   PacketPool& pool = *pools_[static_cast<std::size_t>(slot)];
   NetStats& stats = shard_stats_[static_cast<std::size_t>(slot)].s;
   Packet& pkt = packet_node->pkt;  // mutated in place; the node moves on
+  if (pkt.flow_id < 0) {
+    // In-band control (BFD hello): consumed by the adjacent switch, never
+    // forwarded. A corrupted hello failed its checksum — treat as lost.
+    if (hello_handler_ != nullptr && !pkt.corrupted)
+      hello_handler_->on_hello(sim, pkt);
+    pool.release(packet_node);
+    return;
+  }
   if (cfg_.trace_paths && !pkt.is_ack && pkt.seq == 0) {
     const auto idx = static_cast<std::size_t>(pkt.flow_id);
     if (traces_.size() <= idx) traces_.resize(idx + 1);
@@ -355,7 +467,15 @@ void Network::forward_at_switch(Simulator& sim, NodeId node, int slot,
 }
 
 void Network::deliver(Simulator& sim, int slot, const Packet& pkt) {
-  ++shard_stats_[static_cast<std::size_t>(slot)].s.delivered;
+  NetStats& stats = shard_stats_[static_cast<std::size_t>(slot)].s;
+  if (pkt.corrupted) {
+    // End-to-end checksum: the packet crossed the fabric but its payload
+    // is garbage — discard silently, TCP recovers it like any loss.
+    ++stats.corrupt_drops;
+    return;
+  }
+  ++stats.delivered;
+  if (!pkt.is_ack) stats.delivered_bytes += pkt.size_bytes;
   const auto idx = static_cast<std::size_t>(pkt.flow_id);
   SPINELESS_DCHECK(idx < sinks_.size());
   Endpoint* ep = pkt.is_ack ? sources_[idx] : sinks_[idx];
@@ -374,9 +494,15 @@ Network::NetStats Network::stats() const {
     s.ttl_drops += stripe.s.ttl_drops;
     s.no_route_drops += stripe.s.no_route_drops;
     s.delivered += stripe.s.delivered;
+    s.corrupt_drops += stripe.s.corrupt_drops;
+    s.delivered_bytes += stripe.s.delivered_bytes;
   }
   auto account = [&s](const std::vector<Link>& links) {
-    for (const Link& l : links) s.queue_drops += l.stats().drops;
+    for (const Link& l : links) {
+      s.queue_drops += l.stats().drops;
+      s.blackhole_drops += l.stats().down_drops;
+      s.gray_drops += l.stats().gray_drops;
+    }
   };
   account(net_links_);
   account(host_up_);

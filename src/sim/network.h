@@ -90,6 +90,16 @@ class Endpoint {
   virtual void on_packet(Simulator& sim, const Packet& pkt) = 0;
 };
 
+// Receiver hook for in-band control packets (the fault layer's BFD-style
+// hellos, flow_id < 0): switches hand them here instead of forwarding.
+// Called in the receiving switch's shard — implementations must only touch
+// state owned by that shard (or schedule events) from this callback.
+class HelloHandler {
+ public:
+  virtual ~HelloHandler() = default;
+  virtual void on_hello(Simulator& sim, const Packet& pkt) = 0;
+};
+
 class Network {
  public:
   Network(const Graph& g, const NetworkConfig& cfg);
@@ -118,6 +128,15 @@ class Network {
     std::int64_t ttl_drops = 0;    // forwarding-loop guard (should be 0)
     std::int64_t no_route_drops = 0;  // table had no surviving next hop
     std::int64_t delivered = 0;    // packets handed to endpoints
+    // Fault-layer accounting. blackhole_drops and gray_drops are subsets
+    // of queue_drops (a downed or gray link still "ate" the packet);
+    // corrupt_drops are packets that traversed the fabric but failed the
+    // receiver's checksum. delivered_bytes counts payload bytes of
+    // delivered data packets — the degradation monitor's goodput basis.
+    std::int64_t blackhole_drops = 0;
+    std::int64_t gray_drops = 0;
+    std::int64_t corrupt_drops = 0;
+    std::int64_t delivered_bytes = 0;
   };
   NetStats stats() const;
 
@@ -167,8 +186,49 @@ class Network {
   void reconverge_tables();
   // Convenience: schedule a failure at `at` and the table update at
   // `at + reconvergence_delay` (the control-plane convergence window).
+  // This is the *oracle* model (the control plane learns of the failure by
+  // magic); the fault layer (src/fault) replaces it with in-band BFD
+  // detection driving the primitives below.
   void schedule_link_failure(Simulator& sim, topo::LinkId link, Time at,
                              Time reconvergence_delay);
+
+  // --- Fault-layer primitives (src/fault). All of these mutate whole-
+  // network state and must run from a global (barrier-synchronized) event
+  // in sharded runs, exactly like take_link_down/reconverge_tables. ---
+  // Physical link state only: a downed pair blackholes traffic but the
+  // tables still point at it until the control plane reacts.
+  void set_link_phys(topo::LinkId link, bool up);
+  bool link_phys_down(topo::LinkId link) const {
+    return net_links_[2 * static_cast<std::size_t>(link)].is_down();
+  }
+  // Gray failure / port degradation on both directions of a link; `seed`
+  // is mixed per direction so the two streams are independent.
+  void set_link_gray(topo::LinkId link, double drop_prob, double corrupt_prob,
+                     std::uint64_t seed);
+  void clear_link_gray(topo::LinkId link);
+  void set_link_rate_factor(topo::LinkId link, double factor);
+  // Control-plane view: marks the link (not) to be used by forwarding
+  // tables. Takes effect at the next repair_tables() call.
+  void set_link_routed_out(topo::LinkId link, bool out);
+  bool link_routed_out(topo::LinkId link) const {
+    return down_links_.contains(link);
+  }
+  // Incremental reconvergence: computes which destinations the links whose
+  // routed-out state changed since the installed tables can affect
+  // (EcmpTable/VrfTable::destinations_affected_by) and recomputes only
+  // those — a delta repair instead of reconverge_tables()'s full rebuild.
+  // Falls back to the full rebuild when more than half the destinations
+  // are affected. Time is accumulated into table_build_seconds().
+  void repair_tables();
+
+  // Enqueues a BFD-style hello (flow_id = kCtrlFlowId, 64 bytes) on
+  // direction `dir` (0 = a->b, 1 = b->a) of topology link `link`. The
+  // receiving switch hands it to the HelloHandler instead of forwarding.
+  // Must be called from the transmitting switch's shard.
+  void send_hello(Simulator& sim, topo::LinkId link, int dir);
+  void set_hello_handler(HelloHandler* handler) noexcept {
+    hello_handler_ = handler;
+  }
 
   // The traced switch path of flow `flow_id`'s first data packet (empty
   // if tracing is off or nothing was forwarded yet). The final entry is
@@ -294,6 +354,11 @@ class Network {
   std::vector<FlowletTable> flowlets_;
   std::vector<routing::Path> traces_;  // per flow id, when trace_paths
   routing::LinkSet down_links_;
+  // Delta-repair bookkeeping: the dead set the installed tables were built
+  // against, plus the links whose routed-out state changed since.
+  routing::LinkSet installed_dead_;
+  std::vector<topo::LinkId> pending_repair_;
+  HelloHandler* hello_handler_ = nullptr;
   // Pending failure schedulers (own their EventSink identity).
   class FailureEvent;
   std::vector<std::unique_ptr<FailureEvent>> failure_events_;

@@ -15,6 +15,13 @@ constexpr std::int32_t kDataPacketBytes = 1500;
 constexpr std::int32_t kMss = 1460;
 constexpr std::int32_t kAckPacketBytes = 40;
 
+// In-band control traffic (the fault layer's BFD-style hellos) shares the
+// data plane: flow_id < 0 marks a control packet, `seq` packs the directed
+// link it probes (2 * link + direction), and switches hand it to the
+// Network's HelloHandler instead of forwarding it.
+constexpr std::int32_t kCtrlFlowId = -1;
+constexpr std::int32_t kHelloPacketBytes = 64;
+
 struct Packet {
   topo::HostId src_host = 0;
   topo::HostId dst_host = 0;
@@ -26,6 +33,8 @@ struct Packet {
   std::int8_t vrf = 0;        // current VRF level (Shortest-Union mode)
   std::uint8_t hops = 0;      // hop count (TTL guard)
   bool ecn_ce = false;        // ECN congestion-experienced mark (DCTCP)
+  bool corrupted = false;     // payload corrupted by a gray link; the
+                              // receiver's checksum discards it on delivery
   Time ts = 0;                // sender timestamp, echoed by ACKs (RTT)
 
   // Source routing (kSourceRouted mode): the pinned switch-level path and

@@ -85,6 +85,23 @@ bool Graph::connected() const {
   return visited == num_switches();
 }
 
+Graph subgraph_without_links(const Graph& g, const std::vector<LinkId>& dead) {
+  std::vector<char> drop(static_cast<std::size_t>(g.num_links()), 0);
+  for (const LinkId l : dead) {
+    SPINELESS_CHECK_MSG(l >= 0 && l < g.num_links(),
+                        "subgraph_without_links: link id out of range");
+    drop[static_cast<std::size_t>(l)] = 1;
+  }
+  Graph out(g.num_switches(), g.ports_per_switch(), g.name());
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    if (!drop[static_cast<std::size_t>(l)])
+      out.add_link(g.link(l).a, g.link(l).b);
+  }
+  for (NodeId n = 0; n < g.num_switches(); ++n)
+    out.set_servers(n, g.servers(n));
+  return out;
+}
+
 void Graph::validate_ports() const {
   if (ports_per_switch_ == 0) return;
   for (NodeId n = 0; n < num_switches(); ++n) {

@@ -100,4 +100,10 @@ class Graph {
   mutable bool host_index_valid_ = false;
 };
 
+// The graph with the given links removed (failure modeling for control-
+// plane tests and benches). Node ids and server placement are preserved;
+// link ids are renumbered densely in original order — surviving links keep
+// their relative order but not their ids.
+Graph subgraph_without_links(const Graph& g, const std::vector<LinkId>& dead);
+
 }  // namespace spineless::topo

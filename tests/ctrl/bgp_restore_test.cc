@@ -1,0 +1,97 @@
+// BGP mesh under churn: simultaneous fail+restore batches must land on the
+// same routes as a fresh mesh built over the surviving topology, and
+// exhausting max_rounds reports non-convergence instead of looping.
+#include <gtest/gtest.h>
+
+#include "ctrl/bgp.h"
+#include "topo/builders.h"
+
+namespace spineless::ctrl {
+namespace {
+
+// The incrementally-churned mesh must agree with a mesh built from scratch
+// on the graph minus the currently-failed links — same best-path lengths
+// and the same FIB path sets (paths are node sequences, so the subgraph's
+// link renumbering is invisible).
+void expect_matches_fresh(const BgpVrfNetwork& bgp, const Graph& g, int k,
+                          const std::vector<LinkId>& down) {
+  const Graph survivor = topo::subgraph_without_links(g, down);
+  BgpVrfNetwork fresh(survivor, k);
+  fresh.converge();
+  for (NodeId u = 0; u < g.num_switches(); ++u) {
+    for (NodeId d = 0; d < g.num_switches(); ++d) {
+      if (u == d) continue;
+      ASSERT_EQ(bgp.best_path_length(u, k, d),
+                fresh.best_path_length(u, k, d))
+          << u << " -> " << d;
+      ASSERT_EQ(bgp.fib_paths(u, d), fresh.fib_paths(u, d))
+          << u << " -> " << d;
+    }
+  }
+}
+
+TEST(BgpRestore, SimultaneousFailAndRestoreBatchesConverge) {
+  const Graph g = topo::make_dring(5, 2, 1).graph;
+  const int k = 2;
+  BgpVrfNetwork bgp(g, k);
+  bgp.converge();
+
+  // Batch 1: two links fail at once.
+  bgp.fail_link(0);
+  bgp.fail_link(4);
+  bgp.converge();
+  expect_matches_fresh(bgp, g, k, {0, 4});
+
+  // Batch 2: one restores while another fails — in the same batch.
+  bgp.restore_link(0);
+  bgp.fail_link(7);
+  bgp.converge();
+  expect_matches_fresh(bgp, g, k, {4, 7});
+
+  // Batch 3: everything comes back.
+  bgp.restore_link(4);
+  bgp.restore_link(7);
+  bgp.converge();
+  expect_matches_fresh(bgp, g, k, {});
+  EXPECT_EQ(bgp.failed_links(), 0u);
+}
+
+TEST(BgpRestore, MaxRoundsExhaustionReportsNonConvergence) {
+  const Graph g = topo::make_dring(5, 2, 1).graph;
+  BgpVrfNetwork bgp(g, 2);
+  // One round cannot reach the fixpoint on a fresh mesh: with the flag
+  // form, the caller gets converged=false and the round budget back.
+  bool converged = true;
+  EXPECT_EQ(bgp.converge(1, &converged), 1);
+  EXPECT_FALSE(converged);
+  // Without the flag, exhaustion throws (the pre-existing contract).
+  BgpVrfNetwork bgp2(g, 2);
+  EXPECT_THROW(bgp2.converge(1), Error);
+  // A sane budget converges and reports it.
+  BgpVrfNetwork bgp3(g, 2);
+  converged = false;
+  bgp3.converge(10'000, &converged);
+  EXPECT_TRUE(converged);
+}
+
+TEST(BgpRestore, SubgraphWithoutLinksPreservesNodesAndServers) {
+  const Graph g = topo::make_dring(4, 2, 2).graph;
+  const Graph s = topo::subgraph_without_links(g, {1, 3});
+  EXPECT_EQ(s.num_switches(), g.num_switches());
+  EXPECT_EQ(s.num_links(), g.num_links() - 2);
+  EXPECT_EQ(s.total_servers(), g.total_servers());
+  for (NodeId n = 0; n < g.num_switches(); ++n)
+    EXPECT_EQ(s.servers(n), g.servers(n));
+  // Surviving links keep their endpoints and relative order.
+  LinkId src = 0;
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    if (l == 1 || l == 3) continue;
+    EXPECT_EQ(s.link(src).a, g.link(l).a);
+    EXPECT_EQ(s.link(src).b, g.link(l).b);
+    ++src;
+  }
+  EXPECT_THROW(topo::subgraph_without_links(g, {g.num_links()}), Error);
+}
+
+}  // namespace
+}  // namespace spineless::ctrl

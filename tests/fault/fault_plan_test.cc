@@ -1,0 +1,138 @@
+// FaultPlan spec parsing: grammar, expansion, ordering, and validation.
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+#include "util/error.h"
+
+namespace spineless::fault {
+namespace {
+
+using Kind = FaultAction::Kind;
+
+topo::Graph square() {
+  topo::Graph g(4);
+  g.add_link(0, 1);  // link 0
+  g.add_link(1, 2);  // link 1
+  g.add_link(2, 3);  // link 2
+  g.add_link(3, 0);  // link 3
+  return g;
+}
+
+TEST(ParseTime, SuffixesAndFractions) {
+  EXPECT_EQ(parse_time("250ns"), 250 * units::kNanosecond);
+  EXPECT_EQ(parse_time("1.5us"), 1'500 * units::kNanosecond);
+  EXPECT_EQ(parse_time("2ms"), 2 * units::kMillisecond);
+  EXPECT_EQ(parse_time("0.01s"), 10 * units::kMillisecond);
+  EXPECT_EQ(parse_time("0ns"), 0);
+}
+
+TEST(ParseTime, RejectsMalformed) {
+  EXPECT_THROW(parse_time("2"), Error);       // no suffix
+  EXPECT_THROW(parse_time("2m"), Error);      // unknown suffix
+  EXPECT_THROW(parse_time("-1ms"), Error);    // negative
+  EXPECT_THROW(parse_time("fast"), Error);    // not a number
+}
+
+TEST(FaultPlan, FlapExpandsToDownAndUp) {
+  const auto g = square();
+  const auto plan = FaultPlan::parse("flap link=1 down=2ms up=6ms", g, 7);
+  ASSERT_EQ(plan.actions().size(), 2u);
+  EXPECT_EQ(plan.actions()[0].kind, Kind::kLinkDown);
+  EXPECT_EQ(plan.actions()[0].at, 2 * units::kMillisecond);
+  EXPECT_EQ(plan.actions()[0].link, 1);
+  EXPECT_EQ(plan.actions()[1].kind, Kind::kLinkUp);
+  EXPECT_EQ(plan.actions()[1].at, 6 * units::kMillisecond);
+  EXPECT_EQ(plan.seed(), 7u);
+}
+
+TEST(FaultPlan, FailNeverRecovers) {
+  const auto plan = FaultPlan::parse("fail link=2 at=1ms", square(), 0);
+  ASSERT_EQ(plan.actions().size(), 1u);
+  EXPECT_EQ(plan.actions()[0].kind, Kind::kLinkDown);
+  EXPECT_EQ(plan.actions()[0].link, 2);
+}
+
+TEST(FaultPlan, SwitchFlapsEveryIncidentLink) {
+  const auto g = square();
+  const auto plan = FaultPlan::parse("switch node=0 down=1ms up=2ms", g, 0);
+  // Node 0 touches links 0 and 3: two downs then two ups.
+  ASSERT_EQ(plan.actions().size(), 4u);
+  EXPECT_EQ(plan.actions()[0].kind, Kind::kLinkDown);
+  EXPECT_EQ(plan.actions()[1].kind, Kind::kLinkDown);
+  EXPECT_EQ(plan.actions()[2].kind, Kind::kLinkUp);
+  EXPECT_EQ(plan.actions()[3].kind, Kind::kLinkUp);
+  EXPECT_EQ(plan.actions()[0].link, 0);
+  EXPECT_EQ(plan.actions()[1].link, 3);
+}
+
+TEST(FaultPlan, GrayDefaultsAndBounds) {
+  const auto g = square();
+  const auto plan =
+      FaultPlan::parse("gray link=0 drop=0.01 from=1ms", g, 0);
+  ASSERT_EQ(plan.actions().size(), 1u);  // no until => active forever
+  EXPECT_EQ(plan.actions()[0].kind, Kind::kGrayOn);
+  EXPECT_DOUBLE_EQ(plan.actions()[0].drop_prob, 0.01);
+  EXPECT_DOUBLE_EQ(plan.actions()[0].corrupt_prob, 0.0);
+
+  const auto timed = FaultPlan::parse(
+      "gray link=0 drop=0.01 corrupt=0.001 from=1ms until=9ms", g, 0);
+  ASSERT_EQ(timed.actions().size(), 2u);
+  EXPECT_DOUBLE_EQ(timed.actions()[0].corrupt_prob, 0.001);
+  EXPECT_EQ(timed.actions()[1].kind, Kind::kGrayOff);
+  EXPECT_EQ(timed.actions()[1].at, 9 * units::kMillisecond);
+}
+
+TEST(FaultPlan, DegradeScalesRate) {
+  const auto plan = FaultPlan::parse(
+      "degrade link=3 rate=0.5 from=1ms until=8ms", square(), 0);
+  ASSERT_EQ(plan.actions().size(), 2u);
+  EXPECT_EQ(plan.actions()[0].kind, Kind::kDegradeOn);
+  EXPECT_DOUBLE_EQ(plan.actions()[0].rate_factor, 0.5);
+  EXPECT_EQ(plan.actions()[1].kind, Kind::kDegradeOff);
+}
+
+TEST(FaultPlan, ActionsSortedByTimeStably) {
+  const auto g = square();
+  // Clauses deliberately out of time order; a tie at 2ms must keep spec
+  // order (gray before the flap's down).
+  const auto plan = FaultPlan::parse(
+      "flap link=1 down=2ms up=6ms; gray link=0 drop=0.1 from=2ms;"
+      " fail link=2 at=1ms",
+      g, 0);
+  ASSERT_EQ(plan.actions().size(), 4u);
+  EXPECT_EQ(plan.actions()[0].at, 1 * units::kMillisecond);
+  EXPECT_EQ(plan.actions()[0].kind, Kind::kLinkDown);  // the fail
+  EXPECT_EQ(plan.actions()[1].at, 2 * units::kMillisecond);
+  EXPECT_EQ(plan.actions()[1].kind, Kind::kLinkDown);  // flap: spec order
+  EXPECT_EQ(plan.actions()[2].at, 2 * units::kMillisecond);
+  EXPECT_EQ(plan.actions()[2].kind, Kind::kGrayOn);
+  EXPECT_EQ(plan.actions()[3].at, 6 * units::kMillisecond);
+}
+
+TEST(FaultPlan, EmptyClausesIgnored) {
+  const auto plan = FaultPlan::parse("; fail link=0 at=1ms ;", square(), 0);
+  EXPECT_EQ(plan.actions().size(), 1u);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  const auto g = square();
+  EXPECT_THROW(FaultPlan::parse("explode link=0 at=1ms", g, 0), Error);
+  EXPECT_THROW(FaultPlan::parse("fail link=9 at=1ms", g, 0), Error);
+  EXPECT_THROW(FaultPlan::parse("fail at=1ms", g, 0), Error);
+  EXPECT_THROW(FaultPlan::parse("fail link at=1ms", g, 0), Error);
+  EXPECT_THROW(FaultPlan::parse("flap link=0 down=2ms up=2ms", g, 0), Error);
+  EXPECT_THROW(FaultPlan::parse("switch node=7 down=1ms up=2ms", g, 0), Error);
+  EXPECT_THROW(FaultPlan::parse("gray link=0 drop=1.5 from=0ms", g, 0), Error);
+  EXPECT_THROW(
+      FaultPlan::parse("gray link=0 drop=0.6 corrupt=0.6 from=0ms", g, 0),
+      Error);
+  EXPECT_THROW(FaultPlan::parse("degrade link=0 rate=0 from=0ms", g, 0),
+               Error);
+  EXPECT_THROW(FaultPlan::parse("degrade link=0 rate=2 from=0ms", g, 0),
+               Error);
+}
+
+}  // namespace
+}  // namespace spineless::fault

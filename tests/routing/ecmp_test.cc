@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "topo/analysis.h"
 #include "topo/builders.h"
 
@@ -77,6 +79,60 @@ TEST(EcmpTable, DisconnectedGraphRejected) {
   Graph g(3);
   g.add_link(0, 1);
   EXPECT_THROW(EcmpTable::compute(g), spineless::Error);
+}
+
+// Incremental repair (the fault injector's reconvergence path): after a
+// sequence of fail/restore toggles, recomputing only the affected
+// destinations must land on exactly the table a full rebuild produces.
+TEST(EcmpTable, IncrementalRepairMatchesFullRebuild) {
+  const Graph g = topo::make_rrg(16, 4, 1, /*seed=*/7);
+  EcmpTable t = EcmpTable::compute(g);
+  LinkSet dead;
+  const std::pair<LinkId, bool> toggles[] = {
+      {0, true}, {5, true}, {0, false}, {9, true}, {5, false}, {9, false}};
+  for (const auto& [link, down] : toggles) {
+    SCOPED_TRACE("link " + std::to_string(link) + (down ? " down" : " up"));
+    const auto dsts = t.destinations_affected_by(g, link, down);
+    if (down) {
+      dead.insert(link);
+    } else {
+      dead.erase(link);
+    }
+    t.recompute_destinations(g, &dead, dsts);
+    const EcmpTable full = EcmpTable::compute(g, &dead);
+    for (NodeId d = 0; d < g.num_switches(); ++d) {
+      for (NodeId u = 0; u < g.num_switches(); ++u) {
+        ASSERT_EQ(t.distance(u, d), full.distance(u, d)) << u << "->" << d;
+        const auto a = t.next_hops(u, d);
+        const auto b = full.next_hops(u, d);
+        ASSERT_EQ(a.size(), b.size()) << u << "->" << d;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(a[i].neighbor, b[i].neighbor);
+          ASSERT_EQ(a[i].link, b[i].link);
+        }
+      }
+    }
+    EXPECT_TRUE(ecmp_table_valid(g, t, &dead));
+  }
+}
+
+TEST(EcmpTable, RestoreRepairIsSoundOnACycle) {
+  // Restoring a cycle link changes some destinations (the far side gets a
+  // second equal-cost path) and leaves others alone; the affected-set plus
+  // incremental recompute must still reproduce the full rebuild exactly.
+  Graph g(4);
+  for (NodeId i = 0; i < 4; ++i) g.add_link(i, (i + 1) % 4);
+  g.set_servers(0, 1);
+  LinkSet dead{0};
+  EcmpTable t = EcmpTable::compute(g, &dead);
+  const auto dsts = t.destinations_affected_by(g, 0, /*now_dead=*/false);
+  dead.erase(0);
+  t.recompute_destinations(g, &dead, dsts);
+  const EcmpTable full = EcmpTable::compute(g);
+  for (NodeId d = 0; d < 4; ++d)
+    for (NodeId u = 0; u < 4; ++u)
+      EXPECT_EQ(t.distance(u, d), full.distance(u, d));
+  EXPECT_TRUE(ecmp_table_valid(g, t));
 }
 
 TEST(EcmpTable, ValidityCheckerCatchesCorruption) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
 #include "routing/paths.h"
 #include "topo/analysis.h"
@@ -211,6 +212,49 @@ TEST(VrfTable, DeadLinkFilterRemovesOnlyAffectedPaths) {
       // Routing still succeeds everywhere (DRing is richly connected).
       EXPECT_FALSE(filtered.next_hops(src, 2, dst).empty());
       (void)full;
+    }
+  }
+}
+
+// Incremental repair: recomputing only the affected destinations after a
+// fail/restore sequence must reproduce the full rebuild, across every VRF
+// level (the gadget makes "affected" subtler than plain BFS — a link can
+// matter to a destination only through a detour VRF).
+TEST(VrfTable, IncrementalRepairMatchesFullRebuild) {
+  const Graph g = topo::make_dring(5, 2, 1).graph;
+  const int k = 2;
+  VrfTable t = VrfTable::compute(g, k);
+  LinkSet dead;
+  const std::pair<LinkId, bool> toggles[] = {
+      {2, true}, {6, true}, {2, false}, {6, false}};
+  for (const auto& [link, down] : toggles) {
+    SCOPED_TRACE("link " + std::to_string(link) + (down ? " down" : " up"));
+    const auto dsts = t.destinations_affected_by(g, link, down);
+    if (down) {
+      dead.insert(link);
+    } else {
+      dead.erase(link);
+    }
+    t.recompute_destinations(g, &dead, dsts);
+    const VrfTable full = VrfTable::compute(g, k, &dead);
+    for (NodeId d = 0; d < g.num_switches(); ++d) {
+      for (NodeId u = 0; u < g.num_switches(); ++u) {
+        for (int vrf = 1; vrf <= k; ++vrf) {
+          ASSERT_EQ(t.distance(u, vrf, d), full.distance(u, vrf, d))
+              << "(" << u << ", vrf " << vrf << ") -> " << d;
+          const auto& a = t.next_hops(u, vrf, d);
+          const auto& b = full.next_hops(u, vrf, d);
+          ASSERT_EQ(a.size(), b.size())
+              << "(" << u << ", vrf " << vrf << ") -> " << d;
+          for (std::size_t i = 0; i < a.size(); ++i) {
+            ASSERT_EQ(a[i].port.link, b[i].port.link);
+            ASSERT_EQ(a[i].port.neighbor, b[i].port.neighbor);
+            ASSERT_EQ(a[i].next_vrf, b[i].next_vrf);
+            ASSERT_EQ(a[i].cost, b[i].cost);
+            ASSERT_EQ(a[i].weight, b[i].weight);
+          }
+        }
+      }
     }
   }
 }
