@@ -19,6 +19,7 @@ namespace {
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::install_signal_handlers();
   const core::Scenario s = bench::scenario_from(flags);
   bench::print_header("Ablation: Shortest-Union(K) sweep on DRing", s,
                       flags);

@@ -129,6 +129,7 @@ RunResult run_vlb(const Graph& g,
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::install_signal_handlers();
   const core::Scenario s = bench::scenario_from(flags);
   bench::print_header(
       "Baselines: deployable vs non-standard routing on the DRing", s,

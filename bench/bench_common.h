@@ -15,8 +15,12 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,7 +30,10 @@
 #include "core/scenario.h"
 #include "util/error.h"
 #include "util/flags.h"
+#include "util/fsio.h"
 #include "util/json.h"
+#include "util/resilient.h"
+#include "util/sweep_journal.h"
 
 namespace spineless::bench {
 
@@ -36,6 +43,26 @@ namespace spineless::bench {
 // already run, reporting totals near zero.
 inline const std::chrono::steady_clock::time_point kProcessStart =
     std::chrono::steady_clock::now();
+
+// --- SIGINT/SIGTERM handling -----------------------------------------------
+// First signal: set the flag; cells poll it at their checkpoint boundaries,
+// flush a final snapshot, and the driver writes a partial BENCH JSON.
+// Second signal: the user really means it — hard-exit.
+namespace detail {
+inline std::atomic<bool> g_interrupted{false};
+inline void on_signal(int) {
+  if (g_interrupted.exchange(true)) std::_Exit(130);
+}
+}  // namespace detail
+
+inline bool interrupted() {
+  return detail::g_interrupted.load(std::memory_order_acquire);
+}
+
+inline void install_signal_handlers() {
+  std::signal(SIGINT, detail::on_signal);
+  std::signal(SIGTERM, detail::on_signal);
+}
 
 inline core::Scenario scenario_from(const Flags& flags) {
   core::Scenario s;
@@ -72,6 +99,22 @@ inline int intra_jobs_from(const Flags& flags) {
 // --jobs is the total thread budget, split as outer x intra.
 inline int outer_jobs(const Flags& flags) {
   return std::max(1, jobs_from(flags) / intra_jobs_from(flags));
+}
+
+// Self-healing knobs: --max_attempts (retries on the same seed),
+// --cell_timeout_s (per-attempt wall clock), --progress_timeout_s (max
+// seconds without the event counter advancing), --backoff_s. SIGINT/SIGTERM
+// compose in as the external interrupt, so a ^C cancels cells at their next
+// checkpoint boundary instead of killing the process mid-write.
+inline util::RetryPolicy retry_policy_from(const Flags& flags) {
+  util::RetryPolicy p;
+  p.max_attempts =
+      std::max<int>(1, static_cast<int>(flags.get_int("max_attempts", 2)));
+  p.wall_timeout_s = flags.get_double("cell_timeout_s", 0);
+  p.progress_timeout_s = flags.get_double("progress_timeout_s", 0);
+  p.backoff_base_s = flags.get_double("backoff_s", 0.25);
+  p.interrupted = [] { return interrupted(); };
+  return p;
 }
 
 inline void print_header(const char* title, const core::Scenario& s,
@@ -122,6 +165,11 @@ class BenchJson {
     std::uint64_t events = 0;
     int intra_jobs = 1;
     double table_build_s = 0;
+    // Self-healing runner outcome. Emitted only when non-default so a clean
+    // run's JSON is byte-identical with or without the resilient path.
+    std::string status = "ok";  // "ok" | "failed" | "interrupted"
+    int attempts = 1;
+    std::string error;
     bool has_fct = false;
     std::size_t flows = 0;
     std::size_t completed = 0;
@@ -141,6 +189,9 @@ class BenchJson {
     std::size_t rescued_flows = 0;   // completed only thanks to an RTO
     double goodput_recovery = 0;     // post-restore / pre-fault goodput
     int undetected_gray_windows = 0;
+    std::size_t fault_outages = 0;   // control-plane outage events observed
+    std::size_t fault_completed = 0;
+    std::size_t fault_flows = 0;
   };
 
   BenchJson(std::string name, const Flags& flags)
@@ -150,6 +201,13 @@ class BenchJson {
         path_(flags.get("json_out", "BENCH_" + name_ + ".json")) {}
 
   void add(Cell cell) { cells_.push_back(std::move(cell)); }
+
+  // An interrupted sweep writes what it has, marked "partial": true; a
+  // --resume run completes the rest.
+  void mark_partial() { partial_ = true; }
+  // A resumed sweep carries cell wall times from a previous process, which
+  // can exceed this process's uptime — relax the total-wall sanity check.
+  void mark_resumed() { resumed_ = true; }
 
   // Convenience: a cell backed by a timed FctResult.
   void add_fct(const std::string& label,
@@ -183,7 +241,7 @@ class BenchJson {
     double max_cell_wall_s = 0;
     for (const Cell& c : cells_)
       max_cell_wall_s = std::max(max_cell_wall_s, c.wall_s);
-    SPINELESS_CHECK_MSG(total_wall_s >= max_cell_wall_s,
+    SPINELESS_CHECK_MSG(resumed_ || total_wall_s >= max_cell_wall_s,
                         "total_wall_s below the longest cell — the bench "
                         "clock must start at process start");
     JsonWriter w;
@@ -191,6 +249,7 @@ class BenchJson {
     w.kv("bench", name_);
     w.kv("scale", scale_);
     w.kv("jobs", jobs_);
+    if (partial_) w.kv("partial", true);
     w.kv("total_wall_s", total_wall_s);
     w.key("cells");
     w.begin_array();
@@ -202,6 +261,11 @@ class BenchJson {
       w.kv("events_per_sec",
            c.wall_s > 0 ? static_cast<double>(c.events) / c.wall_s : 0.0);
       w.kv("intra_jobs", c.intra_jobs);
+      if (c.status != "ok") {
+        w.kv("status", c.status);
+        if (!c.error.empty()) w.kv("error", c.error);
+      }
+      if (c.attempts > 1) w.kv("attempts", c.attempts);
       if (c.table_build_s > 0) w.kv("table_build_s", c.table_build_s);
       if (c.has_fct) {
         w.key("fct");
@@ -226,6 +290,9 @@ class BenchJson {
         w.kv("rescued_flows", static_cast<std::int64_t>(c.rescued_flows));
         w.kv("goodput_recovery", c.goodput_recovery);
         w.kv("undetected_gray_windows", c.undetected_gray_windows);
+        w.kv("ctrl_outages", static_cast<std::int64_t>(c.fault_outages));
+        w.kv("completed", static_cast<std::int64_t>(c.fault_completed));
+        w.kv("flows", static_cast<std::int64_t>(c.fault_flows));
         w.end_object();
       }
       w.end_object();
@@ -244,6 +311,242 @@ class BenchJson {
   int jobs_;
   std::string path_;
   std::vector<Cell> cells_;
+  bool partial_ = false;
+  bool resumed_ = false;
 };
+
+// --- Resumable sweeps --------------------------------------------------------
+// Cell results round-trip through the sweep journal as key=value strings:
+// doubles via %.17g (exact for IEEE-754 binary64), everything else as
+// decimal integers. Default-valued fields are omitted on write and default
+// on read, so a journaled cell re-emits the same JSON a live one would.
+
+namespace detail {
+
+inline std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+inline double field_d(const util::SweepJournal::Fields& f, const char* key,
+                      double def = 0) {
+  const auto it = f.find(key);
+  return it == f.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+inline std::int64_t field_i(const util::SweepJournal::Fields& f,
+                            const char* key, std::int64_t def = 0) {
+  const auto it = f.find(key);
+  return it == f.end() ? def
+                       : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+inline std::string field_s(const util::SweepJournal::Fields& f,
+                           const char* key, const char* def = "") {
+  const auto it = f.find(key);
+  return it == f.end() ? def : it->second;
+}
+
+}  // namespace detail
+
+inline util::SweepJournal::Fields cell_to_fields(const BenchJson::Cell& c) {
+  using detail::fmt_double;
+  util::SweepJournal::Fields f;
+  f["label"] = c.label;
+  f["wall_s"] = fmt_double(c.wall_s);
+  f["events"] = std::to_string(c.events);
+  f["intra_jobs"] = std::to_string(c.intra_jobs);
+  if (c.table_build_s > 0) f["table_build_s"] = fmt_double(c.table_build_s);
+  if (c.status != "ok") f["status"] = c.status;
+  if (c.attempts > 1) f["attempts"] = std::to_string(c.attempts);
+  if (!c.error.empty()) f["error"] = c.error;
+  if (c.has_fct) {
+    f["fct"] = "1";
+    f["flows"] = std::to_string(c.flows);
+    f["completed"] = std::to_string(c.completed);
+    f["p50_ms"] = fmt_double(c.p50_ms);
+    f["p99_ms"] = fmt_double(c.p99_ms);
+    f["drops"] = std::to_string(c.drops);
+    f["retransmits"] = std::to_string(c.retransmits);
+  }
+  if (c.has_fault) {
+    f["fault"] = "1";
+    f["blackhole_s"] = fmt_double(c.blackhole_s);
+    f["detect_ms"] = fmt_double(c.detect_ms);
+    f["outage_ms"] = fmt_double(c.outage_ms);
+    f["blackhole_drops"] = std::to_string(c.blackhole_drops);
+    f["gray_drops"] = std::to_string(c.gray_drops);
+    f["corrupt_drops"] = std::to_string(c.corrupt_drops);
+    f["rescued_flows"] = std::to_string(c.rescued_flows);
+    f["goodput_recovery"] = fmt_double(c.goodput_recovery);
+    f["undetected_gray"] = std::to_string(c.undetected_gray_windows);
+    f["ctrl_outages"] = std::to_string(c.fault_outages);
+    f["fault_completed"] = std::to_string(c.fault_completed);
+    f["fault_flows"] = std::to_string(c.fault_flows);
+  }
+  return f;
+}
+
+inline BenchJson::Cell cell_from_fields(const util::SweepJournal::Fields& f) {
+  using namespace detail;
+  BenchJson::Cell c;
+  c.label = field_s(f, "label");
+  c.wall_s = field_d(f, "wall_s");
+  c.events = static_cast<std::uint64_t>(field_i(f, "events"));
+  c.intra_jobs = static_cast<int>(field_i(f, "intra_jobs", 1));
+  c.table_build_s = field_d(f, "table_build_s");
+  c.status = field_s(f, "status", "ok");
+  c.attempts = static_cast<int>(field_i(f, "attempts", 1));
+  c.error = field_s(f, "error");
+  c.has_fct = field_i(f, "fct") != 0;
+  if (c.has_fct) {
+    c.flows = static_cast<std::size_t>(field_i(f, "flows"));
+    c.completed = static_cast<std::size_t>(field_i(f, "completed"));
+    c.p50_ms = field_d(f, "p50_ms");
+    c.p99_ms = field_d(f, "p99_ms");
+    c.drops = field_i(f, "drops");
+    c.retransmits = field_i(f, "retransmits");
+  }
+  c.has_fault = field_i(f, "fault") != 0;
+  if (c.has_fault) {
+    c.blackhole_s = field_d(f, "blackhole_s");
+    c.detect_ms = field_d(f, "detect_ms", -1);
+    c.outage_ms = field_d(f, "outage_ms", -1);
+    c.blackhole_drops = field_i(f, "blackhole_drops");
+    c.gray_drops = field_i(f, "gray_drops");
+    c.corrupt_drops = field_i(f, "corrupt_drops");
+    c.rescued_flows = static_cast<std::size_t>(field_i(f, "rescued_flows"));
+    c.goodput_recovery = field_d(f, "goodput_recovery");
+    c.undetected_gray_windows =
+        static_cast<int>(field_i(f, "undetected_gray"));
+    c.fault_outages = static_cast<std::size_t>(field_i(f, "ctrl_outages"));
+    c.fault_completed =
+        static_cast<std::size_t>(field_i(f, "fault_completed"));
+    c.fault_flows = static_cast<std::size_t>(field_i(f, "fault_flows"));
+  }
+  return c;
+}
+
+// Everything scenario-shaped that changes cell results; benches append
+// their own sweep-specific knobs before handing it to ResumableSweep.
+inline std::string base_config_sig(const Flags& flags) {
+  const core::Scenario s = scenario_from(flags);
+  std::string sig = "x=" + std::to_string(s.x) + " y=" + std::to_string(s.y) +
+                    " m=" + std::to_string(s.dring_supernodes) +
+                    " seed=" + std::to_string(s.seed) +
+                    " intra=" + std::to_string(intra_jobs_from(flags)) +
+                    " scale=";
+  sig += flags.paper_scale() ? "paper" : "medium";
+  return sig;
+}
+
+// Per-sweep crash-safety state: the journal of finished cells, per-cell
+// checkpoint paths, and the CheckpointSpec each running cell threads into
+// its experiment. Flags: --resume, --audit, --checkpoint_ms plus the
+// retry_policy_from knobs.
+class ResumableSweep {
+ public:
+  ResumableSweep(const std::string& bench, const Flags& flags,
+                 const std::string& config_sig)
+      : resume_(flags.get_bool("resume", false)),
+        audit_(flags.get_bool("audit", false)),
+        checkpoint_ms_(flags.get_double("checkpoint_ms", 0)),
+        policy_(retry_policy_from(flags)),
+        journal_(flags.get("json_out", "BENCH_" + bench + ".json") +
+                     ".sweep.journal",
+                 bench, config_sig, resume_) {}
+
+  const util::RetryPolicy& policy() const noexcept { return policy_; }
+  util::SweepJournal& journal() noexcept { return journal_; }
+  bool resuming() const noexcept { return resume_; }
+
+  // Periodic snapshot files are only worth their write cost when the user
+  // asked for resumability; the audit/cancel/progress hooks are free of
+  // them and always on.
+  bool checkpoints_enabled() const noexcept {
+    return resume_ || checkpoint_ms_ > 0;
+  }
+
+  std::string checkpoint_path(std::size_t i) const {
+    return journal_.path() + ".cell" + std::to_string(i) + ".ckpt";
+  }
+
+  sim::CheckpointSpec spec_for(std::size_t i, util::CellContext& ctx) const {
+    sim::CheckpointSpec spec;
+    if (checkpoints_enabled()) spec.path = checkpoint_path(i);
+    spec.resume = resume_;
+    spec.audit = audit_;
+    // --checkpoint_ms is wall-agnostic sim time (Time is picoseconds).
+    spec.interval = static_cast<Time>(checkpoint_ms_ * 1e9);
+    spec.cancel = [&ctx] { return ctx.canceled(); };
+    spec.progress = [&ctx](std::uint64_t events) { ctx.heartbeat(events); };
+    return spec;
+  }
+
+  // After a sweep completes (every cell ok or permanently failed — not
+  // interrupted), its results live in the BENCH JSON; drop the recovery
+  // artifacts so a later run starts clean.
+  void finish(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+      util::remove_file(checkpoint_path(i));
+    journal_.remove();
+  }
+
+ private:
+  bool resume_;
+  bool audit_;
+  double checkpoint_ms_;
+  util::RetryPolicy policy_;
+  util::SweepJournal journal_;
+};
+
+// Self-healing, resumable fan-out: journaled cells are returned as-is
+// (skipped), the rest run under the watchdog/retry policy, and every cell
+// that finishes (ok or permanently failed) is journaled. fn(i, ctx) must
+// return a fully-populated BenchJson::Cell except wall_s/attempts/status,
+// which this wrapper owns. Results come back in index order.
+template <typename Fn>
+std::vector<BenchJson::Cell> run_resumable(core::Runner& runner,
+                                           std::size_t n,
+                                           ResumableSweep& sweep, Fn&& fn) {
+  // Snapshot the journal hits before the parallel map: get() is not safe
+  // against a concurrent record(), but std::map nodes stay put, so the
+  // prefetched pointers survive later inserts.
+  std::vector<const util::SweepJournal::Fields*> done(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i)
+    done[i] = sweep.journal().get("cell" + std::to_string(i));
+
+  util::Watchdog dog(n, sweep.policy());
+  return runner.map(n, [&](std::size_t i) {
+    if (done[i]) return cell_from_fields(*done[i]);
+    const std::string label = "cell" + std::to_string(i);
+    const auto start = std::chrono::steady_clock::now();
+    auto out = util::run_cell_attempts(
+        dog.slot(i), sweep.policy(), label,
+        [&](util::CellContext& ctx) { return fn(i, ctx); });
+    BenchJson::Cell cell = std::move(out.value);
+    cell.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    cell.attempts = out.status.attempts;
+    switch (out.status.state) {
+      case util::CellState::kOk:
+        break;
+      case util::CellState::kFailed:
+        cell.status = "failed";
+        cell.error = out.status.error;
+        if (cell.label.empty()) cell.label = label;
+        break;
+      case util::CellState::kInterrupted:
+        // Not journaled: --resume re-runs it from its last checkpoint.
+        cell.status = "interrupted";
+        if (cell.label.empty()) cell.label = label;
+        return cell;
+    }
+    sweep.journal().record(label, cell_to_fields(cell));
+    return cell;
+  });
+}
 
 }  // namespace spineless::bench

@@ -46,6 +46,7 @@ double mean_rate(const Graph& g,
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::install_signal_handlers();
   const int m = static_cast<int>(flags.get_int("supernodes", 8));
   const int n = static_cast<int>(flags.get_int("n", 3));
   const int servers = static_cast<int>(flags.get_int("servers", 8));

@@ -28,6 +28,7 @@ namespace {
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::install_signal_handlers();
   const core::Scenario s = bench::scenario_from(flags);
   bench::print_header("Extension: impact of link failures (DRing + BGP/VRF)",
                       s, flags);
@@ -133,6 +134,11 @@ int run(int argc, char** argv) {
     json.add(std::move(jc));
   }
   std::printf("%s\n", t.to_string().c_str());
+  if (bench::interrupted()) {
+    json.mark_partial();
+    json.write();
+    return 130;
+  }
 
   // Part 2: the convergence window at the data plane. A busy fabric loses
   // 2% of its links mid-experiment; the table sweeps how long the control
@@ -200,6 +206,11 @@ int run(int argc, char** argv) {
     json.add(std::move(jc));
   }
   std::printf("%s", w.to_string().c_str());
+  if (bench::interrupted()) {
+    json.mark_partial();
+    json.write();
+    return 130;
+  }
 
   // Part 3: scripted fault scenarios with *in-band* detection. Unlike
   // part 2's oracle (the control plane learns of the failure instantly and
@@ -220,19 +231,16 @@ int run(int argc, char** argv) {
       {"degraded port", "degrade link=0 rate=0.25 from=5ms until=15ms"},
       {"switch flap", "switch node=0 down=5ms up=10ms"},
   };
-  struct FaultCell {
-    std::uint64_t events = 0;
-    double blackhole_s = 0;
-    double detect_ms = -1, outage_ms = -1;
-    std::size_t outages = 0;  // incl. congestion-induced false alarms
-    std::int64_t blackhole_drops = 0, gray_drops = 0, corrupt_drops = 0;
-    std::size_t rescued = 0, completed = 0, flows = 0;
-    double goodput_recovery = 0;
-    int undetected_gray = 0;
-  };
   const Time horizon = 35 * units::kMillisecond;
-  const auto fault_cells =
-      bench::sweep(runner, scenarios.size(), [&](std::size_t idx) {
+  // Part-3 cells run under the crash-safe machinery: each (Network,
+  // FlowDriver, FaultInjector, DegradationMonitor) quartet checkpoints
+  // through a CheckpointSession (parts registered in construction order),
+  // advancing in segments that poll the watchdog/SIGINT hooks.
+  bench::ResumableSweep sweep("failures", flags,
+                              bench::base_config_sig(flags));
+  const auto fault_cells = bench::run_resumable(
+      runner, scenarios.size(), sweep,
+      [&](std::size_t idx, util::CellContext& ctx) {
         Rng rng(s.seed + 79);
         workload::TmSampler sampler(g, workload::RackTm::uniform(g));
         workload::FlowGenConfig fg;
@@ -255,30 +263,68 @@ int run(int argc, char** argv) {
         fault::FaultInjector inj(net, plan, inj_cfg);
         fault::DegradationMonitor mon(net, 250 * units::kMicrosecond);
 
+        sim::HashChain hash;
+        hash.mix(s.seed)
+            .mix(static_cast<std::uint64_t>(g.num_switches()))
+            .mix(static_cast<std::uint64_t>(g.num_links()))
+            .mix(static_cast<std::uint64_t>(idx))
+            .mix(static_cast<std::uint64_t>(net_cfg.intra_jobs))
+            .mix(static_cast<std::uint64_t>(horizon));
+        sim::CheckpointSession session(net, hash.value());
+        session.add(&driver);
+        session.add(&inj);
+        session.add(&mon);
+        const sim::CheckpointSpec spec = sweep.spec_for(idx, ctx);
+
         const auto setup = [&](sim::Simulator& sim) {
           for (const auto& f : flows)
             driver.add_flow(sim, f.src, f.dst, f.bytes, f.start);
           inj.arm(sim, horizon);
           mon.start(sim, 0, 30 * units::kMillisecond);
         };
+        // Segmented main loop, mirroring core::run_fct_experiment: restore
+        // first (the reconstructed state above is discarded), then advance
+        // boundary to boundary, snapshotting between segments.
+        const auto drive = [&](auto& eng) {
+          if (spec.resume && !spec.path.empty()) session.restore(spec.path, eng);
+          const Time step =
+              spec.interval > 0 ? spec.interval : std::max<Time>(1, horizon / 64);
+          Time t = eng.now();
+          while (t < horizon) {
+            t = std::min<Time>(horizon, t + step);
+            eng.run_until(t);
+            if (spec.progress) spec.progress(eng.events_processed());
+            if (spec.audit) {
+              const sim::AuditReport report = session.audit(eng);
+              if (!report.ok()) throw Error(report.to_string());
+            }
+            if (t >= horizon) break;
+            if (!spec.path.empty()) session.save(spec.path, eng);
+            if (spec.cancel && spec.cancel()) return false;
+          }
+          return true;
+        };
 
-        FaultCell out;
+        bench::BenchJson::Cell out;
+        out.label = scenarios[idx].label;
+        out.intra_jobs = net_cfg.intra_jobs;
+        out.has_fault = true;
         if (net.sharded()) {
           sim::ShardedEngine engine(net);
           setup(engine.control());
-          engine.run_until(horizon);
+          drive(engine);
           out.events = engine.events_processed();
         } else {
           sim::Simulator simulator;
           setup(simulator);
-          simulator.run_until(horizon);
+          drive(simulator);
           out.events = simulator.events_processed();
         }
 
         const auto rep = inj.report(horizon);
         out.blackhole_s = rep.blackhole_seconds;
-        out.undetected_gray = rep.undetected_gray_windows;
-        out.outages = rep.outages.size();
+        out.undetected_gray_windows = rep.undetected_gray_windows;
+        out.fault_outages = rep.outages.size();
         // Characterize the cell by the fault-relevant outage: a physical
         // one if the plan caused any, else a detection on the faulted link
         // (gray scenarios). Congestion false alarms on other links are
@@ -309,9 +355,10 @@ int run(int argc, char** argv) {
         out.blackhole_drops = stats.blackhole_drops;
         out.gray_drops = stats.gray_drops;
         out.corrupt_drops = stats.corrupt_drops;
-        out.rescued = fault::DegradationMonitor::flows_rescued_by_rto(driver);
-        out.completed = driver.completed_flows();
-        out.flows = driver.num_flows();
+        out.rescued_flows =
+            fault::DegradationMonitor::flows_rescued_by_rto(driver);
+        out.fault_completed = driver.completed_flows();
+        out.fault_flows = driver.num_flows();
         // Pre window starts after the arrival ramp so the ratio compares
         // steady states.
         const double pre = mon.mean_goodput_bps(2 * units::kMillisecond,
@@ -326,36 +373,38 @@ int run(int argc, char** argv) {
             "ctrl outages", "blackholed", "gray", "corrupt", "RTO-rescued",
             "completed", "goodput post/pre"});
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const FaultCell& c = fault_cells[i].value;
-    ft.add_row(
-        {scenarios[i].label, Table::fmt(c.blackhole_s, 6),
-         c.detect_ms < 0 ? "(undetected)" : Table::fmt(c.detect_ms, 2),
-         c.outage_ms < 0 ? "-" : Table::fmt(c.outage_ms, 2),
-         std::to_string(c.outages),
-         std::to_string(c.blackhole_drops), std::to_string(c.gray_drops),
-         std::to_string(c.corrupt_drops), std::to_string(c.rescued),
-         std::to_string(c.completed) + "/" + std::to_string(c.flows),
-         Table::fmt(c.goodput_recovery, 3)});
+    const bench::BenchJson::Cell& c = fault_cells[i];
+    if (c.status != "ok") {
+      ft.add_row({scenarios[i].label, "(" + c.status + ")", "-", "-", "-",
+                  "-", "-", "-", "-", "-", "-"});
+    } else {
+      ft.add_row(
+          {scenarios[i].label, Table::fmt(c.blackhole_s, 6),
+           c.detect_ms < 0 ? "(undetected)" : Table::fmt(c.detect_ms, 2),
+           c.outage_ms < 0 ? "-" : Table::fmt(c.outage_ms, 2),
+           std::to_string(c.fault_outages),
+           std::to_string(c.blackhole_drops), std::to_string(c.gray_drops),
+           std::to_string(c.corrupt_drops),
+           std::to_string(c.rescued_flows),
+           std::to_string(c.fault_completed) + "/" +
+               std::to_string(c.fault_flows),
+           Table::fmt(c.goodput_recovery, 3)});
+    }
     std::fprintf(stderr, "  %s done\n", scenarios[i].label);
-    bench::BenchJson::Cell jc;
-    jc.label = scenarios[i].label;
-    jc.wall_s = fault_cells[i].wall_s;
-    jc.events = c.events;
-    jc.intra_jobs = bench::intra_jobs_from(flags);
-    jc.has_fault = true;
-    jc.blackhole_s = c.blackhole_s;
-    jc.detect_ms = c.detect_ms;
-    jc.outage_ms = c.outage_ms;
-    jc.blackhole_drops = c.blackhole_drops;
-    jc.gray_drops = c.gray_drops;
-    jc.corrupt_drops = c.corrupt_drops;
-    jc.rescued_flows = c.rescued;
-    jc.goodput_recovery = c.goodput_recovery;
-    jc.undetected_gray_windows = c.undetected_gray;
-    json.add(std::move(jc));
+    json.add(c);
   }
   std::printf("%s", ft.to_string().c_str());
+  if (sweep.journal().loaded() > 0) json.mark_resumed();
+  if (bench::interrupted()) {
+    json.mark_partial();
+    json.write();
+    std::fprintf(stderr,
+                 "interrupted: journal + checkpoints kept; rerun with "
+                 "--resume to finish\n");
+    return 130;
+  }
   json.write();
+  sweep.finish(scenarios.size());
   return 0;
 }
 

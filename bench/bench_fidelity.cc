@@ -21,6 +21,7 @@ namespace {
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::install_signal_handlers();
   const core::Scenario s = bench::scenario_from(flags);
   bench::print_header("Fidelity: packet-level TCP vs flow-level fluid",
                       s, flags);

@@ -62,6 +62,7 @@ RackTm cs_skewed_tm(const Graph& g, std::uint64_t seed) {
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::install_signal_handlers();
   const Scenario s = bench::scenario_from(flags);
   bench::print_header("Figure 4: flow completion times", s, flags);
 

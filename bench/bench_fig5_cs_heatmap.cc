@@ -43,6 +43,7 @@ struct PanelSpec {
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::install_signal_handlers();
   const Scenario s = bench::scenario_from(flags);
   bench::print_header(
       "Figure 5: C-S model throughput, DRing / leaf-spine", s, flags);

@@ -21,6 +21,7 @@ namespace {
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::install_signal_handlers();
   const bool paper = flags.paper_scale();
   // --scale=large: medium-shaped supernodes, but the sweep extends to
   // m=20 (120 racks) — single cells big enough that intra-cell sharding
@@ -54,34 +55,62 @@ int run(int argc, char** argv) {
       flags.get_int("window_ms", 2) * units::kMillisecond;
 
   // One cell per (m, topology-family): each cell builds its own graph, so
-  // no shared state crosses workers.
+  // no shared state crosses workers. Cells run under the self-healing
+  // policy; with --resume, finished cells come from the sweep journal and
+  // in-flight ones restart from their last periodic checkpoint.
   const auto n_m = static_cast<std::size_t>(m_hi - m_lo + 1);
   core::Runner runner(bench::outer_jobs(flags));
-  const auto results = bench::sweep(runner, 2 * n_m, [&](std::size_t idx) {
-    const int m = m_lo + static_cast<int>(idx / 2);
-    const bool is_rrg = idx % 2 != 0;
-    const topo::DRing dring =
-        topo::make_dring(m, tors_per_supernode, servers_per_tor, ports);
-    core::FctConfig cfg;
-    cfg.flowgen.offered_load_bps =
-        per_host_bps * dring.graph.total_servers();
-    cfg.flowgen.window = window;
-    cfg.seed = 3;
-    cfg.net.mode = sim::RoutingMode::kShortestUnion;
-    cfg.net.intra_jobs = intra_jobs;
-    if (!is_rrg) {
-      return core::run_fct_experiment(
-          dring.graph, workload::RackTm::uniform(dring.graph), cfg);
-    }
-    const topo::Graph rrg =
-        topo::make_rrg(dring.graph.num_switches(), net_degree,
-                       servers_per_tor,
-                       /*seed=*/static_cast<std::uint64_t>(m) * 7 + 1);
-    return core::run_fct_experiment(rrg, workload::RackTm::uniform(rrg),
-                                    cfg);
-  });
+  const std::string config_sig =
+      "n=" + std::to_string(tors_per_supernode) +
+      " servers=" + std::to_string(servers_per_tor) +
+      " m_lo=" + std::to_string(m_lo) + " m_hi=" + std::to_string(m_hi) +
+      " bps=" + std::to_string(static_cast<long long>(per_host_bps)) +
+      " window=" + std::to_string(static_cast<long long>(window)) +
+      " intra=" + std::to_string(intra_jobs);
+  bench::ResumableSweep sweep("fig6_scale", flags, config_sig);
+  const auto cells = bench::run_resumable(
+      runner, 2 * n_m, sweep, [&](std::size_t idx, util::CellContext& ctx) {
+        const int m = m_lo + static_cast<int>(idx / 2);
+        const bool is_rrg = idx % 2 != 0;
+        const topo::DRing dring =
+            topo::make_dring(m, tors_per_supernode, servers_per_tor, ports);
+        core::FctConfig cfg;
+        cfg.flowgen.offered_load_bps =
+            per_host_bps * dring.graph.total_servers();
+        cfg.flowgen.window = window;
+        cfg.seed = 3;
+        cfg.net.mode = sim::RoutingMode::kShortestUnion;
+        cfg.net.intra_jobs = intra_jobs;
+        cfg.checkpoint = sweep.spec_for(idx, ctx);
+        core::FctResult r;
+        if (!is_rrg) {
+          r = core::run_fct_experiment(
+              dring.graph, workload::RackTm::uniform(dring.graph), cfg);
+        } else {
+          const topo::Graph rrg =
+              topo::make_rrg(dring.graph.num_switches(), net_degree,
+                             servers_per_tor,
+                             /*seed=*/static_cast<std::uint64_t>(m) * 7 + 1);
+          r = core::run_fct_experiment(rrg, workload::RackTm::uniform(rrg),
+                                       cfg);
+        }
+        bench::BenchJson::Cell c;
+        c.label = (is_rrg ? "RRG m=" : "DRing m=") + std::to_string(m);
+        c.events = r.events;
+        c.intra_jobs = r.intra_jobs;
+        c.table_build_s = r.table_build_s;
+        c.has_fct = true;
+        c.flows = r.flows;
+        c.completed = r.completed;
+        c.p50_ms = r.median_ms();
+        c.p99_ms = r.p99_ms();
+        c.drops = r.queue_drops;
+        c.retransmits = r.retransmits;
+        return c;
+      });
 
   bench::BenchJson json("fig6_scale", flags);
+  if (sweep.journal().loaded() > 0) json.mark_resumed();
   Table t({"racks", "hosts", "DRing p99 (ms)", "RRG p99 (ms)",
            "FCT(DRing)/FCT(RRG)"});
   for (std::size_t i = 0; i < n_m; ++i) {
@@ -89,20 +118,31 @@ int run(int argc, char** argv) {
     const topo::DRing dring =
         topo::make_dring(m, tors_per_supernode, servers_per_tor, ports);
     const int racks = dring.graph.num_switches();
-    const auto& dr = results[2 * i].value;
-    const auto& rr = results[2 * i + 1].value;
-    json.add_fct("DRing m=" + std::to_string(m), results[2 * i]);
-    json.add_fct("RRG m=" + std::to_string(m), results[2 * i + 1]);
+    const auto& dr = cells[2 * i];
+    const auto& rr = cells[2 * i + 1];
+    json.add(dr);
+    json.add(rr);
+    const bool ok = dr.status == "ok" && rr.status == "ok";
     t.add_row({std::to_string(racks),
                std::to_string(dring.graph.total_servers()),
-               Table::fmt(dr.p99_ms()), Table::fmt(rr.p99_ms()),
-               Table::fmt(dr.p99_ms() / rr.p99_ms(), 2)});
+               dr.status == "ok" ? Table::fmt(dr.p99_ms) : "(" + dr.status + ")",
+               rr.status == "ok" ? Table::fmt(rr.p99_ms) : "(" + rr.status + ")",
+               ok ? Table::fmt(dr.p99_ms / rr.p99_ms, 2) : "-"});
     std::fprintf(stderr, "  racks=%d done (DRing drops=%ld, RRG drops=%ld)\n",
-                 racks, static_cast<long>(dr.queue_drops),
-                 static_cast<long>(rr.queue_drops));
+                 racks, static_cast<long>(dr.drops),
+                 static_cast<long>(rr.drops));
   }
   std::printf("%s", t.to_string().c_str());
+  if (bench::interrupted()) {
+    json.mark_partial();
+    json.write();
+    std::fprintf(stderr,
+                 "interrupted: journal + checkpoints kept; rerun with "
+                 "--resume to finish\n");
+    return 130;
+  }
   json.write();
+  sweep.finish(2 * n_m);
   return 0;
 }
 

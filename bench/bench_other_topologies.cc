@@ -30,6 +30,7 @@ struct Candidate {
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::install_signal_handlers();
   const core::Scenario s = bench::scenario_from(flags);
   bench::print_header(
       "Other static networks: Dragonfly and Xpander at small scale", s,

@@ -64,6 +64,7 @@ Verification verify(const topo::Graph& g, int k, bool check_fib) {
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  bench::install_signal_handlers();
   const core::Scenario s = bench::scenario_from(flags);
   bench::print_header(
       "Section 4: Shortest-Union(K) via BGP + VRFs (prototype)", s, flags);

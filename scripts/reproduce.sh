@@ -6,9 +6,14 @@
 #   scripts/reproduce.sh --paper      # the paper's full-scale configuration
 #   scripts/reproduce.sh --jobs=8     # fan experiment cells over 8 workers
 #   scripts/reproduce.sh --tsan       # ThreadSanitizer pass over the
-#                                     # concurrency + fault test suites
+#                                     # concurrency + fault + robustness
+#                                     # test suites
 #   scripts/reproduce.sh --asan       # Address/UB-sanitizer pass over the
 #                                     # full test suite
+#   scripts/reproduce.sh --resume     # re-run after a crash/^C: benches
+#                                     # skip journaled cells and restart
+#                                     # in-flight ones from their last
+#                                     # checkpoint
 #
 # Parallelism: every bench accepts --jobs=N (default: all hardware threads,
 # or the SPINELESS_JOBS environment variable when set) and --intra_jobs=N
@@ -21,6 +26,7 @@ cd "$(dirname "$0")/.."
 
 SCALE_ENV=()
 JOBS_FLAG=()
+RESUME_FLAG=()
 TSAN=0
 ASAN=0
 for arg in "$@"; do
@@ -31,6 +37,10 @@ for arg in "$@"; do
       ;;
     --jobs=*)
       JOBS_FLAG=("$arg")
+      ;;
+    --resume)
+      RESUME_FLAG=(--resume)
+      echo "== resuming: finished cells come from sweep journals =="
       ;;
     --tsan)
       TSAN=1
@@ -43,11 +53,12 @@ done
 
 if [[ "$TSAN" == 1 ]]; then
   # Race detection over everything that spawns threads: the experiment
-  # runner, parallel table construction, the sharded engine, and the fault
-  # subsystem's sharded BFD sessions / incremental repairs.
+  # runner, parallel table construction, the sharded engine, the fault
+  # subsystem's sharded BFD sessions / incremental repairs, and the
+  # checkpoint/watchdog machinery.
   cmake -B build-tsan -G Ninja -DSPINELESS_TSAN=ON
   cmake --build build-tsan
-  ctest --test-dir build-tsan -L 'concurrency|fault' --output-on-failure
+  ctest --test-dir build-tsan -L 'concurrency|fault|robustness' --output-on-failure
   exit 0
 fi
 
@@ -77,7 +88,7 @@ for b in build/bench/*; do
     env "${SCALE_ENV[@]}" "$b" --json=BENCH_micro.json \
       2>/dev/null | tee -a bench_output.txt
   else
-    env "${SCALE_ENV[@]}" "$b" "${JOBS_FLAG[@]}" \
+    env "${SCALE_ENV[@]}" "$b" "${JOBS_FLAG[@]}" "${RESUME_FLAG[@]}" \
       2>/dev/null | tee -a bench_output.txt
   fi
 done

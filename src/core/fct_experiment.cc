@@ -1,5 +1,7 @@
 #include "core/fct_experiment.h"
 
+#include <algorithm>
+
 #include "core/throughput_experiment.h"
 #include "flowsim/flow_level_sim.h"
 #include "sim/sharded_engine.h"
@@ -7,6 +9,62 @@
 #include "util/rng.h"
 
 namespace spineless::core {
+namespace {
+
+// Advances `eng` to `deadline` in segments, checkpointing / auditing /
+// polling the cancel hook at each quiescent boundary. Segmentation does not
+// change results: repeated run_until calls execute the identical event
+// sequence as a single call. Returns false if the cancel hook stopped the
+// run early (after saving a resume point).
+template <typename Engine>
+bool run_with_boundaries(Engine& eng, sim::CheckpointSession& session,
+                         const sim::CheckpointSpec& spec, Time deadline) {
+  if (spec.resume && !spec.path.empty()) session.restore(spec.path, eng);
+  Time step = spec.interval;
+  if (step <= 0) {
+    // No interval given: boundaries only serve the audit/cancel/progress
+    // hooks, so a coarse polling granularity is enough.
+    const bool polls = spec.audit || static_cast<bool>(spec.cancel) ||
+                       static_cast<bool>(spec.progress);
+    step = polls ? std::max<Time>(1, deadline / 64) : deadline;
+  }
+  Time t = eng.now();  // resume point when a snapshot was restored
+  while (t < deadline) {
+    t = std::min<Time>(deadline, t + step);
+    eng.run_until(t);
+    if (spec.progress) spec.progress(eng.events_processed());
+    if (spec.audit) {
+      const sim::AuditReport report = session.audit(eng);
+      if (!report.ok()) throw Error(report.to_string());
+    }
+    if (t >= deadline) break;  // complete: no snapshot needed
+    if (!spec.path.empty()) session.save(spec.path, eng);
+    if (spec.cancel && spec.cancel()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fct_config_hash(const topo::Graph& g, const FctConfig& cfg) {
+  sim::HashChain h;
+  h.mix(cfg.seed)
+      .mix(static_cast<std::uint64_t>(g.num_switches()))
+      .mix(static_cast<std::uint64_t>(g.total_servers()))
+      .mix(static_cast<std::uint64_t>(g.num_links()))
+      .mix(static_cast<std::uint64_t>(cfg.net.mode))
+      .mix(static_cast<std::uint64_t>(cfg.net.su_k))
+      .mix(static_cast<std::uint64_t>(cfg.net.intra_jobs))
+      .mix(static_cast<std::uint64_t>(cfg.net.link_rate_bps))
+      .mix(static_cast<std::uint64_t>(cfg.net.flowlet_gap))
+      .mix(static_cast<std::uint64_t>(cfg.net.ecn_threshold_bytes))
+      .mix(static_cast<std::uint64_t>(cfg.flowgen.window))
+      .mix(static_cast<std::uint64_t>(cfg.flowgen.offered_load_bps))
+      .mix(static_cast<std::uint64_t>(cfg.drain_factor * 1024.0))
+      .mix(static_cast<std::uint64_t>(cfg.random_placement ? 1 : 0))
+      .mix(static_cast<std::uint64_t>(cfg.tcp.dctcp ? 1 : 0));
+  return h.value();
+}
 
 FctResult run_fct_experiment(const topo::Graph& g, const workload::RackTm& tm,
                              const FctConfig& cfg) {
@@ -19,23 +77,38 @@ FctResult run_fct_experiment(const topo::Graph& g, const workload::RackTm& tm,
   sim::FlowDriver driver(net, cfg.tcp);
   const Time deadline = static_cast<Time>(
       static_cast<double>(cfg.flowgen.window) * cfg.drain_factor);
+  const sim::CheckpointSpec& spec = cfg.checkpoint;
 
   std::uint64_t events = 0;
+  bool finished = true;
   if (net.sharded()) {
     sim::ShardedEngine engine(net);
     for (const auto& f : specs)
       driver.add_flow(engine.control(), f.src, f.dst, f.bytes, f.start);
-    engine.run_until(deadline);
+    if (spec.enabled()) {
+      sim::CheckpointSession session(net, fct_config_hash(g, cfg));
+      session.add(&driver);
+      finished = run_with_boundaries(engine, session, spec, deadline);
+    } else {
+      engine.run_until(deadline);
+    }
     events = engine.events_processed();
   } else {
     sim::Simulator simulator;
     for (const auto& f : specs)
       driver.add_flow(simulator, f.src, f.dst, f.bytes, f.start);
-    simulator.run_until(deadline);
+    if (spec.enabled()) {
+      sim::CheckpointSession session(net, fct_config_hash(g, cfg));
+      session.add(&driver);
+      finished = run_with_boundaries(simulator, session, spec, deadline);
+    } else {
+      simulator.run_until(deadline);
+    }
     events = simulator.events_processed();
   }
 
   FctResult r;
+  r.finished = finished;
   r.fct_ms = driver.fct_ms();
   r.flows = driver.num_flows();
   r.completed = driver.completed_flows();

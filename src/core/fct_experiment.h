@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/checkpoint.h"
 #include "sim/network.h"
 #include "sim/tcp.h"
 #include "topo/graph.h"
@@ -26,6 +27,12 @@ struct FctConfig {
   // can finish; flows still incomplete at window * drain_factor are
   // reported as incomplete.
   double drain_factor = 20.0;
+  // Crash-safety hooks: periodic snapshots, resume, the invariant auditor,
+  // and the self-healing runner's cancel/progress callbacks. Disabled by
+  // default (a single uninterrupted run_until — zero overhead). Because
+  // checkpoints land at quiescent engine boundaries, a segmented run is
+  // byte-identical to an uninterrupted one. Not used by the fluid model.
+  sim::CheckpointSpec checkpoint;
 };
 
 struct FctResult {
@@ -38,10 +45,18 @@ struct FctResult {
   std::uint64_t events = 0;
   int intra_jobs = 1;           // shards the cell actually ran with
   double table_build_s = 0.0;   // route-table (re)construction wall time
+  // False when checkpoint.cancel stopped the run early (a checkpoint was
+  // saved; a --resume continues from it). Partial results are not reported.
+  bool finished = true;
 
   double median_ms() const { return fct_ms.median(); }
   double p99_ms() const { return fct_ms.p99(); }
 };
+
+// Everything that determines the reconstructed experiment — seed, topology
+// shape, routing, shard count, workload window — chained into the snapshot
+// config hash. Restore refuses a snapshot whose hash differs.
+std::uint64_t fct_config_hash(const topo::Graph& g, const FctConfig& cfg);
 
 // Runs one (topology, TM, routing) cell of Figure 4. With
 // cfg.net.intra_jobs > 1 the cell runs on the sharded conservative engine

@@ -34,6 +34,32 @@ void DegradationMonitor::on_event(Simulator& sim, std::uint64_t /*ctx*/) {
   if (sim.now() + interval_ <= until_) sim.schedule_after(interval_, this, 0);
 }
 
+void DegradationMonitor::save_state(sim::SnapshotWriter& w) const {
+  w.i64(until_);
+  w.u64(samples_.size());
+  for (const Sample& s : samples_) {
+    w.i64(s.t);
+    w.i64(s.delivered_bytes);
+    w.i64(s.blackhole_drops);
+    w.i64(s.gray_drops);
+    w.i64(s.corrupt_drops);
+    w.i64(s.no_route_drops);
+  }
+}
+
+void DegradationMonitor::load_state(sim::SnapshotReader& r) {
+  until_ = r.i64();
+  samples_.resize(r.u64());
+  for (Sample& s : samples_) {
+    s.t = r.i64();
+    s.delivered_bytes = r.i64();
+    s.blackhole_drops = r.i64();
+    s.gray_drops = r.i64();
+    s.corrupt_drops = r.i64();
+    s.no_route_drops = r.i64();
+  }
+}
+
 double DegradationMonitor::mean_goodput_bps(Time from, Time to) const {
   // The last sample at or before each bound; goodput is the delivered-byte
   // delta over the actual sample-time delta.

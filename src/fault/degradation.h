@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -28,7 +29,7 @@ namespace spineless::fault {
 
 using sim::Simulator;
 
-class DegradationMonitor : public sim::EventSink {
+class DegradationMonitor : public sim::EventSink, public sim::Checkpointable {
  public:
   struct Sample {
     Time t = 0;
@@ -46,6 +47,13 @@ class DegradationMonitor : public sim::EventSink {
   void start(Simulator& sim, Time from, Time until);
 
   void on_event(Simulator& sim, std::uint64_t ctx) override;
+
+  // sim::Checkpointable.
+  void collect_sinks(sim::SinkRegistry& reg) override {
+    reg.add(this, sim::CtxKind::kPlain);
+  }
+  void save_state(sim::SnapshotWriter& w) const override;
+  void load_state(sim::SnapshotReader& r) override;
 
   const std::vector<Sample>& samples() const noexcept { return samples_; }
 

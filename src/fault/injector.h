@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "sim/checkpoint.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -47,7 +48,9 @@ struct FaultInjectorConfig {
   Time repair_delay = 500 * units::kMicrosecond;
 };
 
-class FaultInjector : public sim::EventSink, public sim::HelloHandler {
+class FaultInjector : public sim::EventSink,
+                      public sim::HelloHandler,
+                      public sim::Checkpointable {
  public:
   // Registers itself as the network's hello handler and draws oids for
   // every per-directed-link BFD session — construct in the same order as
@@ -109,6 +112,13 @@ class FaultInjector : public sim::EventSink, public sim::HelloHandler {
   void on_hello(Simulator& sim, const sim::Packet& pkt) override;
   // Global sink: plan actions and detection-driven repairs.
   void on_event(Simulator& sim, std::uint64_t ctx) override;
+
+  // sim::Checkpointable: self, then every (tx, rx) BFD session pair in
+  // construction order. State covers the hold timers, the per-link logs,
+  // and the outage/gray-window records; hello transmitters are stateless.
+  void collect_sinks(sim::SinkRegistry& reg) override;
+  void save_state(sim::SnapshotWriter& w) const override;
+  void load_state(sim::SnapshotReader& r) override;
 
  private:
   class HelloTx;

@@ -1,0 +1,493 @@
+#include "sim/checkpoint.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/network.h"
+#include "sim/sharded_engine.h"
+
+namespace spineless::sim {
+namespace {
+
+// Section tags after the summary, in the order they are written.
+constexpr std::uint32_t kSectionPrio = 0x5052494f;     // "PRIO"
+constexpr std::uint32_t kSectionNet = 0x4e455457;      // "NETW"
+constexpr std::uint32_t kSectionPart = 0x50415254;     // "PART"
+constexpr std::uint32_t kSectionEngine = 0x454e474e;   // "ENGN"
+constexpr std::uint32_t kSectionGlobals = 0x474c424c;  // "GLBL"
+
+// The forwarding path drops at hops > 64 (network.cc); any live packet
+// above that escaped the TTL guard.
+constexpr std::uint64_t kMaxLiveHops = 64;
+
+}  // namespace
+
+void SinkRegistry::add(EventSink* sink, CtxKind kind, int pool_shard) {
+  SPINELESS_CHECK_MSG(sink->has_event_identity(),
+                      "checkpoint: sink registered without a scheduling oid");
+  const std::uint32_t oid = sink->event_oid();
+  const bool inserted = by_oid_.emplace(oid, order_.size()).second;
+  SPINELESS_CHECK_MSG(inserted, "checkpoint: duplicate oid " << oid
+                                    << " in sink registry");
+  order_.push_back(Entry{sink, kind, pool_shard});
+}
+
+const SinkRegistry::Entry& SinkRegistry::by_oid(std::uint32_t oid) const {
+  const auto it = by_oid_.find(oid);
+  SPINELESS_CHECK_MSG(it != by_oid_.end(),
+                      "checkpoint: event for unregistered oid "
+                          << oid << " — an experiment component was not "
+                                    "added to the session");
+  return order_[it->second];
+}
+
+void SinkRegistry::clear_and_reserve(std::size_t n) {
+  order_.clear();
+  by_oid_.clear();
+  order_.reserve(n);
+  by_oid_.reserve(n);
+}
+
+void PacketCodec::write(SnapshotWriter& w, const Packet& p) const {
+  w.i64(static_cast<std::int64_t>(p.src_host));
+  w.i64(static_cast<std::int64_t>(p.dst_host));
+  w.i64(static_cast<std::int64_t>(p.dst_tor));
+  w.i64(p.flow_id);
+  w.i64(p.seq);
+  w.u32(static_cast<std::uint32_t>(p.size_bytes));
+  w.u8(p.is_ack ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(p.vrf));
+  w.u8(p.hops);
+  w.u8(p.ecn_ce ? 1 : 0);
+  w.u8(p.corrupted ? 1 : 0);
+  w.i64(p.ts);
+  w.u8(p.route != nullptr ? 1 : 0);
+  w.u8(p.route_idx);
+}
+
+Packet PacketCodec::read(SnapshotReader& r) const {
+  Packet p;
+  p.src_host = static_cast<topo::HostId>(r.i64());
+  p.dst_host = static_cast<topo::HostId>(r.i64());
+  p.dst_tor = static_cast<topo::NodeId>(r.i64());
+  p.flow_id = static_cast<std::int32_t>(r.i64());
+  p.seq = r.i64();
+  p.size_bytes = static_cast<std::int32_t>(r.u32());
+  p.is_ack = r.u8() != 0;
+  p.vrf = static_cast<std::int8_t>(r.u8());
+  p.hops = r.u8();
+  p.ecn_ce = r.u8() != 0;
+  p.corrupted = r.u8() != 0;
+  p.ts = r.i64();
+  const bool has_route = r.u8() != 0;
+  p.route_idx = r.u8();
+  // The route pointer aims into the owning Network's pinned route store;
+  // re-resolve it by flow instead of serializing an address.
+  if (has_route) p.route = net_.route_for(p.flow_id, p.is_ack);
+  return p;
+}
+
+std::string AuditReport::to_string() const {
+  if (ok()) return "audit: ok";
+  std::ostringstream os;
+  os << "audit: " << violations.size() << " invariant violation(s):";
+  for (const AuditViolation& v : violations)
+    os << "\n  [" << v.invariant << "] " << v.detail;
+  return os.str();
+}
+
+// Uniform access to the one-or-many simulators behind an experiment. Index
+// 0 is the serial simulator or the sharded engine's control simulator;
+// 1..num_shards are the shard heaps.
+struct CheckpointSession::EngineView {
+  Simulator* serial = nullptr;
+  ShardedEngine* sharded = nullptr;
+
+  bool is_sharded() const noexcept { return sharded != nullptr; }
+  int num_sims() const {
+    return serial != nullptr ? 1 : sharded->num_shards() + 1;
+  }
+  Simulator& sim(int i) const {
+    if (serial != nullptr) return *serial;
+    return i == 0 ? sharded->control() : sharded->shard_mut(i - 1);
+  }
+};
+
+CheckpointSession::CheckpointSession(Network& net, std::uint64_t config_hash)
+    : net_(net), config_hash_(config_hash) {}
+
+void CheckpointSession::build_registry() {
+  // Construction order: the Network's own sinks first, then every part in
+  // the order it was added (which must be its construction order).
+  registry_.clear_and_reserve(0);
+  net_.collect_sinks(registry_);
+  for (Checkpointable* part : parts_) part->collect_sinks(registry_);
+}
+
+void CheckpointSession::write_events(
+    SnapshotWriter& w, const PacketCodec& codec,
+    const std::vector<Simulator::Event>& events) const {
+  w.u64(events.size());
+  for (const Simulator::Event& e : events) {
+    const SinkRegistry::Entry& entry = registry_.by_oid(e.sink->event_oid());
+    SPINELESS_CHECK_MSG(entry.sink == e.sink,
+                        "checkpoint: pending event whose sink aliases a "
+                        "registered oid but is not the registered sink");
+    w.i64(e.t);
+    w.u64(e.prio);
+    w.u32(e.sink->event_oid());
+    w.u8(static_cast<std::uint8_t>(entry.kind));
+    if (entry.kind == CtxKind::kPacketNode) {
+      codec.write(w, reinterpret_cast<const PacketNode*>(e.ctx)->pkt);
+    } else {
+      w.u64(e.ctx);
+    }
+  }
+}
+
+std::vector<Simulator::Event> CheckpointSession::read_events(
+    SnapshotReader& r, const PacketCodec& codec) const {
+  std::vector<Simulator::Event> events(r.u64());
+  for (Simulator::Event& e : events) {
+    e.t = r.i64();
+    e.prio = r.u64();
+    const std::uint32_t oid = r.u32();
+    const auto kind = static_cast<CtxKind>(r.u8());
+    const SinkRegistry::Entry& entry = registry_.by_oid(oid);
+    SPINELESS_CHECK_MSG(static_cast<std::uint8_t>(entry.kind) ==
+                            static_cast<std::uint8_t>(kind),
+                        "checkpoint: event ctx kind mismatch for oid " << oid);
+    e.sink = entry.sink;
+    if (kind == CtxKind::kPacketNode) {
+      e.ctx = reinterpret_cast<std::uint64_t>(
+          net_.alloc_restored_node(entry.pool_shard, codec.read(r)));
+    } else {
+      e.ctx = r.u64();
+    }
+  }
+  return events;
+}
+
+void CheckpointSession::save_view(const std::string& path,
+                                  const EngineView& view) {
+  build_registry();
+  const PacketCodec codec(net_);
+  SnapshotWriter w(config_hash_);
+
+  // Summary: the redundant totals the restore path (and the negative
+  // tests) cross-check restored state against. Field order must match
+  // SummaryField.
+  std::uint64_t packet_events = 0;
+  std::uint64_t max_hops = 0;
+  for (int i = 0; i < view.num_sims(); ++i) {
+    for (const Simulator::Event& e : view.sim(i).pending_events()) {
+      const SinkRegistry::Entry& entry =
+          registry_.by_oid(e.sink->event_oid());
+      if (entry.kind != CtxKind::kPacketNode) continue;
+      ++packet_events;
+      max_hops = std::max(
+          max_hops, std::uint64_t{
+                        reinterpret_cast<const PacketNode*>(e.ctx)->pkt.hops});
+    }
+  }
+  std::uint64_t queued_nodes = 0;
+  std::uint64_t queued_bytes = 0;
+  std::uint64_t processed = 0;
+  net_.for_each_link([&](const Link& l) {
+    const Link::QueueAudit a = l.audit_queue();
+    queued_nodes += static_cast<std::uint64_t>(a.nodes);
+    queued_bytes += static_cast<std::uint64_t>(a.bytes);
+    max_hops = std::max(max_hops, static_cast<std::uint64_t>(a.max_hops));
+  });
+  for (int i = 0; i < view.num_sims(); ++i)
+    processed += view.sim(i).events_processed();
+
+  w.begin_section(kSectionSummary);
+  w.u64(static_cast<std::uint64_t>(view.sim(0).now()));  // kSummaryNow
+  w.u64(processed);                                      // kSummaryProcessed
+  w.u64(packet_events);  // kSummaryPacketEvents
+  w.u64(queued_nodes);   // kSummaryQueuedNodes
+  w.u64(queued_bytes);   // kSummaryQueuedBytes
+  w.u64(max_hops);       // kSummaryMaxHops
+  w.end_section();
+
+  // Live priority counters, registry order.
+  w.begin_section(kSectionPrio);
+  w.u64(registry_.size());
+  for (std::size_t i = 0; i < registry_.size(); ++i)
+    w.u64(registry_.at(i).sink->prio_state());
+  w.end_section();
+
+  w.begin_section(kSectionNet);
+  net_.save_state(w, codec);
+  w.end_section();
+
+  for (const Checkpointable* part : parts_) {
+    w.begin_section(kSectionPart);
+    part->save_state(w);
+    w.end_section();
+  }
+
+  for (int i = 0; i < view.num_sims(); ++i) {
+    const Simulator& sim = view.sim(i);
+    w.begin_section(kSectionEngine);
+    w.i64(sim.now());
+    w.u64(sim.events_processed());
+    w.u64(sim.root_prio_state());
+    w.u32(sim.lazy_oid_state());
+    write_events(w, codec, sim.pending_events());
+    w.end_section();
+  }
+
+  if (view.is_sharded()) {
+    w.begin_section(kSectionGlobals);
+    write_events(w, codec, view.sharded->pending_globals());
+    w.end_section();
+  }
+
+  SPINELESS_CHECK_MSG(w.write_file(path),
+                      "checkpoint: failed to write snapshot to " << path);
+}
+
+bool CheckpointSession::restore_view(const std::string& path,
+                                     const EngineView& view) {
+  std::string bytes;
+  if (!SnapshotReader::load_file(path, &bytes)) return false;
+  SnapshotReader r(std::move(bytes));
+  if (r.config_hash() != config_hash_) {
+    throw Error(
+        "checkpoint: snapshot configuration hash does not match this "
+        "experiment (different seed/topology/routing/intra_jobs?)");
+  }
+  build_registry();
+  const PacketCodec codec(net_);
+
+  r.expect_section(kSectionSummary);
+  const std::uint64_t sum_now = r.u64();
+  const std::uint64_t sum_processed = r.u64();
+  const std::uint64_t sum_packet_events = r.u64();
+  const std::uint64_t sum_queued_nodes = r.u64();
+  const std::uint64_t sum_queued_bytes = r.u64();
+  const std::uint64_t sum_max_hops = r.u64();
+  r.end_section();
+
+  r.expect_section(kSectionPrio);
+  SPINELESS_CHECK_MSG(r.u64() == registry_.size(),
+                      "checkpoint: sink count mismatch — the experiment was "
+                      "not reconstructed identically");
+  for (std::size_t i = 0; i < registry_.size(); ++i)
+    registry_.at(i).sink->restore_prio_state(r.u64());
+  r.end_section();
+
+  r.expect_section(kSectionNet);
+  net_.load_state(r, codec);
+  r.end_section();
+
+  for (Checkpointable* part : parts_) {
+    r.expect_section(kSectionPart);
+    part->load_state(r);
+    r.end_section();
+  }
+
+  for (int i = 0; i < view.num_sims(); ++i) {
+    r.expect_section(kSectionEngine);
+    const Time now = r.i64();
+    const std::uint64_t processed = r.u64();
+    const std::uint64_t root_key = r.u64();
+    const std::uint32_t lazy_oid = r.u32();
+    std::vector<Simulator::Event> events = read_events(r, codec);
+    r.end_section();
+    view.sim(i).restore_state(now, processed, root_key, lazy_oid,
+                              std::move(events));
+  }
+
+  if (view.is_sharded()) {
+    r.expect_section(kSectionGlobals);
+    view.sharded->restore_globals(read_events(r, codec));
+    r.end_section();
+  }
+  SPINELESS_CHECK_MSG(r.at_end(), "checkpoint: trailing sections in snapshot");
+
+  // Cross-check the restored state against the snapshot's own summary —
+  // this is what turns a corrupted-but-checksum-valid snapshot (or a state
+  // bug) into a named invariant violation instead of a wrong result.
+  AuditReport report = audit_view(view);
+  const auto violated = [&report](const std::string& invariant,
+                                  const std::string& detail) {
+    report.violations.push_back({invariant, detail});
+  };
+  if (static_cast<std::uint64_t>(view.sim(0).now()) != sum_now) {
+    std::ostringstream os;
+    os << "restored clock " << view.sim(0).now()
+       << " != snapshot summary now " << sum_now;
+    violated("monotonic_event_time", os.str());
+  }
+  std::uint64_t processed = 0;
+  for (int i = 0; i < view.num_sims(); ++i)
+    processed += view.sim(i).events_processed();
+  if (processed != sum_processed) {
+    std::ostringstream os;
+    os << "restored event count " << processed << " != snapshot summary "
+       << sum_processed;
+    violated("monotonic_event_time", os.str());
+  }
+  std::uint64_t packet_events = 0;
+  for (int i = 0; i < view.num_sims(); ++i)
+    for (const Simulator::Event& e : view.sim(i).pending_events())
+      if (registry_.by_oid(e.sink->event_oid()).kind == CtxKind::kPacketNode)
+        ++packet_events;
+  std::uint64_t queued_nodes = 0;
+  std::uint64_t queued_bytes = 0;
+  std::uint64_t max_hops = 0;
+  net_.for_each_link([&](const Link& l) {
+    const Link::QueueAudit a = l.audit_queue();
+    queued_nodes += static_cast<std::uint64_t>(a.nodes);
+    queued_bytes += static_cast<std::uint64_t>(a.bytes);
+    max_hops = std::max(max_hops, static_cast<std::uint64_t>(a.max_hops));
+  });
+  if (packet_events != sum_packet_events ||
+      queued_nodes != sum_queued_nodes) {
+    std::ostringstream os;
+    os << "restored in-flight " << packet_events << " + queued "
+       << queued_nodes << " packets != snapshot summary "
+       << sum_packet_events << " + " << sum_queued_nodes;
+    violated("packet_conservation", os.str());
+  }
+  if (queued_bytes != sum_queued_bytes) {
+    std::ostringstream os;
+    os << "restored queue occupancy " << queued_bytes
+       << " bytes != snapshot summary " << sum_queued_bytes;
+    violated("queue_occupancy", os.str());
+  }
+  if (sum_max_hops > kMaxLiveHops) {
+    std::ostringstream os;
+    os << "snapshot summary max hops " << sum_max_hops
+       << " exceeds the TTL bound " << kMaxLiveHops;
+    violated("ttl", os.str());
+  }
+  if (max_hops > sum_max_hops) {
+    std::ostringstream os;
+    os << "restored packet with " << max_hops
+       << " hops exceeds snapshot summary " << sum_max_hops;
+    violated("ttl", os.str());
+  }
+  if (!report.ok()) throw Error("checkpoint restore: " + report.to_string());
+  return true;
+}
+
+AuditReport CheckpointSession::audit_view(const EngineView& view) {
+  AuditReport report;
+  const auto violated = [&report](const std::string& invariant,
+                                  const std::string& detail) {
+    report.violations.push_back({invariant, detail});
+  };
+
+  // Monotonic event time: every pending event fires at or after its
+  // simulator's clock (all clocks are parked at the same boundary).
+  std::uint64_t packet_events = 0;
+  std::uint64_t max_hops = 0;
+  for (int i = 0; i < view.num_sims(); ++i) {
+    const Simulator& sim = view.sim(i);
+    for (const Simulator::Event& e : sim.pending_events()) {
+      if (e.t < sim.now()) {
+        std::ostringstream os;
+        os << "pending event at t=" << e.t << " is before now=" << sim.now();
+        violated("monotonic_event_time", os.str());
+      }
+      const SinkRegistry::Entry& entry =
+          registry_.by_oid(e.sink->event_oid());
+      if (entry.kind != CtxKind::kPacketNode) continue;
+      ++packet_events;
+      max_hops = std::max(
+          max_hops, std::uint64_t{
+                        reinterpret_cast<const PacketNode*>(e.ctx)->pkt.hops});
+    }
+  }
+
+  // Queue occupancy: per-link byte accounting and busy flags consistent,
+  // totals non-negative.
+  std::uint64_t queued_nodes = 0;
+  std::size_t link_idx = 0;
+  net_.for_each_link([&](const Link& l) {
+    const Link::QueueAudit a = l.audit_queue();
+    queued_nodes += static_cast<std::uint64_t>(a.nodes);
+    max_hops = std::max(max_hops, static_cast<std::uint64_t>(a.max_hops));
+    if (!a.bytes_consistent) {
+      std::ostringstream os;
+      os << "link #" << link_idx << " queued_bytes counter disagrees with "
+         << "its FIFO contents (" << a.bytes << " walked)";
+      violated("queue_occupancy", os.str());
+    }
+    if (!a.busy_consistent) {
+      std::ostringstream os;
+      os << "link #" << link_idx << " busy flag disagrees with its FIFO";
+      violated("queue_occupancy", os.str());
+    }
+    ++link_idx;
+  });
+
+  // Packet conservation: every pool node either sits in a queue or rides a
+  // pending propagation event; created = delivered + dropped + in-flight
+  // holds because delivery and every drop release the node.
+  const std::int64_t in_use = net_.pool_nodes_in_use();
+  if (in_use !=
+      static_cast<std::int64_t>(queued_nodes) +
+          static_cast<std::int64_t>(packet_events)) {
+    std::ostringstream os;
+    os << "pool nodes in use " << in_use << " != queued " << queued_nodes
+       << " + in-flight " << packet_events;
+    violated("packet_conservation", os.str());
+  }
+
+  // TTL: no live packet above the forwarding drop bound — a higher count
+  // means a routing loop escaped the guard.
+  if (max_hops > kMaxLiveHops) {
+    std::ostringstream os;
+    os << "live packet with " << max_hops << " hops exceeds the TTL bound "
+       << kMaxLiveHops;
+    violated("ttl", os.str());
+  }
+  return report;
+}
+
+void CheckpointSession::save(const std::string& path, const Simulator& sim) {
+  EngineView view;
+  // Save only reads; the view is shared with the mutating restore path.
+  view.serial = const_cast<Simulator*>(&sim);
+  save_view(path, view);
+}
+
+void CheckpointSession::save(const std::string& path,
+                             const ShardedEngine& eng) {
+  EngineView view;
+  view.sharded = const_cast<ShardedEngine*>(&eng);
+  save_view(path, view);
+}
+
+bool CheckpointSession::restore(const std::string& path, Simulator& sim) {
+  EngineView view;
+  view.serial = &sim;
+  return restore_view(path, view);
+}
+
+bool CheckpointSession::restore(const std::string& path, ShardedEngine& eng) {
+  EngineView view;
+  view.sharded = &eng;
+  return restore_view(path, view);
+}
+
+AuditReport CheckpointSession::audit(const Simulator& sim) {
+  EngineView view;
+  view.serial = const_cast<Simulator*>(&sim);
+  build_registry();
+  return audit_view(view);
+}
+
+AuditReport CheckpointSession::audit(const ShardedEngine& eng) {
+  EngineView view;
+  view.sharded = const_cast<ShardedEngine*>(&eng);
+  build_registry();
+  return audit_view(view);
+}
+
+}  // namespace spineless::sim

@@ -1,0 +1,180 @@
+// Deterministic checkpoint/restore and the runtime invariant auditor.
+//
+// Design: a snapshot does NOT serialize object graphs. The restore path
+// first *reconstructs* the experiment deterministically (same topology,
+// seed, and construction order — hence the same scheduler oids), then
+// clears the freshly-built heaps (pre-run they hold only setup events with
+// no owned payloads) and loads: every sink's live priority counter, every
+// component's mutable state, and the raw event arrays. Event sinks are
+// named by oid through a SinkRegistry built by walking the experiment in
+// construction order; packet-carrying events (Device arrivals) re-allocate
+// their PacketNode from the receiving shard's pool. Because heap arrays are
+// restored verbatim and priority counters resume mid-stream, a restored
+// run pops, executes, and schedules the exact event sequence an
+// uninterrupted run would — byte-identical results for any intra_jobs.
+//
+// Checkpoints are only taken at quiescent boundaries: between run_until
+// calls on the serial engine, or between ShardedEngine::run_until calls,
+// where every shard heap is parked, every handoff lane is empty, and
+// pending globals sit in the engine's ordered set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "sim/snapshot.h"
+
+namespace spineless::sim {
+
+class Network;
+class ShardedEngine;
+
+// How an event's ctx word is serialized: most sinks carry plain integers
+// (timer ids, link indices, action indices); Device sinks carry an owned
+// PacketNode*, whose Packet value must be serialized and re-allocated.
+enum class CtxKind : std::uint8_t { kPlain = 0, kPacketNode = 1 };
+
+// oid -> sink mapping, built by walking the experiment's components in
+// construction order. The walk order also defines the order per-sink
+// priority counters are serialized in, so it must be identical between the
+// saving run and the restoring run (it is: both are the deterministic
+// construction order).
+class SinkRegistry {
+ public:
+  struct Entry {
+    EventSink* sink = nullptr;
+    CtxKind kind = CtxKind::kPlain;
+    int pool_shard = 0;  // kPacketNode: which pool re-allocations draw from
+  };
+
+  void add(EventSink* sink, CtxKind kind, int pool_shard = 0);
+  std::size_t size() const noexcept { return order_.size(); }
+  const Entry& at(std::size_t i) const { return order_[i]; }
+  // Lookup by oid; CHECK-fails on an unregistered oid (an experiment
+  // component the session was never told about cannot be checkpointed).
+  const Entry& by_oid(std::uint32_t oid) const;
+  void clear_and_reserve(std::size_t n);
+
+ private:
+  std::vector<Entry> order_;
+  std::unordered_map<std::uint32_t, std::size_t> by_oid_;
+};
+
+// Serializes packets, re-resolving the source-route pointer (which is an
+// address into the owning Network) by flow id on read.
+class PacketCodec {
+ public:
+  explicit PacketCodec(Network& net) : net_(net) {}
+  void write(SnapshotWriter& w, const Packet& p) const;
+  Packet read(SnapshotReader& r) const;
+
+ private:
+  Network& net_;
+};
+
+// Anything beyond the Network that owns mutable simulation state and/or
+// event sinks: FlowDriver, FaultInjector, monitors. Implementations must
+// save/load in a fixed field order and register their sinks in
+// construction order.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+  virtual void collect_sinks(SinkRegistry& reg) = 0;
+  virtual void save_state(SnapshotWriter& w) const = 0;
+  virtual void load_state(SnapshotReader& r) = 0;
+};
+
+// One invariant violation found by the auditor, e.g.
+//   invariant = "packet_conservation", detail = "pool in_use 12 != ...".
+struct AuditViolation {
+  std::string invariant;
+  std::string detail;
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  bool ok() const noexcept { return violations.empty(); }
+  std::string to_string() const;
+};
+
+// Experiment-loop knobs threaded through core::FctConfig: where and how
+// often to checkpoint, whether to resume, whether to audit, and the
+// cooperative cancellation / progress hooks the self-healing runner uses.
+struct CheckpointSpec {
+  std::string path;       // empty = no checkpoint file
+  Time interval = 0;      // sim-time between checkpoints; 0 = one segment
+  bool resume = false;    // restore from `path` if it exists
+  bool audit = false;     // run the invariant auditor at each boundary
+  std::function<bool()> cancel;  // polled at boundaries; true = stop early
+  std::function<void(std::uint64_t events)> progress;  // watchdog heartbeat
+
+  bool enabled() const noexcept {
+    return !path.empty() || audit || interval > 0 ||
+           static_cast<bool>(cancel) || static_cast<bool>(progress);
+  }
+};
+
+// Orchestrates save/restore/audit for one experiment: the Network plus any
+// registered Checkpointable parts, against a serial Simulator or a
+// ShardedEngine. config_hash must encode everything that determines the
+// reconstructed experiment (seed, topology, routing mode, intra_jobs...);
+// restore refuses a snapshot whose hash differs.
+class CheckpointSession {
+ public:
+  CheckpointSession(Network& net, std::uint64_t config_hash);
+
+  // Registration order is serialization order; keep it construction order.
+  void add(Checkpointable* part) { parts_.push_back(part); }
+
+  void save(const std::string& path, const Simulator& sim);
+  void save(const std::string& path, const ShardedEngine& eng);
+
+  // False: no snapshot at `path` (start from scratch). Throws on a corrupt
+  // or configuration-mismatched snapshot, and when the restored state
+  // violates the snapshot's own summary invariants (see audit()).
+  bool restore(const std::string& path, Simulator& sim);
+  bool restore(const std::string& path, ShardedEngine& eng);
+
+  // Live invariant checks at a quiescent boundary: packet conservation
+  // (pool in_use == queued nodes + in-flight packet events), monotonic
+  // event time (no pending event before now), non-negative / consistent
+  // queue occupancy, and TTL bounds on every live packet.
+  AuditReport audit(const Simulator& sim);
+  AuditReport audit(const ShardedEngine& eng);
+
+ private:
+  struct EngineView;  // uniform serial/sharded access, see checkpoint.cc
+
+  void build_registry();
+  void save_view(const std::string& path, const EngineView& view);
+  bool restore_view(const std::string& path, const EngineView& view);
+  AuditReport audit_view(const EngineView& view);
+  void write_events(SnapshotWriter& w, const PacketCodec& codec,
+                    const std::vector<Simulator::Event>& events) const;
+  std::vector<Simulator::Event> read_events(SnapshotReader& r,
+                                            const PacketCodec& codec) const;
+
+  Network& net_;
+  std::uint64_t config_hash_;
+  std::vector<Checkpointable*> parts_;
+  SinkRegistry registry_;
+};
+
+// Summary-section field indices, shared with the auditor's negative tests
+// (snapshot_patch_u64 targets these by index).
+inline constexpr std::uint32_t kSectionSummary = 0x53554d4d;  // "SUMM"
+enum SummaryField : std::size_t {
+  kSummaryNow = 0,
+  kSummaryProcessed = 1,
+  kSummaryPacketEvents = 2,
+  kSummaryQueuedNodes = 3,
+  kSummaryQueuedBytes = 4,
+  kSummaryMaxHops = 5,
+};
+
+}  // namespace spineless::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/checkpoint.h"
+
 namespace spineless::sim {
 
 void Link::enqueue(Simulator& sim, const Packet& pkt) {
@@ -98,6 +100,83 @@ void Link::on_event(Simulator& sim, std::uint64_t) {
     start_tx(sim);
   else
     busy_ = false;
+}
+
+void Link::save_state(SnapshotWriter& w, const PacketCodec& codec) const {
+  // Queue contents in FIFO order (head first).
+  std::uint64_t n = 0;
+  for (const PacketNode* p = head_; p != nullptr; p = p->next) ++n;
+  w.u64(n);
+  for (const PacketNode* p = head_; p != nullptr; p = p->next)
+    codec.write(w, p->pkt);
+  w.i64(queued_bytes_);
+  w.u8(busy_ ? 1 : 0);
+  w.u8(down_ ? 1 : 0);
+  w.i64(rate_bps_);  // may be degraded below base_rate_bps_
+  w.u8(gray_ != nullptr ? 1 : 0);
+  if (gray_ != nullptr) {
+    w.f64(gray_->drop_prob);
+    w.f64(gray_->corrupt_prob);
+    w.rng_state(gray_->rng.state());  // mid-stream, NOT the seed
+  }
+  w.i64(stats_.packets_tx);
+  w.i64(stats_.bytes_tx);
+  w.i64(stats_.drops);
+  w.i64(stats_.ecn_marks);
+  w.i64(stats_.max_queue_bytes);
+  w.i64(stats_.down_drops);
+  w.i64(stats_.gray_drops);
+  w.i64(stats_.corrupt_marks);
+}
+
+void Link::load_state(SnapshotReader& r, const PacketCodec& codec) {
+  SPINELESS_CHECK(head_ == nullptr && tail_ == nullptr);
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PacketNode* node = pool_->alloc(codec.read(r));
+    node->next = nullptr;
+    if (tail_ == nullptr) {
+      head_ = tail_ = node;
+    } else {
+      tail_->next = node;
+      tail_ = node;
+    }
+  }
+  queued_bytes_ = r.i64();
+  busy_ = r.u8() != 0;
+  down_ = r.u8() != 0;
+  rate_bps_ = r.i64();
+  memo_size_ = -1;  // wall-clock-free cache; re-derive lazily
+  if (r.u8() != 0) {
+    gray_ = std::make_unique<GrayState>();
+    gray_->drop_prob = r.f64();
+    gray_->corrupt_prob = r.f64();
+    gray_->rng.set_state(r.rng_state());
+  } else {
+    gray_.reset();
+  }
+  stats_.packets_tx = r.i64();
+  stats_.bytes_tx = r.i64();
+  stats_.drops = r.i64();
+  stats_.ecn_marks = r.i64();
+  stats_.max_queue_bytes = r.i64();
+  stats_.down_drops = r.i64();
+  stats_.gray_drops = r.i64();
+  stats_.corrupt_marks = r.i64();
+}
+
+Link::QueueAudit Link::audit_queue() const {
+  QueueAudit a;
+  for (const PacketNode* p = head_; p != nullptr; p = p->next) {
+    ++a.nodes;
+    a.bytes += p->pkt.size_bytes;
+    a.max_hops = std::max(a.max_hops, p->pkt.hops);
+  }
+  a.bytes_consistent = a.bytes == queued_bytes_ && queued_bytes_ >= 0;
+  // An idle link must have an empty FIFO; a busy one must have a head in
+  // transmission.
+  a.busy_consistent = busy_ == (head_ != nullptr);
+  return a;
 }
 
 }  // namespace spineless::sim

@@ -19,6 +19,10 @@
 
 namespace spineless::sim {
 
+class PacketCodec;
+class SnapshotReader;
+class SnapshotWriter;
+
 // Anything that can accept a packet off a link. The device takes ownership
 // of the node: it must either re-enqueue it on another Link or release it
 // back to the pool — this is what lets a packet cross the whole fabric
@@ -106,6 +110,23 @@ class Link : public EventSink {
   // EventSink: serialization of the head packet finished (arrivals are
   // events on the peer Device, not on the Link).
   void on_event(Simulator& sim, std::uint64_t ctx) override;
+
+  // --- Checkpoint support (sim/checkpoint.h) ---
+  void save_state(SnapshotWriter& w, const PacketCodec& codec) const;
+  // Only valid on a freshly-constructed link (empty queue): queued packets
+  // re-allocate from this link's own pool.
+  void load_state(SnapshotReader& r, const PacketCodec& codec);
+
+  // Auditor: recounts the FIFO from the nodes themselves so the cached
+  // aggregates can be cross-checked.
+  struct QueueAudit {
+    std::size_t nodes = 0;
+    std::int64_t bytes = 0;       // recomputed sum of queued sizes
+    std::uint8_t max_hops = 0;    // worst TTL among queued packets
+    bool bytes_consistent = true; // recomputed == queued_bytes_ >= 0
+    bool busy_consistent = true;  // busy_ iff a head packet exists
+  };
+  QueueAudit audit_queue() const;
 
  private:
   struct GrayState {

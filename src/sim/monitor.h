@@ -10,13 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
 
 namespace spineless::sim {
 
-class QueueMonitor : public EventSink {
+class QueueMonitor : public EventSink, public Checkpointable {
  public:
   struct Sample {
     Time t = 0;
@@ -36,6 +37,13 @@ class QueueMonitor : public EventSink {
   void start(Simulator& sim, Time from, Time until);
 
   void on_event(Simulator& sim, std::uint64_t ctx) override;
+
+  // Checkpointable.
+  void collect_sinks(SinkRegistry& reg) override {
+    reg.add(this, CtxKind::kPlain);
+  }
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
   const std::vector<Sample>& samples() const noexcept { return samples_; }
   // Distribution of the per-sample hottest queue, in packets.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "sim/checkpoint.h"
+
 namespace spineless::sim {
 
 // Switch device: forwards by ECMP or VRF tables; local rack traffic goes to
@@ -538,6 +540,150 @@ Network::UtilizationStats Network::utilization_stats(Time elapsed) const {
   s.max = summary.max();
   s.p99 = summary.p99();
   return s;
+}
+
+void Network::FlowletTable::save_state(SnapshotWriter& w) const {
+  w.u64(slots_.size());
+  w.u64(size_);
+  for (const Slot& s : slots_) {
+    w.i64(s.flow);
+    w.i64(s.state.last);
+    w.u32(s.state.id);
+  }
+}
+
+void Network::FlowletTable::load_state(SnapshotReader& r) {
+  slots_.assign(r.u64(), Slot{});
+  size_ = r.u64();
+  for (Slot& s : slots_) {
+    s.flow = static_cast<std::int32_t>(r.i64());
+    s.state.last = r.i64();
+    s.state.id = r.u32();
+  }
+}
+
+void Network::collect_sinks(SinkRegistry& reg) {
+  // Mirror of the constructor's (and schedule_link_failure's) oid
+  // assignment order.
+  for (NodeId n = 0; n < graph_.num_switches(); ++n)
+    reg.add(&switches_[static_cast<std::size_t>(n)], CtxKind::kPacketNode,
+            shard_of_switch(n));
+  for (HostId h = 0; h < graph_.total_servers(); ++h)
+    reg.add(&hosts_[static_cast<std::size_t>(h)], CtxKind::kPacketNode,
+            shard_of_host(h));
+  for (Link& l : net_links_) reg.add(&l, CtxKind::kPlain);
+  for (HostId h = 0; h < graph_.total_servers(); ++h) {
+    reg.add(&host_up_[static_cast<std::size_t>(h)], CtxKind::kPlain);
+    reg.add(&host_down_[static_cast<std::size_t>(h)], CtxKind::kPlain);
+  }
+  for (const auto& ev : failure_events_) reg.add(ev.get(), CtxKind::kPlain);
+}
+
+namespace {
+
+void save_link_set(SnapshotWriter& w, const routing::LinkSet& set,
+                   topo::LinkId num_links) {
+  // LinkSet has no iteration — membership-scan the (small) id space.
+  w.u64(set.size());
+  for (topo::LinkId l = 0; l < num_links; ++l)
+    if (set.contains(l)) w.i64(l);
+}
+
+routing::LinkSet load_link_set(SnapshotReader& r) {
+  routing::LinkSet set;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i)
+    set.insert(static_cast<topo::LinkId>(r.i64()));
+  return set;
+}
+
+void save_net_stats(SnapshotWriter& w, const Network::NetStats& s) {
+  w.i64(s.queue_drops);
+  w.i64(s.ttl_drops);
+  w.i64(s.no_route_drops);
+  w.i64(s.delivered);
+  w.i64(s.blackhole_drops);
+  w.i64(s.gray_drops);
+  w.i64(s.corrupt_drops);
+  w.i64(s.delivered_bytes);
+}
+
+void load_net_stats(SnapshotReader& r, Network::NetStats* s) {
+  s->queue_drops = r.i64();
+  s->ttl_drops = r.i64();
+  s->no_route_drops = r.i64();
+  s->delivered = r.i64();
+  s->blackhole_drops = r.i64();
+  s->gray_drops = r.i64();
+  s->corrupt_drops = r.i64();
+  s->delivered_bytes = r.i64();
+}
+
+}  // namespace
+
+void Network::save_state(SnapshotWriter& w, const PacketCodec& codec) const {
+  // Shape guards: a snapshot from a different topology/config must fail
+  // loudly at load, not misalign silently.
+  w.u64(static_cast<std::uint64_t>(graph_.num_switches()));
+  w.u64(static_cast<std::uint64_t>(graph_.total_servers()));
+  w.u64(static_cast<std::uint64_t>(graph_.num_links()));
+  w.u32(next_oid_);
+  for (const ShardStats& stripe : shard_stats_) save_net_stats(w, stripe.s);
+  for (const Link& l : net_links_) l.save_state(w, codec);
+  for (const Link& l : host_up_) l.save_state(w, codec);
+  for (const Link& l : host_down_) l.save_state(w, codec);
+  save_link_set(w, down_links_, graph_.num_links());
+  save_link_set(w, installed_dead_, graph_.num_links());
+  w.u64(pending_repair_.size());
+  for (const topo::LinkId l : pending_repair_) w.i64(l);
+  w.u64(flowlets_.size());
+  for (const FlowletTable& t : flowlets_) t.save_state(w);
+  w.u64(traces_.size());
+  for (const routing::Path& p : traces_) {
+    w.u64(p.size());
+    for (const NodeId n : p) w.i64(n);
+  }
+}
+
+void Network::load_state(SnapshotReader& r, const PacketCodec& codec) {
+  SPINELESS_CHECK_MSG(
+      r.u64() == static_cast<std::uint64_t>(graph_.num_switches()) &&
+          r.u64() == static_cast<std::uint64_t>(graph_.total_servers()) &&
+          r.u64() == static_cast<std::uint64_t>(graph_.num_links()),
+      "snapshot topology shape does not match this network");
+  SPINELESS_CHECK_MSG(r.u32() == next_oid_,
+                      "snapshot oid space does not match — the experiment "
+                      "was not reconstructed identically");
+  for (ShardStats& stripe : shard_stats_) load_net_stats(r, &stripe.s);
+  for (Link& l : net_links_) l.load_state(r, codec);
+  for (Link& l : host_up_) l.load_state(r, codec);
+  for (Link& l : host_down_) l.load_state(r, codec);
+  const routing::LinkSet down = load_link_set(r);
+  const routing::LinkSet installed = load_link_set(r);
+  std::vector<topo::LinkId> pending(r.u64());
+  for (topo::LinkId& l : pending) l = static_cast<topo::LinkId>(r.i64());
+  // Forwarding tables are rebuilt (deterministic functions of graph +
+  // installed dead set), not serialized; the wall time this takes lands in
+  // table_build_s_, which is excluded from byte-identity comparisons.
+  if (!installed.empty()) rebuild_tables(&installed);
+  down_links_ = down;
+  pending_repair_ = std::move(pending);
+  const std::uint64_t n_flowlets = r.u64();
+  SPINELESS_CHECK(n_flowlets == flowlets_.size());
+  for (FlowletTable& t : flowlets_) t.load_state(r);
+  traces_.resize(r.u64());
+  for (routing::Path& p : traces_) {
+    p.resize(r.u64());
+    for (NodeId& n : p) n = static_cast<NodeId>(r.i64());
+  }
+}
+
+const routing::Path* Network::route_for(std::int32_t flow_id,
+                                        bool is_ack) const {
+  const auto idx = static_cast<std::size_t>(flow_id);
+  SPINELESS_CHECK_MSG(idx < routes_.size() && routes_[idx] != nullptr,
+                      "restored packet references an unknown source route");
+  return is_ack ? &routes_[idx]->reverse : &routes_[idx]->forward;
 }
 
 std::int64_t Network::max_network_queue_bytes() const {

@@ -29,6 +29,8 @@
 
 namespace spineless::sim {
 
+class SinkRegistry;
+
 using topo::Graph;
 using topo::HostId;
 using topo::NodeId;
@@ -239,6 +241,36 @@ class Network {
   // indexing as link_utilization). Sampled by sim::QueueMonitor.
   std::vector<std::int64_t> queue_occupancy() const;
 
+  // --- Checkpoint support (sim/checkpoint.h) ---
+  // Registers every event sink the Network owns, in oid order (the same
+  // order the constructor and schedule_link_failure assigned them).
+  void collect_sinks(SinkRegistry& reg);
+  // Serializes / restores all mutable network state: link queues and
+  // stats, physical/routed-out link state (tables are rebuilt from it, not
+  // serialized), gray RNG streams, flowlet tables, stats stripes, traces.
+  // load_state is only valid on a freshly-reconstructed Network.
+  void save_state(SnapshotWriter& w, const PacketCodec& codec) const;
+  void load_state(SnapshotReader& r, const PacketCodec& codec);
+  // The pinned source route a restored in-flight packet points at.
+  const routing::Path* route_for(std::int32_t flow_id, bool is_ack) const;
+  // Re-allocates a restored in-flight packet's node from the pool its oid
+  // owner drains into (only the per-pool in_use skew depends on the shard).
+  PacketNode* alloc_restored_node(int pool_shard, const Packet& p) {
+    return pools_[static_cast<std::size_t>(pool_shard)]->alloc(p);
+  }
+  // Auditor accessors: total pool occupancy and a walk over every link.
+  std::int64_t pool_nodes_in_use() const {
+    std::int64_t n = 0;
+    for (const auto& p : pools_) n += p->in_use();
+    return n;
+  }
+  template <typename Fn>
+  void for_each_link(Fn&& fn) const {
+    for (const Link& l : net_links_) fn(l);
+    for (const Link& l : host_up_) fn(l);
+    for (const Link& l : host_down_) fn(l);
+  }
+
   // Per-directed-link utilization over [0, elapsed]: bytes transmitted /
   // (rate x elapsed). Index 2l = a->b of topology link l, 2l+1 = b->a.
   // Useful for spotting hash imbalance and transit hot spots.
@@ -335,6 +367,11 @@ class Network {
     // Finds or inserts the state for `flow`. References are invalidated
     // by the next call (the table may grow).
     FlowletState& operator[](std::int32_t flow);
+
+    // Checkpoint support: the slot array round-trips verbatim so probe
+    // sequences (and thus flowlet ids) after restore match exactly.
+    void save_state(SnapshotWriter& w) const;
+    void load_state(SnapshotReader& r);
 
    private:
     struct Slot {

@@ -63,6 +63,18 @@ void ShardedEngine::post_global(std::int32_t src_shard, const RoutedEvent& e) {
   global_inbox_.push_back(ev);
 }
 
+std::vector<Simulator::Event> ShardedEngine::pending_globals() const {
+  SPINELESS_CHECK(global_inbox_.empty());  // quiescent boundary only
+  return {globals_.begin(), globals_.end()};
+}
+
+void ShardedEngine::restore_globals(
+    const std::vector<Simulator::Event>& events) {
+  SPINELESS_CHECK(global_inbox_.empty());
+  globals_.clear();
+  for (const Simulator::Event& e : events) globals_.insert(e);
+}
+
 std::uint64_t ShardedEngine::events_processed() const {
   std::uint64_t n = control_.events_processed();
   for (const auto& sim : sims_) n += sim->events_processed();

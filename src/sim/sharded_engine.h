@@ -76,6 +76,18 @@ class ShardedEngine : public ShardRouter {
   int num_shards() const noexcept { return num_shards_; }
   const Simulator& shard(int s) const { return *sims_[static_cast<std::size_t>(s)]; }
 
+  // --- Checkpoint support (sim/checkpoint.h). All of these are only
+  // valid between run_until calls: the workers are parked (run_until's
+  // done_count_ acquire-wait ordered their last writes before our reads),
+  // every lane is empty, and every clock sits at the last deadline. ---
+  const Simulator& control() const noexcept { return control_; }
+  Simulator& shard_mut(int s) { return *sims_[static_cast<std::size_t>(s)]; }
+  Time now() const noexcept { return control_.now(); }
+  // Pending global events in key order (the engine's ordered set, which
+  // push/pop order reconstructs exactly).
+  std::vector<Simulator::Event> pending_globals() const;
+  void restore_globals(const std::vector<Simulator::Event>& events);
+
   // ShardRouter:
   void post(std::int32_t src_shard, std::int32_t dst_shard,
             const RoutedEvent& e) override;

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/error.h"
@@ -65,6 +66,21 @@ class EventSink {
     shard_ = shard;
   }
   std::int32_t shard() const noexcept { return shard_; }
+
+  // --- Checkpoint support (sim/checkpoint.h) ---
+  // A sink's identity (oid) names it across save/restore: the restore path
+  // rebuilds the experiment in the same construction order, so equal oids
+  // mean "the same entity". The raw key (oid + live counter) must round-
+  // trip so a restored scheduler hands out the exact priorities an
+  // uninterrupted run would.
+  bool has_event_identity() const noexcept {
+    return prio_key_ != kPrioUnassigned;
+  }
+  std::uint32_t event_oid() const noexcept {
+    return static_cast<std::uint32_t>(prio_key_ >> kPrioCounterBits);
+  }
+  std::uint64_t prio_state() const noexcept { return prio_key_; }
+  void restore_prio_state(std::uint64_t key) noexcept { prio_key_ = key; }
 
  private:
   friend class Simulator;
@@ -181,6 +197,30 @@ class Simulator {
   // simulator) as if it had been popped from the heap: advances now(),
   // counts it, and attributes scheduling done inside to the sink.
   void dispatch_external(const Event& e);
+
+  // --- Checkpoint support (sim/checkpoint.h) ---
+  // The raw pending-event array, in heap (array) order. Serializing and
+  // restoring it verbatim preserves the exact pop order, which is what
+  // makes restore + continue byte-identical. Only valid while quiescent
+  // (between runs).
+  const std::vector<Event>& pending_events() const noexcept { return heap_; }
+  std::uint64_t root_prio_state() const noexcept { return root_key_; }
+  std::uint32_t lazy_oid_state() const noexcept { return lazy_oid_; }
+
+  // Replaces the full engine state on a freshly-constructed experiment.
+  // The pre-run heap holds only setup events (no owned payloads), so
+  // dropping it is leak-free; the restored heap array is installed as-is.
+  void restore_state(Time now, std::uint64_t processed,
+                     std::uint64_t root_key, std::uint32_t lazy_oid,
+                     std::vector<Event> heap) {
+    SPINELESS_CHECK(!top_hole_);
+    heap_ = std::move(heap);
+    now_ = now;
+    processed_ = processed;
+    root_key_ = root_key;
+    lazy_oid_ = lazy_oid;
+    cur_key_ = &root_key_;
+  }
 
  private:
   std::uint64_t next_prio() {

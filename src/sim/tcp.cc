@@ -244,6 +244,91 @@ void TcpSink::on_packet(Simulator& sim, const Packet& data) {
   net_.inject_from_host(sim, ack);
 }
 
+void TcpSource::save_state(SnapshotWriter& w) const {
+  w.i64(snd_next_);
+  w.i64(cum_);
+  w.f64(cwnd_);
+  w.f64(ssthresh_);
+  w.u32(static_cast<std::uint32_t>(dupacks_));
+  w.u8(in_recovery_ ? 1 : 0);
+  w.i64(recover_);
+  w.f64(dctcp_alpha_);
+  w.i64(dctcp_marked_);
+  w.i64(dctcp_acked_);
+  w.i64(dctcp_window_end_);
+  w.i64(srtt_);
+  w.i64(rttvar_);
+  w.i64(rto_);
+  w.u32(static_cast<std::uint32_t>(backoff_));
+  w.i64(rto_deadline_);
+  w.u64(pending_fires_.size());
+  for (Time t : pending_fires_) w.i64(t);
+  w.i64(record_.start);
+  w.i64(record_.finish);
+  w.i64(record_.retransmits);
+  w.i64(record_.timeouts);
+  w.u8(started_ ? 1 : 0);
+  sink_->save_state(w);
+}
+
+void TcpSource::load_state(SnapshotReader& r) {
+  snd_next_ = r.i64();
+  cum_ = r.i64();
+  cwnd_ = r.f64();
+  ssthresh_ = r.f64();
+  dupacks_ = static_cast<int>(r.u32());
+  in_recovery_ = r.u8() != 0;
+  recover_ = r.i64();
+  dctcp_alpha_ = r.f64();
+  dctcp_marked_ = r.i64();
+  dctcp_acked_ = r.i64();
+  dctcp_window_end_ = r.i64();
+  srtt_ = r.i64();
+  rttvar_ = r.i64();
+  rto_ = r.i64();
+  backoff_ = static_cast<int>(r.u32());
+  rto_deadline_ = r.i64();
+  pending_fires_.clear();
+  const std::uint64_t fires = r.u64();
+  pending_fires_.reserve(fires);
+  for (std::uint64_t i = 0; i < fires; ++i) pending_fires_.push_back(r.i64());
+  record_.start = r.i64();
+  record_.finish = r.i64();
+  record_.retransmits = r.i64();
+  record_.timeouts = r.i64();
+  started_ = r.u8() != 0;
+  sink_->load_state(r);
+}
+
+void TcpSink::save_state(SnapshotWriter& w) const {
+  w.i64(next_expected_);
+  w.u64(received_.size());
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < received_.size(); ++i) {
+    if (received_[i]) word |= std::uint64_t{1} << (i % 64);
+    if (i % 64 == 63) {
+      w.u64(word);
+      word = 0;
+    }
+  }
+  if (received_.size() % 64 != 0) w.u64(word);
+  w.i64(static_cast<std::int64_t>(ack_dst_));
+  w.i64(static_cast<std::int64_t>(ack_tor_));
+}
+
+void TcpSink::load_state(SnapshotReader& r) {
+  next_expected_ = r.i64();
+  const std::uint64_t n = r.u64();
+  received_.assign(n, false);
+  std::uint64_t word = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (i % 64 == 0) word = r.u64();
+    received_[i] = ((word >> (i % 64)) & 1) != 0;
+  }
+  ack_dst_ = static_cast<topo::HostId>(r.i64());
+  ack_tor_ = static_cast<topo::NodeId>(r.i64());
+}
+
 std::int32_t FlowDriver::add_flow(Simulator& sim, topo::HostId src,
                                   topo::HostId dst, std::int64_t bytes,
                                   Time start) {
@@ -252,6 +337,24 @@ std::int32_t FlowDriver::add_flow(Simulator& sim, topo::HostId src,
       std::make_unique<TcpSource>(net_, id, src, dst, bytes, cfg_));
   flows_.back()->start_at(sim, start);
   return id;
+}
+
+void FlowDriver::collect_sinks(SinkRegistry& reg) {
+  // Source timers carry plain ctx words (kStartCtx / kRtoCtx); sinks are
+  // Endpoints, not EventSinks, so the sources are the only entries.
+  for (auto& f : flows_) reg.add(f.get(), CtxKind::kPlain);
+}
+
+void FlowDriver::save_state(SnapshotWriter& w) const {
+  w.u64(flows_.size());
+  for (const auto& f : flows_) f->save_state(w);
+}
+
+void FlowDriver::load_state(SnapshotReader& r) {
+  SPINELESS_CHECK_MSG(
+      r.u64() == flows_.size(),
+      "snapshot flow count does not match the reconstructed workload");
+  for (auto& f : flows_) f->load_state(r);
 }
 
 std::size_t FlowDriver::completed_flows() const {

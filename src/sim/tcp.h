@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/checkpoint.h"
 #include "sim/network.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
@@ -70,6 +71,12 @@ class TcpSource : public EventSink, public Endpoint {
   void on_event(Simulator& sim, std::uint64_t ctx) override;
 
   double dctcp_alpha() const noexcept { return dctcp_alpha_; }
+
+  // Checkpoint support: fixed-order dump of the full sender state plus the
+  // paired sink's reassembly state. load_state is only valid on a flow that
+  // was reconstructed identically (same id/src/dst/bytes/config).
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   void send_available(Simulator& sim);
@@ -136,6 +143,10 @@ class TcpSink : public Endpoint {
   void on_packet(Simulator& sim, const Packet& data) override;
   std::int64_t cumulative() const noexcept { return next_expected_; }
 
+  // Checkpoint support (driven by the owning TcpSource).
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
+
  private:
   Network& net_;
   std::int32_t flow_id_;
@@ -148,13 +159,18 @@ class TcpSink : public Endpoint {
 };
 
 // Builds sources for a whole workload and summarizes FCTs.
-class FlowDriver {
+class FlowDriver : public Checkpointable {
  public:
   FlowDriver(Network& net, const TcpConfig& cfg) : net_(net), cfg_(cfg) {}
 
   // Adds a flow; returns its id (dense, in insertion order).
   std::int32_t add_flow(Simulator& sim, topo::HostId src, topo::HostId dst,
                         std::int64_t bytes, Time start);
+
+  // Checkpointable: flows in construction (id) order.
+  void collect_sinks(SinkRegistry& reg) override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
   std::size_t num_flows() const noexcept { return flows_.size(); }
   std::size_t completed_flows() const;

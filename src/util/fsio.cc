@@ -1,0 +1,77 @@
+#include "util/fsio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace spineless::util {
+namespace {
+
+// Flush a stdio stream all the way to disk. fflush pushes the user-space
+// buffer into the kernel; fsync pushes the kernel's cache to the device.
+bool flush_and_sync(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+  return ::fsync(::fileno(f)) == 0;
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, const std::string& contents) {
+  // The temp file must live in the same directory as the target: rename()
+  // is only atomic within a filesystem. The pid suffix keeps concurrent
+  // processes (e.g. a sweep and its kill-resume twin in tests) from
+  // clobbering each other's temp files.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), f) ==
+                contents.size();
+  ok = ok && flush_and_sync(f);
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void remove_file(const std::string& path) { ::unlink(path.c_str()); }
+
+bool append_line_durable(const std::string& path, const std::string& line) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return false;
+  bool ok = line.empty() ||
+            std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  if (ok && (line.empty() || line.back() != '\n'))
+    ok = std::fputc('\n', f) != EOF;
+  ok = ok && flush_and_sync(f);
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace spineless::util

@@ -1,0 +1,33 @@
+// Crash-safe file I/O helpers shared by the bench artifact writers, the
+// sweep journal, and the checkpoint subsystem.
+//
+// atomic_write_file is the core primitive: write to a temp file in the
+// destination directory, fsync, then rename() over the target, so a reader
+// (or a resumed run) either sees the old complete file or the new complete
+// file — never a truncated one.
+#pragma once
+
+#include <string>
+
+namespace spineless::util {
+
+// Atomically replaces `path` with `contents` (temp file + fsync + rename).
+// Returns false on any I/O failure; the target is left untouched then.
+bool atomic_write_file(const std::string& path, const std::string& contents);
+
+// Reads the whole file into *out. Returns false if it cannot be opened.
+bool read_file(const std::string& path, std::string* out);
+
+// True if `path` exists (as any file type).
+bool file_exists(const std::string& path);
+
+// Removes `path`; missing files are not an error.
+void remove_file(const std::string& path);
+
+// Appends `line` (a trailing '\n' is added if absent) to `path` and fsyncs
+// before returning, so a completed append survives a crash. A single short
+// append is atomic on POSIX, which is what the sweep journal relies on.
+// Returns false on any I/O failure.
+bool append_line_durable(const std::string& path, const std::string& line);
+
+}  // namespace spineless::util

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/fsio.h"
+
 namespace spineless {
 
 void JsonWriter::comma() {
@@ -128,12 +130,9 @@ void JsonWriter::value(std::int64_t v) {
 }
 
 bool write_json_file(const std::string& path, const JsonWriter& writer) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string& s = writer.str();
-  const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size() &&
-                  std::fputc('\n', f) != EOF;
-  return std::fclose(f) == 0 && ok;
+  // Temp-file + rename: a run killed mid-write never leaves a truncated
+  // BENCH_*.json behind, and --resume readers see old-or-new, never half.
+  return util::atomic_write_file(path, writer.str() + "\n");
 }
 
 }  // namespace spineless

@@ -42,8 +42,9 @@ class JsonWriter {
   bool need_comma_ = false;
 };
 
-// Writes `writer`'s document to `path` (+ trailing newline). Returns false
-// (and leaves no partial file guarantees) if the file cannot be written.
+// Atomically writes `writer`'s document to `path` (+ trailing newline) via
+// util::atomic_write_file, so readers never observe a truncated document.
+// Returns false (target untouched) if the file cannot be written.
 bool write_json_file(const std::string& path, const JsonWriter& writer);
 
 }  // namespace spineless

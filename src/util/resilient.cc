@@ -1,0 +1,90 @@
+#include "util/resilient.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace spineless::util {
+namespace {
+
+const std::chrono::steady_clock::time_point kEpoch =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+double monotonic_s() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       kEpoch)
+      .count();
+}
+
+double RetryPolicy::backoff_for(int attempt) const noexcept {
+  double s = backoff_base_s;
+  for (int i = 1; i < attempt && s < backoff_cap_s; ++i) s *= 2;
+  return std::min(s, backoff_cap_s);
+}
+
+void CellSlot::begin_attempt() noexcept {
+  token.reset();
+  const double now = monotonic_s();
+  started_s_.store(now, std::memory_order_release);
+  beat_s_.store(now, std::memory_order_release);
+  progress_.store(0, std::memory_order_release);
+  active_.store(true, std::memory_order_release);
+}
+
+void CellSlot::end_attempt() noexcept {
+  active_.store(false, std::memory_order_release);
+}
+
+void CellSlot::heartbeat(std::uint64_t progress) noexcept {
+  // Only *advancing* progress refreshes the beat: a cell spinning at a
+  // frozen event count is exactly what the progress timeout exists for.
+  if (progress > progress_.load(std::memory_order_acquire)) {
+    progress_.store(progress, std::memory_order_release);
+    beat_s_.store(monotonic_s(), std::memory_order_release);
+  }
+}
+
+Watchdog::Watchdog(std::size_t cells, const RetryPolicy& policy)
+    : policy_(policy),
+      n_(cells),
+      slots_(std::make_unique<CellSlot[]>(cells)) {
+  if (policy_.has_watchdog() && cells > 0)
+    thread_ = std::thread([this] { scan_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::scan_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const double now = monotonic_s();
+    for (std::size_t i = 0; i < n_; ++i) {
+      CellSlot& s = slots_[i];
+      if (!s.active()) continue;
+      const bool wall_over = policy_.wall_timeout_s > 0 &&
+                             now - s.started_s() > policy_.wall_timeout_s;
+      const bool stuck = policy_.progress_timeout_s > 0 &&
+                         now - s.last_beat_s() > policy_.progress_timeout_s;
+      if (wall_over || stuck) s.token.cancel();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+namespace detail {
+
+bool interruptible_sleep(double seconds, const RetryPolicy& policy) {
+  const double until = monotonic_s() + seconds;
+  while (monotonic_s() < until) {
+    if (policy.interrupted && policy.interrupted()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return !(policy.interrupted && policy.interrupted());
+}
+
+}  // namespace detail
+
+}  // namespace spineless::util

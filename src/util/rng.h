@@ -5,6 +5,7 @@
 // every experiment is reproducible from a single 64-bit seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -98,6 +99,15 @@ class Rng {
   // Sample k distinct indices from [0, n) (k <= n), in random order.
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
+
+  // Checkpoint support: a restored stream must resume mid-sequence, not
+  // re-seed, or every post-restore draw diverges from an uninterrupted run.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -140,9 +140,20 @@ void Runner::work(std::size_t slot) {
   while (try_take(slot, &index)) {
     try {
       (*body_)(index);
+    } catch (const std::exception& e) {
+      // Attribute the failure to its cell: the batch keeps draining (every
+      // remaining cell still runs) and run_batch rethrows the first error
+      // with the cell id attached so a sweep failure names the culprit.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_)
+        first_error_ = std::make_exception_ptr(Error(
+            "cell " + std::to_string(index) + " failed: " + e.what()));
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!first_error_)
+        first_error_ = std::make_exception_ptr(
+            Error("cell " + std::to_string(index) +
+                  " failed: unknown exception"));
     }
     bool drained;
     {
