@@ -20,6 +20,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <utility>
@@ -486,10 +487,27 @@ class ResumableSweep {
 
   // After a sweep completes (every cell ok or permanently failed — not
   // interrupted), its results live in the BENCH JSON; drop the recovery
-  // artifacts so a later run starts clean.
+  // artifacts so a later run starts clean. Beyond the cell checkpoints
+  // themselves, a SIGKILL can land inside atomic_write_file and orphan a
+  // "<ckpt>.tmp.<pid>" temp file whose pid belongs to the dead run, so
+  // sweep the directory for anything prefixed by the journal name.
   void finish(std::size_t n) {
     for (std::size_t i = 0; i < n; ++i)
       util::remove_file(checkpoint_path(i));
+    namespace fs = std::filesystem;
+    const fs::path journal(journal_.path());
+    const fs::path dir =
+        journal.has_parent_path() ? journal.parent_path() : fs::path(".");
+    const std::string prefix = journal.filename().string() + ".";
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      const std::string name = it->path().filename().string();
+      if (name.compare(0, prefix.size(), prefix) == 0) {
+        std::error_code rm_ec;  // best-effort: a lost race is fine
+        fs::remove(it->path(), rm_ec);
+      }
+    }
     journal_.remove();
   }
 

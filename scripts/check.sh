@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# One-shot CI gate: configure + build (warnings are errors), static
+# analysis (ctest -L lint, with the machine-readable findings written to
+# lint_findings.json for CI to consume), then the full tier-1 test suite.
+#
+#   scripts/check.sh              # the whole gate
+#   scripts/check.sh --no-werror  # triage mode for new toolchains
+#
+# Exits non-zero on the first failing stage. The lint stage runs before
+# the (much slower) test suite so a determinism hazard fails in seconds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WERROR=ON
+for arg in "$@"; do
+  case "$arg" in
+    --no-werror)
+      WERROR=OFF
+      ;;
+    *)
+      echo "usage: scripts/check.sh [--no-werror]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "== configure + build (SPINELESS_WERROR=$WERROR) =="
+cmake -B build -G Ninja -DSPINELESS_WERROR="$WERROR"
+cmake --build build
+
+echo "== static checks (spineless_lint) =="
+# The JSON artifact is written even when the run is clean, so CI always
+# has a machine-readable record; the exit code is the gate.
+./build/tools/lint/spineless_lint --root=. --json=lint_findings.json
+ctest --test-dir build -L lint --output-on-failure
+
+echo "== tier-1 test suite =="
+ctest --test-dir build --output-on-failure
+
+echo "check.sh: all gates green (findings: lint_findings.json)"

@@ -10,6 +10,10 @@
 #                                     # test suites
 #   scripts/reproduce.sh --asan       # Address/UB-sanitizer pass over the
 #                                     # full test suite
+#   scripts/reproduce.sh --ubsan      # UBSan-only pass (trap-on-UB, no
+#                                     # ASAN overhead) over the
+#                                     # concurrency + fault + robustness
+#                                     # suites
 #   scripts/reproduce.sh --resume     # re-run after a crash/^C: benches
 #                                     # skip journaled cells and restart
 #                                     # in-flight ones from their last
@@ -29,6 +33,7 @@ JOBS_FLAG=()
 RESUME_FLAG=()
 TSAN=0
 ASAN=0
+UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --paper)
@@ -48,6 +53,9 @@ for arg in "$@"; do
     --asan)
       ASAN=1
       ;;
+    --ubsan)
+      UBSAN=1
+      ;;
   esac
 done
 
@@ -59,6 +67,17 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -G Ninja -DSPINELESS_TSAN=ON
   cmake --build build-tsan
   ctest --test-dir build-tsan -L 'concurrency|fault|robustness' --output-on-failure
+  exit 0
+fi
+
+if [[ "$UBSAN" == 1 ]]; then
+  # UBSan alone (SPINELESS_UBSAN, -fno-sanitize-recover=all) over the same
+  # label set as the TSAN pass: cheap enough to run routinely, and the
+  # trap-on-UB build catches signed-overflow / misaligned-load bugs the
+  # combined ASAN preset would only warn about.
+  cmake -B build-ubsan -G Ninja -DSPINELESS_UBSAN=ON
+  cmake --build build-ubsan
+  ctest --test-dir build-ubsan -L 'concurrency|fault|robustness' --output-on-failure
   exit 0
 fi
 

@@ -62,6 +62,10 @@ class SinkRegistry {
 
  private:
   std::vector<Entry> order_;
+  // Lookup-only index (spineless-unordered-iteration triage): every
+  // ordered walk goes over order_, which is construction order; by_oid_ is
+  // only probed point-wise via find(), so its hash order can never reach
+  // event order or snapshot bytes. Iterating it would trip the lint rule.
   std::unordered_map<std::uint32_t, std::size_t> by_oid_;
 };
 

@@ -1,0 +1,14 @@
+// Fixture: pointer-keyed ordered containers spineless-pointer-ordering
+// must flag — iteration order is allocation-address order.
+#include <map>
+#include <set>
+
+struct Flow {
+  int id = 0;
+};
+
+using FlowOrder = std::set<Flow*>;
+
+std::map<const Flow*, int> bad_weights;
+
+int size_of(const FlowOrder& order) { return static_cast<int>(order.size()); }

@@ -1,0 +1,17 @@
+// Fixture: every raw-randomness shape spineless-no-raw-rand must flag.
+#include <cstdlib>
+#include <random>
+
+int bad_rand() { return rand() % 7; }
+
+void bad_srand() { srand(42); }
+
+unsigned bad_device() {
+  std::random_device rd;
+  return rd();
+}
+
+unsigned bad_twister() {
+  std::mt19937 gen;
+  return gen();
+}

@@ -1,0 +1,19 @@
+// Fixture: hash-order iteration shapes spineless-unordered-iteration must
+// flag — a range-for over an unordered_map and an explicit begin() walk.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+std::size_t bad_range_for(const std::unordered_map<int, int>& scores) {
+  std::size_t sum = 0;
+  for (const auto& [key, value] : scores) {
+    sum += static_cast<std::size_t>(value);
+  }
+  return sum;
+}
+
+int bad_begin() {
+  std::unordered_set<int> live;
+  live.insert(3);
+  return *live.begin();
+}

@@ -1,0 +1,17 @@
+// Fixture: every wall-clock shape spineless-no-wall-clock must flag.
+// Never compiled — tokenized by tests/lint/lint_test.cc.
+#include <chrono>
+#include <ctime>
+
+double bad_steady() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long bad_system() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long bad_classic() { return time(nullptr); }
+
+long bad_qualified() { return std::time(0); }

@@ -1,0 +1,13 @@
+// Fixture: ordered-container uses spineless-pointer-ordering must stay
+// quiet on — stable-id keys, and pointers as mapped VALUES (only the key
+// drives iteration order).
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+std::map<std::uint32_t, int> fine_weights_by_oid;
+
+std::set<std::string> fine_names;
+
+std::map<std::string, std::set<int>*> fine_pointer_values;

@@ -1,0 +1,23 @@
+// Fixture: shapes spineless-no-raw-rand must stay quiet on — the repo's
+// seeded Rng, and identifiers that merely contain/equal the banned names.
+struct Rng {
+  unsigned long next();
+  double uniform_real();
+};
+
+unsigned long fine_seeded(Rng& rng) { return rng.next(); }
+
+int fine_identifier(int rand) { return rand + 1; }
+
+struct Sampler {
+  int draw(int n) const { return n; }
+};
+
+// Member access to a field named like a banned call stays quiet.
+struct Legacy {
+  int rand = 0;
+};
+
+int fine_member(const Sampler& s, const Legacy& l) {
+  return s.draw(3) + l.rand;
+}

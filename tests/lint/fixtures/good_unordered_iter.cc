@@ -1,0 +1,21 @@
+// Fixture: unordered-container uses spineless-unordered-iteration must
+// stay quiet on — point lookups, membership tests, and range-fors over
+// ordered containers.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+int fine_lookup(const std::unordered_map<int, int>& scores, int key) {
+  const auto it = scores.find(key);
+  return it == scores.end() ? 0 : it->second;
+}
+
+bool fine_membership(const std::unordered_map<int, int>& scores, int key) {
+  return scores.count(key) != 0;
+}
+
+std::size_t fine_vector_walk(const std::vector<int>& ordered) {
+  std::size_t sum = 0;
+  for (const int v : ordered) sum += static_cast<std::size_t>(v);
+  return sum;
+}

@@ -1,0 +1,20 @@
+// Fixture: shapes spineless-no-wall-clock must stay quiet on — sim time
+// from the event loop, identifiers merely named `time`, member calls.
+using Time = long long;
+
+struct Sim {
+  Time now() const { return now_; }
+  Time now_ = 0;
+};
+
+double fine_sim_time(const Sim& s) { return static_cast<double>(s.now()); }
+
+long fine_parameter(long time_budget) { return time_budget; }
+
+struct Clock {
+  long time(int scale) const { return scale; }
+};
+
+long fine_member_call(const Clock& c) { return c.time(0); }
+
+const char* fine_in_string() { return "steady_clock in a string literal"; }

@@ -1,0 +1,13 @@
+// Fixture: a serialized struct with a field its codec never mentions —
+// spineless-snapshot-coverage must flag `skew_ns` (and only it).
+#pragma once
+#include <cstdint>
+
+struct BadState {
+  std::uint64_t seq = 0;
+  std::uint32_t flags = 0;
+  double ratio = 1.0;
+  std::int64_t skew_ns = 0;  // added after the codec; never serialized
+
+  bool ok() const { return flags == 0; }  // functions are not fields
+};

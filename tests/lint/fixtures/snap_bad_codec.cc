@@ -1,0 +1,15 @@
+// Fixture codec for snap_bad.h: serializes seq, flags, and ratio but not
+// skew_ns.
+#include "snap_bad.h"
+
+struct Writer {
+  void u64(std::uint64_t v);
+  void u32(std::uint32_t v);
+  void f64(double v);
+};
+
+void save_bad(const BadState& s, Writer& w) {
+  w.u64(s.seq);
+  w.u32(s.flags);
+  w.f64(s.ratio);
+}

@@ -1,0 +1,10 @@
+// Fixture: a serialized struct whose codec covers every field —
+// spineless-snapshot-coverage must stay quiet.
+#pragma once
+#include <cstdint>
+
+struct GoodState {
+  std::uint64_t seq = 0;
+  std::uint32_t flags = 0;
+  double ratio = 1.0;
+};

@@ -1,0 +1,28 @@
+// Fixture codec for snap_good.h: every field is saved and loaded.
+#include "snap_good.h"
+
+struct Writer {
+  void u64(std::uint64_t v);
+  void u32(std::uint32_t v);
+  void f64(double v);
+};
+
+struct Reader {
+  std::uint64_t u64();
+  std::uint32_t u32();
+  double f64();
+};
+
+void save_good(const GoodState& s, Writer& w) {
+  w.u64(s.seq);
+  w.u32(s.flags);
+  w.f64(s.ratio);
+}
+
+GoodState load_good(Reader& r) {
+  GoodState s;
+  s.seq = r.u64();
+  s.flags = r.u32();
+  s.ratio = r.f64();
+  return s;
+}

@@ -1,0 +1,11 @@
+// Fixture: suppressions that must NOT take effect — a NOLINT without
+// justification text, and a NOLINT naming the wrong rule.
+#include <cstdlib>
+
+int no_reason() {
+  return rand();  // NOLINT(spineless-no-raw-rand)
+}
+
+int wrong_rule() {
+  return rand();  // NOLINT(spineless-no-wall-clock): justification for the wrong rule
+}

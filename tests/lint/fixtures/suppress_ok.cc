@@ -1,0 +1,15 @@
+// Fixture: justified suppressions in both forms — the findings underneath
+// must be suppressed (and counted as suppressed, not findings).
+#include <chrono>
+#include <cstdlib>
+
+double watchdog_elapsed() {
+  return std::chrono::duration<double>(
+             // NOLINTNEXTLINE(spineless-no-wall-clock): watchdog heartbeat, never feeds sim state
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int legacy_shim() {
+  return rand();  // NOLINT(spineless-no-raw-rand): fixture-only justification text
+}

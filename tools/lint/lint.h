@@ -1,0 +1,124 @@
+// spineless_lint core: configuration, the per-file token model with NOLINT
+// suppressions, the pluggable rule interface, and the lint driver.
+//
+// Each rule guards a runtime invariant of the reproduction (see
+// doc/architecture.md "Static checks"):
+//   no-wall-clock        byte-identical reruns: wall time must never feed
+//                        simulated state (metadata-only timing is annotated)
+//   no-raw-rand          single-seed reproducibility: all randomness flows
+//                        through util/rng's seeded xoshiro streams
+//   unordered-iteration  event/snapshot determinism: hash-order iteration
+//                        in sim/routing/fault can leak into event order
+//   pointer-ordering     run-to-run determinism: containers ordered by raw
+//                        pointer value depend on the allocator
+//   snapshot-coverage    kill-9/--resume equivalence: every field of a
+//                        serialized struct must appear in its codec
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "token.h"
+
+namespace spineless::lint {
+
+// One active suppression comment: "NOLINT(spineless-<rule>)" applies to
+// findings on its own line, "NOLINTNEXTLINE(spineless-<rule>)" to the line
+// below. A justification (non-empty text after the closing parenthesis,
+// optionally introduced by ':') is required for the suppression to count.
+struct Suppression {
+  std::string rule;           // rule name without the "spineless-" prefix
+  int target_line = 0;        // line the suppression applies to
+  bool has_justification = false;
+  bool used = false;          // set by the engine when it suppresses
+};
+
+struct SourceFile {
+  std::string path;      // repo-relative, '/'-separated
+  std::vector<Token> tokens;    // comments excluded
+  std::vector<Token> comments;  // in source order
+  std::vector<Suppression> suppressions;
+};
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+// Per-rule configuration. A file is checked by a rule iff its path starts
+// with one of `paths` (empty = every scanned file) and with none of
+// `allow` (the path allowlist; matches are prefix matches, so
+// "src/util/resilient." covers both the .h and the .cc).
+struct RuleConfig {
+  bool enabled = true;
+  std::vector<std::string> paths;
+  std::vector<std::string> allow;
+};
+
+// One snapshot-coverage audit: every field of `strct` (declared in
+// `header`) must be mentioned by at least one of the `impl` files, which
+// hold its serialization codec.
+struct SnapshotAudit {
+  std::string strct;
+  std::string header;
+  std::vector<std::string> impl;
+};
+
+struct Config {
+  std::vector<std::string> scan;  // directories (repo-relative) to lint
+  std::vector<std::string> extensions = {".h", ".cc"};
+  std::map<std::string, RuleConfig> rules;
+  std::vector<SnapshotAudit> audits;
+
+  const RuleConfig& rule(const std::string& name) const;
+  // True when `rule` should examine `path` at all.
+  bool applies(const std::string& rule, const std::string& path) const;
+};
+
+// Parses the lint.toml subset: `key = value` pairs, `[section]` headers,
+// string and string-array values, '#' comments. Returns std::nullopt and
+// fills *error on malformed input. Recognized shapes:
+//   scan = ["src", "bench"]
+//   [rule.<name>]            with keys enabled/paths/allow
+//   [audit.<label>]          with keys struct/header/impl
+std::optional<Config> parse_config(const std::string& text,
+                                   std::string* error);
+
+// Tokenizes `text` into a SourceFile (suppressions included) under the
+// given repo-relative path. This is the in-memory entry point the fixture
+// tests use to lint synthetic snippets.
+SourceFile make_source(std::string path, std::string_view text);
+
+// Loads + parses one file from disk. `root` is the filesystem root the
+// repo-relative `path` hangs off. Returns nullopt if unreadable.
+std::optional<SourceFile> load_file(const std::string& root,
+                                    const std::string& path);
+
+struct LintResult {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;
+};
+
+// Runs every enabled rule over the scan roots (or, when `only` is
+// non-empty, exactly those repo-relative files) and applies suppressions.
+// Findings are sorted by (path, line, rule) so output is stable regardless
+// of directory enumeration order.
+LintResult run_lint(const std::string& root, const Config& cfg,
+                    const std::vector<std::string>& only = {});
+
+// The engine half of run_lint, exposed for fixture tests that build their
+// own file lists: applies rules + suppressions to already-loaded files.
+LintResult lint_files(const std::string& root, const Config& cfg,
+                      std::vector<SourceFile> files);
+
+// Reporters. Text is "path:line: [spineless-<rule>] message" per finding;
+// JSON is a stable machine-readable document for CI consumption.
+std::string report_text(const LintResult& r);
+std::string report_json(const LintResult& r);
+
+}  // namespace spineless::lint

@@ -1,0 +1,120 @@
+// spineless_lint — determinism & snapshot-safety static analysis over the
+// repo's C++ sources. See tools/lint/lint.h for the rule set and
+// doc/architecture.md "Static checks" for how each rule maps to a runtime
+// invariant.
+//
+//   spineless_lint --root=/path/to/repo            # text report, exit 1 on findings
+//   spineless_lint --root=. --json=lint.json       # machine-readable findings
+//   spineless_lint --root=. src/sim/tcp.cc         # lint specific files
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Accepts both --flag=value and --flag value.
+bool flag_value(const std::vector<std::string>& args, std::size_t* i,
+                const std::string& name, std::string* out) {
+  const std::string& a = args[*i];
+  if (a == name) {
+    if (*i + 1 >= args.size()) return false;
+    *out = args[++*i];
+    return true;
+  }
+  if (a.compare(0, name.size() + 1, name + "=") == 0) {
+    *out = a.substr(name.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+int usage() {
+  std::cerr
+      << "usage: spineless_lint [--root=DIR] [--config=FILE]\n"
+         "                      [--json[=FILE]] [files...]\n"
+         "  --root    repository root (default: .)\n"
+         "  --config  rule config (default: <root>/tools/lint/lint.toml)\n"
+         "  --json    emit findings as JSON (to FILE, or stdout without =)\n"
+         "  files     repo-relative files to lint instead of the\n"
+         "            configured scan directories\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string config_path;
+  bool json = false;
+  std::string json_path;
+  std::vector<std::string> only;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (flag_value(args, &i, "--root", &root)) continue;
+    if (flag_value(args, &i, "--config", &config_path)) continue;
+    if (a == "--json") {
+      json = true;
+      continue;
+    }
+    if (a.compare(0, 7, "--json=") == 0) {
+      json = true;
+      json_path = a.substr(7);
+      continue;
+    }
+    if (a == "--help" || a == "-h") return usage();
+    if (!a.empty() && a[0] == '-') {
+      std::cerr << "spineless_lint: unknown flag " << a << "\n";
+      return usage();
+    }
+    only.push_back(a);
+  }
+  if (config_path.empty()) config_path = root + "/tools/lint/lint.toml";
+
+  std::string config_text;
+  if (!read_file(config_path, &config_text)) {
+    std::cerr << "spineless_lint: cannot read config " << config_path << "\n";
+    return 2;
+  }
+  std::string error;
+  const auto cfg = spineless::lint::parse_config(config_text, &error);
+  if (!cfg.has_value()) {
+    std::cerr << "spineless_lint: " << error << "\n";
+    return 2;
+  }
+
+  const spineless::lint::LintResult result =
+      spineless::lint::run_lint(root, *cfg, only);
+
+  const std::string json_doc = json ? spineless::lint::report_json(result)
+                                    : std::string();
+  if (json && json_path.empty()) {
+    std::cout << json_doc;
+  } else {
+    std::cout << spineless::lint::report_text(result);
+    if (json) {
+      std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+      out << json_doc;
+      if (!out) {
+        std::cerr << "spineless_lint: cannot write " << json_path << "\n";
+        return 2;
+      }
+    }
+  }
+  return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// The pluggable rule interface and the built-in rule registry.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lint.h"
+
+namespace spineless::lint {
+
+// Everything a rule may look at. Rules are pure functions of the view —
+// they own no state, so the registry is shared and const.
+struct ProjectView {
+  const std::string& root;
+  const Config& cfg;
+  const std::vector<SourceFile>& files;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* name() const = 0;
+  virtual void check(const ProjectView& p, std::vector<Finding>* out) const = 0;
+};
+
+// All built-in rules, in report order. Adding a rule = appending here and
+// (optionally) giving it a [rule.<name>] section in lint.toml.
+const std::vector<std::unique_ptr<Rule>>& all_rules();
+
+}  // namespace spineless::lint

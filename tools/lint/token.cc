@@ -1,0 +1,232 @@
+#include "token.h"
+
+#include <cctype>
+
+namespace spineless::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, std::vector<Token>* comments)
+      : src_(src), comments_(comments) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        out.push_back(preproc());
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          line_comment();
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          block_comment();
+          continue;
+        }
+      }
+      if (is_ident_start(c)) {
+        const std::size_t start = pos_;
+        const int line = line_;
+        while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+        std::string text(src_.substr(start, pos_ - start));
+        // Raw string literal: R"delim(...)delim" (incl. u8R / LR / uR).
+        if (pos_ < src_.size() && src_[pos_] == '"' &&
+            (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+             text == "LR")) {
+          out.push_back(raw_string(line));
+          continue;
+        }
+        // Prefixed ordinary literal: u8"...", L'...'.
+        if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'') &&
+            (text == "u8" || text == "u" || text == "U" || text == "L")) {
+          out.push_back(quoted(src_[pos_] == '"' ? TokKind::kString
+                                                 : TokKind::kCharLit));
+          continue;
+        }
+        out.push_back({TokKind::kIdent, std::move(text), line});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        out.push_back(number());
+        continue;
+      }
+      if (c == '"') {
+        out.push_back(quoted(TokKind::kString));
+        continue;
+      }
+      if (c == '\'') {
+        out.push_back(quoted(TokKind::kCharLit));
+        continue;
+      }
+      out.push_back(punct());
+    }
+    return out;
+  }
+
+ private:
+  Token preproc() {
+    const std::size_t start = pos_;
+    const int line = line_;
+    at_line_start_ = false;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // newline handled by run()
+      ++pos_;
+    }
+    return {TokKind::kPreproc, std::string(src_.substr(start, pos_ - start)),
+            line};
+  }
+
+  void line_comment() {
+    const std::size_t start = pos_ + 2;
+    const int line = line_;
+    pos_ += 2;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    if (comments_ != nullptr)
+      comments_->push_back(
+          {TokKind::kComment, std::string(src_.substr(start, pos_ - start)),
+           line});
+  }
+
+  void block_comment() {
+    const std::size_t start = pos_ + 2;
+    const int line = line_;
+    pos_ += 2;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      ++pos_;
+    }
+    if (comments_ != nullptr)
+      comments_->push_back(
+          {TokKind::kComment, std::string(src_.substr(start, end - start)),
+           line});
+  }
+
+  Token number() {
+    const std::size_t start = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() &&
+           (is_ident_char(src_[pos_]) || src_[pos_] == '.' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+             (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+              src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')))) {
+      ++pos_;
+    }
+    return {TokKind::kNumber, std::string(src_.substr(start, pos_ - start)),
+            line};
+  }
+
+  Token quoted(TokKind kind) {
+    const char quote = src_[pos_];
+    const int line = line_;
+    const std::size_t start = ++pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == quote) {
+        end = pos_;
+        ++pos_;
+        break;
+      }
+      if (src_[pos_] == '\n') {  // unterminated; don't swallow the file
+        end = pos_;
+        break;
+      }
+      ++pos_;
+    }
+    return {kind, std::string(src_.substr(start, end - start)), line};
+  }
+
+  Token raw_string(int line) {
+    // At entry pos_ is on the opening '"'. R"delim( ... )delim"
+    const std::size_t delim_start = ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+    const std::string delim(src_.substr(delim_start, pos_ - delim_start));
+    const std::string closer = ")" + delim + "\"";
+    if (pos_ < src_.size()) ++pos_;  // consume '('
+    const std::size_t body_start = pos_;
+    const std::size_t found = src_.find(closer, pos_);
+    std::size_t body_end;
+    if (found == std::string_view::npos) {
+      body_end = src_.size();
+      pos_ = src_.size();
+    } else {
+      body_end = found;
+      pos_ = found + closer.size();
+    }
+    for (std::size_t i = body_start; i < body_end; ++i)
+      if (src_[i] == '\n') ++line_;
+    return {TokKind::kString,
+            std::string(src_.substr(body_start, body_end - body_start)), line};
+  }
+
+  Token punct() {
+    const int line = line_;
+    // Only the two-char sequences the rules care about are fused; "::"
+    // and "->" disambiguate qualified names and member access. Everything
+    // else (including ">>") stays single-char so template-depth tracking
+    // in the rules never sees a fused closer.
+    if (pos_ + 1 < src_.size()) {
+      const char a = src_[pos_];
+      const char b = src_[pos_ + 1];
+      if ((a == ':' && b == ':') || (a == '-' && b == '>')) {
+        pos_ += 2;
+        return {TokKind::kPunct, std::string{a, b}, line};
+      }
+    }
+    const char c = src_[pos_++];
+    return {TokKind::kPunct, std::string(1, c), line};
+  }
+
+  std::string_view src_;
+  std::vector<Token>* comments_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src,
+                            std::vector<Token>* comments) {
+  return Lexer(src, comments).run();
+}
+
+}  // namespace spineless::lint

@@ -1,0 +1,37 @@
+// A lightweight C++ tokenizer for spineless_lint. Deliberately not a real
+// C++ front end: the lint rules only need identifier streams with line
+// numbers, balanced punctuation, and comment text (for NOLINT
+// suppressions). String/char literals are tokenized as opaque units so
+// their contents can never produce a false identifier match; preprocessor
+// directives are kept as single tokens for the same reason.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spineless::lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (incl. hex/float suffixes)
+  kPunct,    // operators / punctuation; "::" and "->" are single tokens
+  kString,   // "..." / R"(...)" (text excludes quotes)
+  kCharLit,  // '...'
+  kComment,  // // and /* */ (text excludes the comment markers)
+  kPreproc,  // a whole #... directive line (incl. continuations)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+};
+
+// Tokenizes `src`. Comment tokens are returned in `comments` (in order);
+// all other tokens land in the returned stream. Unterminated constructs
+// are tolerated (the remainder becomes one token) — the linter must never
+// crash on the code it audits.
+std::vector<Token> tokenize(std::string_view src, std::vector<Token>* comments);
+
+}  // namespace spineless::lint
