@@ -5,13 +5,18 @@
 // `bench_micro --json=PATH` bypasses google-benchmark and runs the
 // simulator event-throughput scenario once, writing a machine-readable
 // summary (events/sec, ns/event, peak RSS) — the tier-1 smoke target and
-// the number the performance roadmap tracks.
+// the number the performance roadmap tracks. `--intra_jobs=N` runs the
+// same scenario on the sharded reactor engine (byte-identical event
+// stream; the events/s delta is the engine's parallel overhead) and adds
+// the engine's self-metrics to the JSON cell; serial output is unchanged.
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "ctrl/bgp.h"
@@ -19,6 +24,7 @@
 #include "routing/ecmp.h"
 #include "routing/paths.h"
 #include "routing/vrf.h"
+#include "sim/sharded_engine.h"
 #include "sim/tcp.h"
 #include "topo/builders.h"
 #include "util/json.h"
@@ -116,37 +122,47 @@ BENCHMARK(BM_SimulatorEventThroughput);
 // allocator; the best of the timed runs is reported (the standard smoke
 // convention — the minimum-interference run is the repeatable one on a
 // shared machine).
-int run_json_smoke(const std::string& path) {
+int run_json_smoke(const std::string& path, int intra_jobs) {
   constexpr int kTimedRuns = 3;
   std::uint64_t events = 0;
   std::size_t completed = 0;
   double wall_s = 0;
+  sim::ShardedEngine::Metrics metrics;
   for (int run = 0; run < 1 + kTimedRuns; ++run) {
     const auto d = topo::make_dring(5, 2, 4);
-    sim::Simulator simulator;
     sim::NetworkConfig cfg;
+    cfg.intra_jobs = intra_jobs;
     sim::Network net(d.graph, cfg);
     sim::FlowDriver driver(net, sim::TcpConfig{});
     Rng rng(7);
+    sim::Simulator serial;
+    std::unique_ptr<sim::ShardedEngine> sharded;
+    if (net.sharded()) sharded = std::make_unique<sim::ShardedEngine>(net);
+    sim::Simulator& front = sharded ? sharded->control() : serial;
     for (int i = 0; i < 50; ++i) {
       const auto src = static_cast<topo::HostId>(
           rng.uniform(static_cast<std::uint64_t>(d.graph.total_servers())));
       auto dst = static_cast<topo::HostId>(
           rng.uniform(static_cast<std::uint64_t>(d.graph.total_servers())));
       if (dst == src) dst = (dst + 1) % d.graph.total_servers();
-      driver.add_flow(simulator, src, dst, 200'000, 0);
+      driver.add_flow(front, src, dst, 200'000, 0);
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    simulator.run_until(units::kSecond);
+    if (sharded) {
+      sharded->run_until(units::kSecond);
+    } else {
+      serial.run_until(units::kSecond);
+    }
     const double run_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     if (run == 0) continue;  // warmup
     if (wall_s == 0 || run_s < wall_s) {
       wall_s = run_s;
-      events = simulator.events_processed();
+      events = sharded ? sharded->events_processed() : serial.events_processed();
       completed = driver.completed_flows();
+      if (sharded) metrics = sharded->metrics();
     }
   }
 
@@ -177,6 +193,21 @@ int run_json_smoke(const std::string& path) {
   w.value(static_cast<std::int64_t>(completed));
   w.key("timed_runs");
   w.value(static_cast<std::int64_t>(kTimedRuns));
+  if (intra_jobs > 1) {
+    // Engine self-metrics (sharded runs only, so serial JSON is stable).
+    w.key("intra_jobs");
+    w.value(static_cast<std::int64_t>(intra_jobs));
+    w.key("engine_windows");
+    w.value(static_cast<std::int64_t>(metrics.windows));
+    w.key("engine_ring_handoffs");
+    w.value(static_cast<std::int64_t>(metrics.ring_handoffs));
+    w.key("engine_max_ring_occupancy");
+    w.value(static_cast<std::int64_t>(metrics.max_ring_occupancy));
+    w.key("engine_spin_waits");
+    w.value(static_cast<std::int64_t>(metrics.spin_waits));
+    w.key("engine_central_plans");
+    w.value(static_cast<std::int64_t>(metrics.central_plans));
+  }
   w.end_object();
   if (!write_json_file(path, w)) {
     std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
@@ -193,10 +224,15 @@ int run_json_smoke(const std::string& path) {
 }  // namespace spineless
 
 int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  int intra_jobs = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0)
-      return spineless::run_json_smoke(argv[i] + 7);
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--intra_jobs=", 13) == 0)
+      intra_jobs = std::atoi(argv[i] + 13);
   }
+  if (json_path != nullptr)
+    return spineless::run_json_smoke(json_path, intra_jobs);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,171 @@
+// Reactor-engine scaling sweep: events/s of the bench_micro scenario per
+// shard count, written to BENCH_scaling.json.
+//
+// On this repo's reference container (1 CPU) every shard count runs
+// cooperatively on one core, so the interesting number is *overhead*:
+// events/s relative to serial must stay near 1.0 (the ROADMAP gate is
+// <= 5% at intra_jobs=2). On a multi-core host the engine backs shards
+// with real reactor threads and the figure of merit becomes *efficiency*
+// = speedup / cores_used; the JSON reports it only when real cores back
+// the shards (cores_used > 1), because "efficiency" of a cooperative
+// single-core run is a category error. Target on >= 4 real cores:
+// >= 3x speedup at 4 shards (documented here, CI-checked where hardware
+// allows).
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/sharded_engine.h"
+#include "sim/tcp.h"
+#include "topo/builders.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace spineless {
+namespace {
+
+struct Cell {
+  int intra_jobs = 1;
+  int cores_used = 1;  // reactor threads actually backing the shards
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+  sim::ShardedEngine::Metrics metrics;
+};
+
+Cell run_cell(int intra_jobs) {
+  constexpr int kTimedRuns = 3;
+  Cell c;
+  c.intra_jobs = intra_jobs;
+  for (int run = 0; run < 1 + kTimedRuns; ++run) {
+    const auto d = topo::make_dring(5, 2, 4);
+    sim::NetworkConfig cfg;
+    cfg.intra_jobs = intra_jobs;
+    sim::Network net(d.graph, cfg);
+    sim::FlowDriver driver(net, sim::TcpConfig{});
+    Rng rng(7);
+    sim::Simulator serial;
+    std::unique_ptr<sim::ShardedEngine> sharded;
+    if (net.sharded()) sharded = std::make_unique<sim::ShardedEngine>(net);
+    sim::Simulator& front = sharded ? sharded->control() : serial;
+    for (int i = 0; i < 50; ++i) {
+      const auto src = static_cast<topo::HostId>(
+          rng.uniform(static_cast<std::uint64_t>(d.graph.total_servers())));
+      auto dst = static_cast<topo::HostId>(
+          rng.uniform(static_cast<std::uint64_t>(d.graph.total_servers())));
+      if (dst == src) dst = (dst + 1) % d.graph.total_servers();
+      driver.add_flow(front, src, dst, 200'000, 0);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (sharded) {
+      sharded->run_until(units::kSecond);
+    } else {
+      serial.run_until(units::kSecond);
+    }
+    const double run_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (run == 0) continue;  // warmup
+    if (c.wall_s == 0 || run_s < c.wall_s) {
+      c.wall_s = run_s;
+      c.events = sharded ? sharded->events_processed() : serial.events_processed();
+      if (sharded) {
+        c.metrics = sharded->metrics();
+        c.cores_used = sharded->reactor_threads();
+      }
+    }
+  }
+  c.events_per_sec =
+      c.wall_s > 0 ? static_cast<double>(c.events) / c.wall_s : 0;
+  return c;
+}
+
+int run(const std::string& path) {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const int hw = hw_raw == 0 ? 1 : static_cast<int>(hw_raw);
+  std::vector<Cell> cells;
+  for (int intra : {1, 2, 4, 7}) cells.push_back(run_cell(intra));
+  const double serial_rate = cells.front().events_per_sec;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("scaling");
+  w.key("scenario");
+  w.value("simulator_event_throughput dring(5,2,4) 50 flows x 200KB, 1s");
+  w.key("hardware_concurrency");
+  w.value(static_cast<std::int64_t>(hw));
+  w.key("target");
+  w.value(">=3x speedup at intra_jobs=4 on >=4 real cores; "
+          "<=5% overhead at intra_jobs=2 on 1 core");
+  w.key("cells");
+  w.begin_array();
+  for (const Cell& c : cells) {
+    w.begin_object();
+    w.key("intra_jobs");
+    w.value(static_cast<std::int64_t>(c.intra_jobs));
+    w.key("cores_used");
+    w.value(static_cast<std::int64_t>(c.cores_used));
+    w.key("events");
+    w.value(static_cast<std::int64_t>(c.events));
+    w.key("wall_s");
+    w.value(c.wall_s);
+    w.key("events_per_sec");
+    w.value(c.events_per_sec);
+    if (serial_rate > 0) {
+      w.key("vs_serial");
+      w.value(c.events_per_sec / serial_rate);
+    }
+    if (c.cores_used > 1 && serial_rate > 0) {
+      // Efficiency is meaningful only when real cores back the shards.
+      w.key("efficiency");
+      w.value(c.events_per_sec / serial_rate /
+              static_cast<double>(c.cores_used));
+    }
+    if (c.intra_jobs > 1) {
+      w.key("engine_windows");
+      w.value(static_cast<std::int64_t>(c.metrics.windows));
+      w.key("engine_ring_handoffs");
+      w.value(static_cast<std::int64_t>(c.metrics.ring_handoffs));
+      w.key("engine_max_ring_occupancy");
+      w.value(static_cast<std::int64_t>(c.metrics.max_ring_occupancy));
+      w.key("engine_spin_waits");
+      w.value(static_cast<std::int64_t>(c.metrics.spin_waits));
+      w.key("engine_central_plans");
+      w.value(static_cast<std::int64_t>(c.metrics.central_plans));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  if (!write_json_file(path, w)) {
+    std::fprintf(stderr, "bench_scaling: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  for (const Cell& c : cells) {
+    std::printf("intra_jobs=%d  %8.2fM events/s  (%.3fx serial, %d core%s)\n",
+                c.intra_jobs, c.events_per_sec / 1e6,
+                serial_rate > 0 ? c.events_per_sec / serial_rate : 0.0,
+                c.cores_used, c.cores_used == 1 ? "" : "s");
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace spineless
+
+int main(int argc, char** argv) {
+  std::string path = "BENCH_scaling.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) path = argv[i] + 7;
+  }
+  return spineless::run(path);
+}

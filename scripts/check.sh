@@ -34,6 +34,23 @@ echo "== static checks (spineless_lint) =="
 ./build/tools/lint/spineless_lint --root=. --json=lint_findings.json
 ctest --test-dir build -L lint --output-on-failure
 
+echo "== perf smoke (reactor-engine overhead) =="
+# The sharded reactor engine must stay within 10% of the serial engine on
+# one core at intra_jobs=2 (the ROADMAP steady-state target is 5%; the
+# gate leaves headroom for shared-CI noise). Both runs report the best of
+# three timed passes, so a single descheduling blip does not fail CI.
+./build/bench/bench_micro --json=perf_smoke_serial.json
+./build/bench/bench_micro --intra_jobs=2 --json=perf_smoke_intra2.json
+serial_eps=$(sed -n 's/.*"events_per_sec":\([0-9.eE+-]*\).*/\1/p' perf_smoke_serial.json)
+intra2_eps=$(sed -n 's/.*"events_per_sec":\([0-9.eE+-]*\).*/\1/p' perf_smoke_intra2.json)
+awk -v s="$serial_eps" -v p="$intra2_eps" 'BEGIN {
+  if (s <= 0 || p <= 0) { print "perf smoke: missing events_per_sec"; exit 1 }
+  overhead = (s - p) / s * 100
+  printf "serial %.2fM events/s, intra_jobs=2 %.2fM events/s, overhead %.1f%%\n", \
+         s / 1e6, p / 1e6, overhead
+  if (overhead > 10.0) { print "perf smoke: 1-core overhead above 10% gate"; exit 1 }
+}'
+
 echo "== tier-1 test suite =="
 ctest --test-dir build --output-on-failure
 

@@ -103,8 +103,28 @@ for b in build/bench/*; do
   echo "===== $name =====" | tee -a bench_output.txt
   if [[ "$name" == bench_micro ]]; then
     # google-benchmark harness: no --jobs; the JSON smoke mode is the
-    # machine-readable artifact.
+    # machine-readable artifact. Run serial and the intra_jobs=2 reactor
+    # cell, then refresh the committed results/BENCH_micro.json baseline
+    # (the pre-reactor numbers are frozen — that engine no longer exists).
     env "${SCALE_ENV[@]}" "$b" --json=BENCH_micro.json \
+      2>/dev/null | tee -a bench_output.txt
+    env "${SCALE_ENV[@]}" "$b" --intra_jobs=2 --json=BENCH_micro_intra2.json \
+      2>/dev/null | tee -a bench_output.txt
+    mkdir -p results
+    {
+      printf '{\n  "bench": "micro_baseline",\n'
+      printf '  "scenario": "simulator_event_throughput dring(5,2,4) 50 flows x 200KB, 1s",\n'
+      printf '  "before_reactor": {"engine": "two-barrier lockstep windows",\n'
+      printf '                     "serial_events_per_sec": 10.7e6,\n'
+      printf '                     "intra2_events_per_sec": 5.5e6,\n'
+      printf '                     "intra2_overhead_pct": 48.6},\n'
+      printf '  "serial": %s,\n' "$(cat BENCH_micro.json)"
+      printf '  "intra_jobs_2": %s\n}\n' "$(cat BENCH_micro_intra2.json)"
+    } > results/BENCH_micro.json
+  elif [[ "$name" == bench_scaling ]]; then
+    # Scaling sweep over intra_jobs; no --jobs (the sweep IS the
+    # parallelism axis under test).
+    env "${SCALE_ENV[@]}" "$b" --json=BENCH_scaling.json \
       2>/dev/null | tee -a bench_output.txt
   else
     env "${SCALE_ENV[@]}" "$b" "${JOBS_FLAG[@]}" "${RESUME_FLAG[@]}" \

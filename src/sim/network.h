@@ -83,6 +83,15 @@ struct NetworkConfig {
   // serial engine; results are byte-identical either way. Clamped to the
   // switch count.
   int intra_jobs = 1;
+  // OS threads backing the sharded engine's reactors. 0 = auto:
+  // min(shards, hardware_concurrency), so on a single-core host all shard
+  // pollers multiplex cooperatively onto the calling thread and the engine
+  // pays no context switches. N > 0 forces exactly N reactors (clamped to
+  // the shard count) — the TSAN determinism tests force one thread per
+  // shard so the lock-free rings are exercised concurrently even on small
+  // hosts. Results are byte-identical for every value; this knob is not
+  // part of the experiment configuration hash.
+  int reactor_threads = 0;
 };
 
 // A TCP source or sink — receives the packets addressed to its flow.

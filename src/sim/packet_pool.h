@@ -1,11 +1,17 @@
-// Free-list pool of packet buffer nodes, shared by every Link of a Network.
+// Slab arena of packet buffer nodes, shared by every Link of a Network
+// (one pool per shard in sharded runs, so allocation never crosses
+// threads mid-window).
 //
 // Queued and in-flight packets live in PacketNodes drawn from here; nodes
 // recycle through the free list, so steady-state forwarding performs zero
 // heap allocations and back-to-back experiments on one Network reuse the
-// same buffers (the block count plateaus — asserted by tests/sim/pool_test).
-// In-flight packets ride through the event queue as node pointers, which
-// also removes a per-hop staging copy the old deque design paid.
+// same buffers (the slab count plateaus — asserted by tests/sim/pool_test).
+// Slabs grow geometrically (256 nodes doubling up to 16384) so a large
+// experiment's warm-up takes O(log n) allocations instead of O(n/256),
+// and every node of one slab is contiguous, which keeps the free list's
+// initial ordering cache-friendly. In-flight packets ride through the
+// event queue as node pointers, which also removes a per-hop staging copy
+// the old deque design paid.
 #pragma once
 
 #include <cstddef>
@@ -44,31 +50,42 @@ class PacketPool {
     --in_use_;
   }
 
+  // Pre-sizes the arena so the first window of a run allocates nothing.
+  void reserve(std::size_t nodes) {
+    while (total_nodes_ < nodes) grow();
+  }
+
   // Diagnostics: pooling tests assert blocks_allocated() plateaus across
   // experiments; BENCH_*.json records peak buffer usage. in_use() is
   // signed: in a sharded run a node allocated from one shard's pool may be
   // released into another's free list (both pools outlive the run, so the
   // memory stays valid), which skews the per-pool counters in opposite
   // directions.
-  std::size_t blocks_allocated() const noexcept { return blocks_.size(); }
-  std::size_t total_nodes() const noexcept { return blocks_.size() * kBlock; }
+  std::size_t blocks_allocated() const noexcept { return slabs_.size(); }
+  std::size_t total_nodes() const noexcept { return total_nodes_; }
   std::int64_t in_use() const noexcept { return in_use_; }
 
  private:
-  static constexpr std::size_t kBlock = 256;
+  static constexpr std::size_t kFirstSlab = 256;
+  static constexpr std::size_t kMaxSlab = 16384;
 
   void grow() {
-    blocks_.push_back(std::make_unique<PacketNode[]>(kBlock));
-    PacketNode* block = blocks_.back().get();
-    for (std::size_t i = 0; i < kBlock; ++i) {
-      block[i].next = free_;
-      free_ = &block[i];
+    slabs_.push_back(std::make_unique<PacketNode[]>(next_slab_));
+    PacketNode* slab = slabs_.back().get();
+    // Thread the slab back-to-front so allocation walks it front-to-back.
+    for (std::size_t i = next_slab_; i-- > 0;) {
+      slab[i].next = free_;
+      free_ = &slab[i];
     }
+    total_nodes_ += next_slab_;
+    if (next_slab_ < kMaxSlab) next_slab_ *= 2;
   }
 
   PacketNode* free_ = nullptr;
   std::int64_t in_use_ = 0;
-  std::vector<std::unique_ptr<PacketNode[]>> blocks_;
+  std::size_t total_nodes_ = 0;
+  std::size_t next_slab_ = kFirstSlab;
+  std::vector<std::unique_ptr<PacketNode[]>> slabs_;
 };
 
 }  // namespace spineless::sim

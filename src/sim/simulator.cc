@@ -18,6 +18,31 @@ void Simulator::run_until_key(Time t_bound, std::uint64_t prio_bound) {
   cur_key_ = &root_key_;
 }
 
+bool Simulator::run_until_bounded(Time deadline, int budget) {
+  while (budget > 0 && !heap_.empty() && heap_[0].t <= deadline) {
+    dispatch_top();
+    --budget;
+  }
+  cur_key_ = &root_key_;
+  if (!heap_.empty() && heap_[0].t <= deadline) return true;
+  if (now_ < deadline) now_ = deadline;
+  return false;
+}
+
+bool Simulator::run_until_key_bounded(Time t_bound, std::uint64_t prio_bound,
+                                      int budget) {
+  while (budget > 0 && !heap_.empty() &&
+         (heap_[0].t < t_bound ||
+          (heap_[0].t == t_bound && heap_[0].prio < prio_bound))) {
+    dispatch_top();
+    --budget;
+  }
+  cur_key_ = &root_key_;
+  return !heap_.empty() &&
+         (heap_[0].t < t_bound ||
+          (heap_[0].t == t_bound && heap_[0].prio < prio_bound));
+}
+
 void Simulator::run() {
   while (!heap_.empty()) dispatch_top();
   cur_key_ = &root_key_;

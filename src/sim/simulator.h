@@ -175,6 +175,16 @@ class Simulator {
   // ordering fence (a pending global event's key), not a time advance.
   void run_until_key(Time t_bound, std::uint64_t prio_bound);
 
+  // Budgeted window slices for the reactor engine's pollers: dispatch at
+  // most `budget` events, so one shard's dense window cannot starve the
+  // other pollers multiplexed onto the same reactor. Returns true while
+  // events inside the bound remain (budget exhausted — call again);
+  // run_until_bounded advances now() to the deadline only once the window
+  // is fully drained, so a partially run window resumes seamlessly.
+  bool run_until_bounded(Time deadline, int budget);
+  bool run_until_key_bounded(Time t_bound, std::uint64_t prio_bound,
+                             int budget);
+
   // Key of the earliest pending event; false if the heap is empty. Only
   // meaningful between runs (single-threaded phases of the engine).
   bool peek(Time* t, std::uint64_t* prio) const {

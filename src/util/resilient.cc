@@ -59,6 +59,7 @@ Watchdog::~Watchdog() {
 }
 
 void Watchdog::scan_loop() {
+  // NOLINTNEXTLINE(spineless-atomic-spin): watchdog cadence — every pass sleeps 20ms below, so the stop flag is polled ~50x/s, not spun on
   while (!stop_.load(std::memory_order_acquire)) {
     const double now = monotonic_s();
     for (std::size_t i = 0; i < n_; ++i) {

@@ -1,0 +1,103 @@
+// Lock-free single-producer/single-consumer ring, the cross-shard handoff
+// primitive of the reactor engine (sim/sharded_engine.h).
+//
+// Shape follows SPDK's rings: a power-of-two slot array indexed by
+// free-running head (consumer) and tail (producer) counters, each on its
+// own cache line next to a *cached* copy of the opposite index. The cache
+// lets the hot paths run on purely local state: a push touches the shared
+// head only when the ring looks full, a drain touches the shared tail only
+// when the ring looks empty. The only synchronization is one release store
+// publishing each side's counter and one acquire load refreshing the
+// other's — no CAS, no locks, no fences beyond acquire/release.
+//
+// Determinism note: the ring preserves FIFO order per (producer, consumer)
+// pair, which is all the engine needs — every consumer merges its rings in
+// fixed source order up to an explicit epoch sentinel, so the *set* and
+// *order* of merged events is independent of when drains run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/error.h"
+
+namespace spineless::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity must be a power of two (indices wrap by masking).
+  explicit SpscRing(std::size_t capacity)
+      : mask_(capacity - 1), buf_(std::make_unique<T[]>(capacity)) {
+    SPINELESS_CHECK_MSG(capacity > 0 && (capacity & mask_) == 0,
+                        "SpscRing capacity must be a power of two");
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // Producer side. Returns false when the ring is full (the caller keeps
+  // the item; the engine parks it in a per-lane overflow vector so a full
+  // ring never blocks or drops).
+  bool try_push(const T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    buf_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    const std::size_t occ = tail + 1 - cached_head_;
+    if (occ > max_occupancy_) max_occupancy_ = occ;
+    return true;
+  }
+
+  // Producer-side diagnostic: the highest occupancy try_push ever observed
+  // (an under-estimate only while the consumer lags the cached head, i.e.
+  // it is conservative in the direction that matters for sizing).
+  std::size_t max_occupancy() const noexcept { return max_occupancy_; }
+
+  // Consumer side: pops up to `max` items, invoking fn(const T&) on each in
+  // FIFO order. Returns the number consumed (0 when empty).
+  template <typename Fn>
+  std::size_t drain(std::size_t max, Fn&& fn) {
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return 0;
+    }
+    std::size_t n = 0;
+    while (n < max && head != cached_tail_) {
+      fn(buf_[head & mask_]);
+      ++head;
+      ++n;
+    }
+    head_.store(head, std::memory_order_release);
+    return n;
+  }
+
+  // Consumer-side emptiness check (exact for the consumer: it sees every
+  // element it has not yet drained; concurrent pushes may appear later).
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::size_t mask_;
+  const std::unique_ptr<T[]> buf_;
+
+  // Producer cache line: written by try_push only.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+  std::size_t max_occupancy_ = 0;
+
+  // Consumer cache line: written by drain only.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+};
+
+}  // namespace spineless::util

@@ -46,11 +46,12 @@ struct RunPrint {
   bool operator==(const RunPrint&) const = default;
 };
 
-RunPrint run_fault_scenario(int intra) {
+RunPrint run_fault_scenario(int intra, int reactor_threads = 0) {
   const auto d = topo::make_dring(6, 2, 2);
   NetworkConfig cfg;
   cfg.mode = sim::RoutingMode::kShortestUnion;
   cfg.intra_jobs = intra;
+  cfg.reactor_threads = reactor_threads;
   Network net(d.graph, cfg);
   FlowDriver driver(net, TcpConfig{});
   const auto plan = FaultPlan::parse(
@@ -109,7 +110,7 @@ TEST(FaultDeterminism, PlanReplaysByteIdenticallyAcrossIntraJobs) {
   ASSERT_GT(serial.gray_drops + serial.corrupt_drops, 0);
   ASSERT_NE(serial.injector_json.find("\"t_routed_in\""), std::string::npos);
 
-  for (const int intra : {2, 4}) {
+  for (const int intra : {2, 4, 7}) {
     SCOPED_TRACE("intra_jobs=" + std::to_string(intra));
     const RunPrint sharded = run_fault_scenario(intra);
     EXPECT_EQ(serial.injector_json, sharded.injector_json);
@@ -122,6 +123,10 @@ TEST(FaultDeterminism, PlanReplaysByteIdenticallyAcrossIntraJobs) {
     }
     EXPECT_EQ(serial, sharded);
   }
+
+  // Fault plans over real reactor threads (forced past the single-core
+  // auto resolve): the cell the TSAN pass interleaves.
+  EXPECT_EQ(serial, run_fault_scenario(4, /*reactor_threads=*/4));
 }
 
 }  // namespace

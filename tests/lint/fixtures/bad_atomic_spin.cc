@@ -1,0 +1,35 @@
+// Fixture: every busy-wait shape spineless-atomic-spin must flag — a raw
+// spin on an atomic in a loop condition, with no justification.
+#include <atomic>
+
+std::atomic<bool> ready{false};
+std::atomic<bool> lock{false};
+std::atomic_flag latch = ATOMIC_FLAG_INIT;
+std::atomic<int> head{0};
+std::atomic<bool> done{false};
+
+void spin_on_load() {
+  while (!ready.load(std::memory_order_acquire)) {
+  }
+}
+
+void spin_on_exchange() {
+  while (lock.exchange(true, std::memory_order_acquire)) {
+  }
+}
+
+void spin_on_test_and_set() {
+  while (latch.test_and_set(std::memory_order_acquire)) {
+  }
+}
+
+void spin_on_cas() {
+  int h = head.load(std::memory_order_relaxed);
+  while (!head.compare_exchange_weak(h, h + 1, std::memory_order_acq_rel)) {
+  }
+}
+
+void spin_in_for_condition() {
+  for (int i = 0; !done.load(std::memory_order_acquire); ++i) {
+  }
+}

@@ -1,0 +1,34 @@
+// Fixture: atomic uses spineless-atomic-spin must stay quiet on — parked
+// waits with justified suppressions, and atomic reads outside loop
+// conditions (plain branches, loop bodies, for-loop init/step).
+#include <atomic>
+
+std::atomic<bool> ready{false};
+std::atomic<std::uint64_t> gen{0};
+std::atomic<int> count{0};
+
+void parked_wait() {
+  // NOLINTNEXTLINE(spineless-atomic-spin): parks in the futex-backed atomic wait — not a busy spin
+  while (!ready.load(std::memory_order_acquire)) ready.wait(false);
+}
+
+void parked_gate(std::uint64_t seen) {
+  while (gen.load(std::memory_order_acquire) == seen) gen.wait(seen);  // NOLINT(spineless-atomic-spin): round gate, parks between rounds
+}
+
+bool branch_not_loop() {
+  // An atomic read in a plain branch is not a spin.
+  if (ready.load(std::memory_order_acquire)) return true;
+  return false;
+}
+
+int load_in_body_not_condition(int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) sum += count.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void load_in_for_init() {
+  for (int c = count.load(std::memory_order_relaxed); c > 0; --c) {
+  }
+}

@@ -176,6 +176,26 @@ TEST(PointerOrdering, QuietOnGoodFixture) {
   EXPECT_TRUE(r.findings.empty()) << report_text(r);
 }
 
+TEST(AtomicSpin, FlagsBadFixture) {
+  const auto r = lint_fixture("bad_atomic_spin.cc");
+  const auto f = findings_for(r, "atomic-spin");
+  ASSERT_EQ(f.size(), 5u) << report_text(r);
+  EXPECT_NE(f[0].message.find("'load()'"), std::string::npos);
+  EXPECT_NE(f[1].message.find("'exchange()'"), std::string::npos);
+  EXPECT_NE(f[2].message.find("'test_and_set()'"), std::string::npos);
+  EXPECT_NE(f[3].message.find("'compare_exchange_weak()'"),
+            std::string::npos);
+  EXPECT_NE(f[4].message.find("'load()'"), std::string::npos)
+      << "the for-loop condition spin must flag too";
+}
+
+TEST(AtomicSpin, QuietOnGoodFixture) {
+  const auto r = lint_fixture("good_atomic_spin.cc");
+  EXPECT_TRUE(r.findings.empty()) << report_text(r);
+  // Both parked waits are justified-suppressed, not silently missed.
+  EXPECT_EQ(r.suppressed, 2u);
+}
+
 TEST(SnapshotCoverage, FlagsUnserializedField) {
   Config cfg = fixture_config();
   cfg.audits.push_back({"BadState", "snap_bad.h", {"snap_bad_codec.cc"}});
@@ -240,6 +260,30 @@ TEST(SeededHazard, RandInTcpIsCaughtByShippedConfig) {
   EXPECT_EQ(f[0].line, 2);
 }
 
+// Acceptance demo for the reactor engine: an unjustified raw atomic spin
+// appearing in src/sim must fail the gate under the *shipped*
+// configuration — the engine's own parked waits pass only because they
+// carry justified NOLINTs.
+TEST(SeededHazard, AtomicSpinInSimIsCaughtByShippedConfig) {
+  std::string error;
+  auto cfg = parse_config(shipped_config_text(), &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  cfg->audits.clear();
+
+  std::vector<SourceFile> files;
+  files.push_back(make_source(
+      "src/sim/sharded_engine.cc",
+      "#include <atomic>\n"
+      "void wait_ready(std::atomic<bool>& ready) {\n"
+      "  while (!ready.load(std::memory_order_acquire)) {}\n"
+      "}\n"));
+  const auto r = lint_files(kSourceDir, *cfg, std::move(files));
+  const auto f = findings_for(r, "atomic-spin");
+  ASSERT_EQ(f.size(), 1u) << report_text(r);
+  EXPECT_EQ(f[0].path, "src/sim/sharded_engine.cc");
+  EXPECT_EQ(f[0].line, 3);
+}
+
 // And the same hazard inside util/rng (the sanctioned randomness home) or
 // a wall-clock read inside util/resilient (the watchdog) must NOT flag:
 // the allowlists carry the rule-to-invariant mapping.
@@ -256,6 +300,15 @@ TEST(SeededHazard, AllowlistedPathsStayQuiet) {
       "src/util/resilient.cc",
       "#include <chrono>\n"
       "auto t0 = std::chrono::steady_clock::now();\n"));
+  // The SPSC ring's lock-free protocol is the reviewed atomic-spin
+  // exception (it never loops on a peer in shipped code, but the
+  // allowlist is what carries that review decision).
+  files.push_back(make_source(
+      "src/util/spsc_ring.h",
+      "#include <atomic>\n"
+      "void drain_all(std::atomic<bool>& empty) {\n"
+      "  while (!empty.load(std::memory_order_acquire)) {}\n"
+      "}\n"));
   const auto r = lint_files(kSourceDir, *cfg, std::move(files));
   EXPECT_TRUE(r.findings.empty()) << report_text(r);
 }
@@ -291,9 +344,10 @@ TEST(SelfCheck, ShippedTreeIsLintClean) {
   const auto r = run_lint(kSourceDir, *cfg);
   EXPECT_GT(r.files_scanned, 100u) << "scan roots look wrong";
   EXPECT_TRUE(r.findings.empty()) << report_text(r);
-  // The four table-build timing sites in network.cc are annotated, not
+  // The four table-build timing sites in network.cc, the reactor engine's
+  // two parked waits, and the watchdog's poll loop are annotated, not
   // silently skipped — prove the suppressions are actually exercised.
-  EXPECT_GE(r.suppressed, 4u);
+  EXPECT_GE(r.suppressed, 7u);
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ TEST(Checkpoint, SegmentedAuditedRunMatchesOneShot) {
     const auto tm = workload::RackTm::uniform(g);
     const FctPrint base = print(core::run_fct_experiment(g, tm, small_cfg(1)));
     ASSERT_GT(base.completed, 0u);
-    for (const int intra : {1, 2, 4}) {
+    for (const int intra : {1, 2, 4, 7}) {
       SCOPED_TRACE("intra_jobs=" + std::to_string(intra));
       auto cfg = small_cfg(intra);
       cfg.checkpoint.audit = true;  // forces the segmented loop + auditor
@@ -80,13 +80,18 @@ TEST(Checkpoint, KillAndResumeIsByteIdentical) {
   const topo::Graph g = topo::make_dring(6, 2, 2).graph;
   const auto tm = workload::RackTm::uniform(g);
   const FctPrint base = print(core::run_fct_experiment(g, tm, small_cfg(1)));
-  for (const int intra : {1, 2, 4}) {
+  for (const int intra : {1, 2, 4, 7}) {
     SCOPED_TRACE("intra_jobs=" + std::to_string(intra));
     const std::string path = tmp_path("fct" + std::to_string(intra));
     util::remove_file(path);
+    // The intra=4 cell saves and restores across *real* reactor threads
+    // (reactor_threads is deliberately outside the config hash, so the
+    // snapshot is portable between cooperative and threaded runs).
+    const int threads = intra == 4 ? 4 : 0;
 
     // First run: cancel at the first boundary, right after the snapshot.
     auto cfg = small_cfg(intra);
+    cfg.net.reactor_threads = threads;
     cfg.checkpoint.path = path;
     cfg.checkpoint.audit = true;
     cfg.checkpoint.cancel = [] { return true; };
@@ -96,6 +101,7 @@ TEST(Checkpoint, KillAndResumeIsByteIdentical) {
 
     // Second run: restore and continue to the deadline.
     auto cfg2 = small_cfg(intra);
+    cfg2.net.reactor_threads = threads;
     cfg2.checkpoint.path = path;
     cfg2.checkpoint.resume = true;
     cfg2.checkpoint.audit = true;
@@ -154,7 +160,12 @@ TEST(Checkpoint, ConfigHashMismatchIsRefused) {
 class CheckpointAuditNegative : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = tmp_path("audit");
+    // Unique per test: ctest runs each TEST_F as its own process, possibly
+    // concurrently — a shared snapshot path is a cross-process race.
+    path_ = tmp_path(std::string("audit_") +
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name());
     util::remove_file(path_);
     auto cfg = small_cfg(1);
     cfg.checkpoint.path = path_;
@@ -319,7 +330,7 @@ FaultPrint run_fault_cell(int intra, int interrupt_at,
 TEST(Checkpoint, FaultPlanKillAndResumeIsByteIdentical) {
   const FaultPrint base = run_fault_cell(1, -1, "", false);
   ASSERT_GT(base.gray_drops + base.corrupt_drops, 0);
-  for (const int intra : {1, 2, 4}) {
+  for (const int intra : {1, 2, 4, 7}) {
     SCOPED_TRACE("intra_jobs=" + std::to_string(intra));
     const std::string path = tmp_path("fault" + std::to_string(intra));
     util::remove_file(path);

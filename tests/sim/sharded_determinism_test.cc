@@ -21,10 +21,12 @@ constexpr int kIntraSweep[] = {2, 4, 7};
 
 // --- Full-experiment equality across topology families and modes ---------
 
-core::FctResult run_cell(const topo::Graph& g, RoutingMode mode, int intra) {
+core::FctResult run_cell(const topo::Graph& g, RoutingMode mode, int intra,
+                         int reactor_threads = 0) {
   core::FctConfig cfg;
   cfg.net.mode = mode;
   cfg.net.intra_jobs = intra;
+  cfg.net.reactor_threads = reactor_threads;
   cfg.flowgen.offered_load_bps =
       0.6e9 * static_cast<double>(g.total_servers());
   cfg.flowgen.window = units::kMillisecond;
@@ -71,6 +73,21 @@ TEST(ShardedDeterminism, MatchesSerialOnLeafSpine) {
     expect_identical(serial, run_cell(g, RoutingMode::kEcmp, intra), intra);
 }
 
+// On a single-core host the auto resolve backs every shard with the
+// caller thread (cooperative reactors); forcing one real reactor thread
+// per shard must not change a byte. This is the cell the TSAN preset
+// actually interleaves — without the override, a 1-CPU CI box would
+// never exercise the cross-thread ring handoff.
+TEST(ShardedDeterminism, ForcedReactorThreadsMatchSerial) {
+  const auto g = topo::make_dring(5, 2, 4).graph;
+  const auto serial = run_cell(g, RoutingMode::kEcmp, 1);
+  for (const int intra : kIntraSweep) {
+    expect_identical(
+        serial, run_cell(g, RoutingMode::kEcmp, intra, /*reactor_threads=*/intra),
+        intra);
+  }
+}
+
 // --- Exact per-flow and per-sample equality under global events ----------
 
 struct FlowPrint {
@@ -95,11 +112,12 @@ struct RunPrint {
 // whole-network monitor: both are kShardGlobal sinks, so this exercises
 // the engine's exact global interleaving (run_until_key), not just the
 // steady-state window protocol.
-RunPrint run_failure_scenario(int intra) {
+RunPrint run_failure_scenario(int intra, int reactor_threads = 0) {
   const auto d = topo::make_dring(6, 2, 2);
   NetworkConfig cfg;
   cfg.mode = RoutingMode::kShortestUnion;
   cfg.intra_jobs = intra;
+  cfg.reactor_threads = reactor_threads;
   Network net(d.graph, cfg);
   FlowDriver driver(net, TcpConfig{});
   QueueMonitor mon(net, 50 * units::kMicrosecond);
@@ -166,6 +184,31 @@ TEST(ShardedDeterminism, FailureAndMonitorInterleaveExactly) {
       EXPECT_EQ(serial.samples[i].total_bytes, sharded.samples[i].total_bytes);
       EXPECT_EQ(serial.samples[i].max_bytes, sharded.samples[i].max_bytes);
     }
+  }
+}
+
+// The same failure + monitor scenario with real reactor threads forced:
+// global (kShardGlobal) sinks rendezvous across actual threads here, so
+// this is where TSAN sees the central-plan handoff and the per-flow and
+// per-sample bytes still may not move.
+TEST(ShardedDeterminism, FailureInterleaveWithForcedReactorThreads) {
+  const RunPrint serial = run_failure_scenario(1);
+  const RunPrint threaded = run_failure_scenario(4, /*reactor_threads=*/4);
+  EXPECT_EQ(serial.events, threaded.events);
+  EXPECT_EQ(serial.queue_drops, threaded.queue_drops);
+  EXPECT_EQ(serial.ttl_drops, threaded.ttl_drops);
+  EXPECT_EQ(serial.no_route_drops, threaded.no_route_drops);
+  EXPECT_EQ(serial.delivered, threaded.delivered);
+  ASSERT_EQ(serial.flows.size(), threaded.flows.size());
+  for (std::size_t i = 0; i < serial.flows.size(); ++i) {
+    SCOPED_TRACE("flow " + std::to_string(i));
+    EXPECT_EQ(serial.flows[i], threaded.flows[i]);
+  }
+  ASSERT_EQ(serial.samples.size(), threaded.samples.size());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    EXPECT_EQ(serial.samples[i].t, threaded.samples[i].t);
+    EXPECT_EQ(serial.samples[i].total_bytes, threaded.samples[i].total_bytes);
+    EXPECT_EQ(serial.samples[i].max_bytes, threaded.samples[i].max_bytes);
   }
 }
 

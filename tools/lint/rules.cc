@@ -429,6 +429,73 @@ class SnapshotCoverage : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// atomic-spin: the reactor engine's liveness contract says cross-shard
+// waits either make progress (poll another shard) or park in a futex-backed
+// std::atomic::wait. A raw busy-wait loop on an atomic burns the core a
+// sibling reactor needs, melts the cooperative single-core path, and hides
+// lost-wakeup bugs behind 100% CPU. Flags while/for loop *conditions* that
+// call an atomic read-or-RMW member; the SPSC ring (whose acquire/release
+// protocol is the reviewed exception and never loops on a peer) is
+// allowlisted in lint.toml, and genuinely parked or bounded waits carry a
+// justified NOLINT.
+class AtomicSpin : public Rule {
+ public:
+  const char* name() const override { return "atomic-spin"; }
+
+  void check(const ProjectView& p, std::vector<Finding>* out) const override {
+    static const std::unordered_set<std::string> kSpinCalls = {
+        "load",
+        "exchange",
+        "test_and_set",
+        "compare_exchange_weak",
+        "compare_exchange_strong",
+    };
+    for (const SourceFile& f : p.files) {
+      if (!p.cfg.applies(name(), f.path)) continue;
+      const auto& t = f.tokens;
+      for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        const bool is_while = is_ident(t[i], "while");
+        const bool is_for = is_ident(t[i], "for");
+        if ((!is_while && !is_for) || !is_punct(t[i + 1], "(")) continue;
+        int depth = 0;
+        int semis = 0;  // for(init; cond; step): only cond is a spin site
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+          if (is_punct(t[j], "(")) {
+            ++depth;
+            continue;
+          }
+          if (is_punct(t[j], ")")) {
+            if (--depth == 0) break;
+            continue;
+          }
+          if (is_for && depth == 1 && is_punct(t[j], ";")) {
+            ++semis;
+            continue;
+          }
+          if (is_for && semis != 1) continue;  // init/step/range-for: skip
+          if (t[j].kind != TokKind::kIdent ||
+              kSpinCalls.count(t[j].text) == 0)
+            continue;
+          const bool member = j > 0 && (is_punct(t[j - 1], ".") ||
+                                        is_punct(t[j - 1], "->"));
+          if (!member || j + 1 >= t.size() || !is_punct(t[j + 1], "("))
+            continue;
+          out->push_back(
+              {name(), f.path, t[i].line,
+               "busy-wait on atomic '" + t[j].text +
+                   "()' in a loop condition — a raw spin starves sibling "
+                   "reactors on the cooperative path and hides lost-wakeup "
+                   "bugs; park in a futex-backed std::atomic::wait (or "
+                   "bound the spin) and annotate with "
+                   "NOLINT(spineless-atomic-spin): <why>"});
+          break;  // one finding per loop header
+        }
+      }
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<std::unique_ptr<Rule>>& all_rules() {
@@ -439,6 +506,7 @@ const std::vector<std::unique_ptr<Rule>>& all_rules() {
     rules->push_back(std::make_unique<UnorderedIteration>());
     rules->push_back(std::make_unique<PointerOrdering>());
     rules->push_back(std::make_unique<SnapshotCoverage>());
+    rules->push_back(std::make_unique<AtomicSpin>());
     return rules;
   }();
   return *kRules;
