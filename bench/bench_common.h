@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/fct_experiment.h"
+#include "core/hybrid_experiment.h"
 #include "core/runner.h"
 #include "core/scenario.h"
 #include "util/error.h"
@@ -193,6 +194,25 @@ class BenchJson {
     std::size_t fault_outages = 0;   // control-plane outage events observed
     std::size_t fault_completed = 0;
     std::size_t fault_flows = 0;
+    // Hybrid packet/fluid cells (bench_hybrid, bench_fig6_scale --scale=rng):
+    // the per-flow byte-identity fingerprint plus the co-simulation split.
+    bool has_hybrid = false;
+    std::uint64_t result_hash = 0;
+    std::uint64_t fluid_windows = 0;
+    std::uint64_t fluid_solves = 0;
+    std::uint64_t fluid_solves_skipped = 0;
+    std::size_t internal_flows = 0;
+    std::size_t boundary_flows = 0;
+    std::size_t external_flows = 0;
+    int region_switches = 0;
+    int cut_links = 0;
+    // Calibration cells (bench_hybrid): the pure-packet reference and the
+    // hybrid/packet FCT ratios the documented tolerance is judged against.
+    bool has_calib = false;
+    double packet_p50_ms = 0;
+    double packet_p99_ms = 0;
+    double p50_ratio = 0;
+    double p99_ratio = 0;
   };
 
   BenchJson(std::string name, const Flags& flags)
@@ -279,6 +299,29 @@ class BenchJson {
         w.kv("retransmits", c.retransmits);
         w.end_object();
       }
+      if (c.has_hybrid) {
+        w.key("hybrid");
+        w.begin_object();
+        w.kv("result_hash", c.result_hash);
+        w.kv("fluid_windows", c.fluid_windows);
+        w.kv("fluid_solves", c.fluid_solves);
+        w.kv("fluid_solves_skipped", c.fluid_solves_skipped);
+        w.kv("internal_flows", static_cast<std::int64_t>(c.internal_flows));
+        w.kv("boundary_flows", static_cast<std::int64_t>(c.boundary_flows));
+        w.kv("external_flows", static_cast<std::int64_t>(c.external_flows));
+        w.kv("region_switches", c.region_switches);
+        w.kv("cut_links", c.cut_links);
+        w.end_object();
+      }
+      if (c.has_calib) {
+        w.key("calibration");
+        w.begin_object();
+        w.kv("packet_p50_ms", c.packet_p50_ms);
+        w.kv("packet_p99_ms", c.packet_p99_ms);
+        w.kv("p50_ratio", c.p50_ratio);
+        w.kv("p99_ratio", c.p99_ratio);
+        w.end_object();
+      }
       if (c.has_fault) {
         w.key("fault");
         w.begin_object();
@@ -343,6 +386,13 @@ inline std::int64_t field_i(const util::SweepJournal::Fields& f,
                        : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
+inline std::uint64_t field_u(const util::SweepJournal::Fields& f,
+                             const char* key, std::uint64_t def = 0) {
+  const auto it = f.find(key);
+  return it == f.end() ? def
+                       : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
 inline std::string field_s(const util::SweepJournal::Fields& f,
                            const char* key, const char* def = "") {
   const auto it = f.find(key);
@@ -370,6 +420,25 @@ inline util::SweepJournal::Fields cell_to_fields(const BenchJson::Cell& c) {
     f["p99_ms"] = fmt_double(c.p99_ms);
     f["drops"] = std::to_string(c.drops);
     f["retransmits"] = std::to_string(c.retransmits);
+  }
+  if (c.has_hybrid) {
+    f["hybrid"] = "1";
+    f["result_hash"] = std::to_string(c.result_hash);
+    f["fluid_windows"] = std::to_string(c.fluid_windows);
+    f["fluid_solves"] = std::to_string(c.fluid_solves);
+    f["fluid_solves_skipped"] = std::to_string(c.fluid_solves_skipped);
+    f["internal_flows"] = std::to_string(c.internal_flows);
+    f["boundary_flows"] = std::to_string(c.boundary_flows);
+    f["external_flows"] = std::to_string(c.external_flows);
+    f["region_switches"] = std::to_string(c.region_switches);
+    f["cut_links"] = std::to_string(c.cut_links);
+  }
+  if (c.has_calib) {
+    f["calib"] = "1";
+    f["packet_p50_ms"] = fmt_double(c.packet_p50_ms);
+    f["packet_p99_ms"] = fmt_double(c.packet_p99_ms);
+    f["p50_ratio"] = fmt_double(c.p50_ratio);
+    f["p99_ratio"] = fmt_double(c.p99_ratio);
   }
   if (c.has_fault) {
     f["fault"] = "1";
@@ -409,6 +478,26 @@ inline BenchJson::Cell cell_from_fields(const util::SweepJournal::Fields& f) {
     c.drops = field_i(f, "drops");
     c.retransmits = field_i(f, "retransmits");
   }
+  c.has_hybrid = field_i(f, "hybrid") != 0;
+  if (c.has_hybrid) {
+    c.result_hash = field_u(f, "result_hash");  // full uint64, no sign clip
+    c.fluid_windows = static_cast<std::uint64_t>(field_i(f, "fluid_windows"));
+    c.fluid_solves = static_cast<std::uint64_t>(field_i(f, "fluid_solves"));
+    c.fluid_solves_skipped =
+        static_cast<std::uint64_t>(field_i(f, "fluid_solves_skipped"));
+    c.internal_flows = static_cast<std::size_t>(field_i(f, "internal_flows"));
+    c.boundary_flows = static_cast<std::size_t>(field_i(f, "boundary_flows"));
+    c.external_flows = static_cast<std::size_t>(field_i(f, "external_flows"));
+    c.region_switches = static_cast<int>(field_i(f, "region_switches"));
+    c.cut_links = static_cast<int>(field_i(f, "cut_links"));
+  }
+  c.has_calib = field_i(f, "calib") != 0;
+  if (c.has_calib) {
+    c.packet_p50_ms = field_d(f, "packet_p50_ms");
+    c.packet_p99_ms = field_d(f, "packet_p99_ms");
+    c.p50_ratio = field_d(f, "p50_ratio");
+    c.p99_ratio = field_d(f, "p99_ratio");
+  }
   c.has_fault = field_i(f, "fault") != 0;
   if (c.has_fault) {
     c.blackhole_s = field_d(f, "blackhole_s");
@@ -426,6 +515,71 @@ inline BenchJson::Cell cell_from_fields(const util::SweepJournal::Fields& f) {
         static_cast<std::size_t>(field_i(f, "fault_completed"));
     c.fault_flows = static_cast<std::size_t>(field_i(f, "fault_flows"));
   }
+  return c;
+}
+
+// --- rng-scale hybrid tier ---------------------------------------------------
+// Skewed workload for the 10k-100k-switch hybrid cells (the AWS "RNG" design
+// point): `hot_flows` flows fan in to the servers of the first `hot_tors`
+// ToRs — the congested region the auto cut should find — plus `bg_flows`
+// uniform background flows that stay fluid. Generated directly as a flow
+// list: a dense RackTm would be O(racks^2) at this scale. Deterministic in
+// (seed) alone, so cells are byte-identical for any --jobs split.
+inline std::vector<workload::FlowSpec> rng_tier_flows(
+    const topo::Graph& g, std::uint64_t seed, int hot_tors, int hot_flows,
+    int bg_flows, std::int64_t bytes, Time arrival_window) {
+  Rng rng(splitmix64(seed ^ 0x726e675fULL));
+  std::vector<topo::HostId> hot;
+  for (topo::NodeId t = 0; t < g.num_switches() && t < hot_tors; ++t)
+    for (int s = 0; s < g.servers(t); ++s)
+      hot.push_back(g.first_host_of(t) + s);
+  const auto hosts = static_cast<std::uint64_t>(g.total_servers());
+  std::vector<workload::FlowSpec> specs;
+  specs.reserve(static_cast<std::size_t>(hot_flows + bg_flows));
+  const auto draw_start = [&] {
+    return static_cast<Time>(
+        rng.uniform(static_cast<std::uint64_t>(arrival_window)));
+  };
+  for (int i = 0; i < hot_flows; ++i) {
+    const auto dst = hot[rng.uniform(hot.size())];
+    auto src = static_cast<topo::HostId>(rng.uniform(hosts));
+    if (src == dst) src = static_cast<topo::HostId>((src + 1) % hosts);
+    specs.push_back(workload::FlowSpec{src, dst, bytes, draw_start()});
+  }
+  for (int i = 0; i < bg_flows; ++i) {
+    auto src = static_cast<topo::HostId>(rng.uniform(hosts));
+    auto dst = static_cast<topo::HostId>(rng.uniform(hosts));
+    if (dst == src) dst = static_cast<topo::HostId>((dst + 1) % hosts);
+    specs.push_back(workload::FlowSpec{src, dst, bytes, draw_start()});
+  }
+  return specs;
+}
+
+// Copies a HybridResult into a journal-round-trippable cell.
+inline BenchJson::Cell hybrid_cell(const std::string& label,
+                                   const core::HybridResult& r) {
+  BenchJson::Cell c;
+  c.label = label;
+  c.events = r.packet_events;
+  c.intra_jobs = r.intra_jobs;
+  c.table_build_s = r.table_build_s;
+  c.has_fct = true;
+  c.flows = r.flows;
+  c.completed = r.completed;
+  c.p50_ms = r.median_ms();
+  c.p99_ms = r.p99_ms();
+  c.drops = r.queue_drops;
+  c.retransmits = r.retransmits;
+  c.has_hybrid = true;
+  c.result_hash = r.result_hash;
+  c.fluid_windows = r.fluid_windows;
+  c.fluid_solves = r.fluid_solves;
+  c.fluid_solves_skipped = r.fluid_solves_skipped;
+  c.internal_flows = r.internal_flows;
+  c.boundary_flows = r.boundary_flows;
+  c.external_flows = r.external_flows;
+  c.region_switches = r.region_switches;
+  c.cut_links = r.cut_links;
   return c;
 }
 

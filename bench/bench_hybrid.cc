@@ -1,0 +1,183 @@
+// Hybrid packet/fluid co-simulation bench (ISSUE 7 tentpole): writes
+// BENCH_hybrid.json with two cell families.
+//
+//  * Calibration cells — the BENCH_fidelity small cell (6x2 DRing, uniform
+//    TM) at three utilizations, each run both hybrid (hot region = two
+//    adjacent supernodes) and pure packet. The JSON records the hybrid and
+//    packet p50/p99 plus their ratios; the documented envelope (tested by
+//    Hybrid.CalibrationWithinDocumentedTolerance) is a 2x ratio band.
+//
+//  * Scale cells — a 10k-switch DRing (m=2500, n=4) with a skewed rng-tier
+//    workload, far past what the pure packet engine finishes in comparable
+//    wall-clock, run TWICE: --intra_jobs=1 and --intra_jobs=2. Identical
+//    result_hash values in the JSON are the committed evidence that hybrid
+//    runs are byte-identical across intra_jobs; the process exits nonzero
+//    if they diverge. Cells run through ResumableSweep, so a kill -9
+//    mid-cell resumes from the periodic checkpoint with --resume
+//    (kill_resume_smoke-style) and must land on the same hash.
+//
+// Flags: --jobs, --intra_jobs (scale-cell override), --resume, --audit,
+// --checkpoint_ms, --json_out, plus --m=2500 to shrink/grow the scale cell.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fct_experiment.h"
+#include "core/hybrid_experiment.h"
+#include "topo/builders.h"
+#include "util/table.h"
+#include "workload/flows.h"
+#include "workload/tm.h"
+
+namespace spineless {
+namespace {
+
+// The small-cell hybrid configuration the calibration tests pin: hot region
+// = supernodes {0,1} (a single DRing supernode has no internal links), fine
+// 50us windows so window-granularity loss recovery stays out of the tail.
+core::HybridConfig calib_cfg(double utilization) {
+  core::HybridConfig cfg;
+  cfg.fct.seed = 7;
+  cfg.fct.flowgen.offered_load_bps =
+      workload::spine_offered_load_bps(6, 2, 10e9, utilization);
+  cfg.fct.flowgen.window = units::kMillisecond;
+  cfg.fct.drain_factor = 8.0;
+  cfg.region_mode = core::RegionMode::kSupernodes;
+  cfg.region_supernodes = {0, 1};
+  cfg.window = 50 * units::kMicrosecond;
+  return cfg;
+}
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::install_signal_handlers();
+  const std::vector<double> utils = {0.2, 0.3, 0.4};
+  const int m = static_cast<int>(flags.get_int("m", 2500));
+  const int tors_per_supernode = 4;
+  const int servers_per_tor = 2;
+  const int ports = 4 * tors_per_supernode + servers_per_tor;
+  const Time window = flags.get_int("window_ms", 2) * units::kMillisecond;
+  const auto hot_flows = static_cast<int>(flags.get_int("hot_flows", 512));
+  const auto bg_flows = static_cast<int>(flags.get_int("bg_flows", 256));
+  const std::int64_t bytes = flags.get_int("flow_bytes", 250'000);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  const std::vector<int> scale_intra = {1, bench::intra_jobs_from(flags) > 1
+                                               ? bench::intra_jobs_from(flags)
+                                               : 2};
+
+  std::printf("== bench_hybrid: packet/fluid co-simulation ==\n");
+  std::printf(
+      "calibration: dring(6,2,2) x utilization {0.2,0.3,0.4} | scale: "
+      "dring(m=%d,n=%d) = %d switches, %d hot + %d bg flows\n\n",
+      m, tors_per_supernode, m * tors_per_supernode, hot_flows, bg_flows);
+
+  const std::size_t n_cells = utils.size() + scale_intra.size();
+  core::Runner runner(bench::outer_jobs(flags));
+  const std::string config_sig =
+      "hybrid m=" + std::to_string(m) + " hot=" + std::to_string(hot_flows) +
+      " bg=" + std::to_string(bg_flows) + " bytes=" + std::to_string(bytes) +
+      " window=" + std::to_string(static_cast<long long>(window)) +
+      " seed=" + std::to_string(seed) +
+      " intra=" + std::to_string(scale_intra[1]);
+  bench::ResumableSweep sweep("hybrid", flags, config_sig);
+  const auto cells = bench::run_resumable(
+      runner, n_cells, sweep, [&](std::size_t idx, util::CellContext& ctx) {
+        if (idx < utils.size()) {
+          // Calibration: hybrid vs pure packet on the same cell.
+          auto cfg = calib_cfg(utils[idx]);
+          cfg.fct.checkpoint = sweep.spec_for(idx, ctx);
+          const auto d = topo::make_dring(6, 2, 2);
+          const auto tm = workload::RackTm::uniform(d.graph);
+          const auto hybrid =
+              core::run_hybrid_experiment(d.graph, tm, cfg, &d.supernode_of);
+          core::FctConfig pcfg = cfg.fct;
+          pcfg.checkpoint = sim::CheckpointSpec{};
+          const auto packet = core::run_fct_experiment(d.graph, tm, pcfg);
+          auto c = bench::hybrid_cell(
+              "calib util=" + Table::fmt(utils[idx], 1), hybrid);
+          c.has_calib = true;
+          c.packet_p50_ms = packet.median_ms();
+          c.packet_p99_ms = packet.p99_ms();
+          c.p50_ratio = packet.median_ms() > 0
+                            ? hybrid.median_ms() / packet.median_ms()
+                            : 0;
+          c.p99_ratio =
+              packet.p99_ms() > 0 ? hybrid.p99_ms() / packet.p99_ms() : 0;
+          return c;
+        }
+        // Scale: the 10k-switch DRing, once per intra_jobs value.
+        const int intra = scale_intra[idx - utils.size()];
+        core::HybridConfig cfg;
+        cfg.fct.seed = seed;
+        cfg.fct.flowgen.window = window;
+        cfg.fct.drain_factor = 10.0;
+        cfg.fct.net.mode = sim::RoutingMode::kShortestUnion;
+        cfg.fct.net.intra_jobs = intra;
+        cfg.fct.net.table_jobs = bench::jobs_from(flags);
+        cfg.fct.checkpoint = sweep.spec_for(idx, ctx);
+        cfg.region_mode = core::RegionMode::kAuto;
+        cfg.auto_region_switches = 2 * tors_per_supernode;
+        const topo::DRing dring =
+            topo::make_dring(m, tors_per_supernode, servers_per_tor, ports);
+        const auto specs = bench::rng_tier_flows(
+            dring.graph, seed, 2 * tors_per_supernode, hot_flows, bg_flows,
+            bytes, window);
+        const auto r = core::run_hybrid_experiment_flows(dring.graph, specs, cfg);
+        return bench::hybrid_cell("scale " +
+                                      std::to_string(m * tors_per_supernode) +
+                                      "sw intra=" + std::to_string(intra),
+                                  r);
+      });
+
+  bench::BenchJson json("hybrid", flags);
+  if (sweep.journal().loaded() > 0) json.mark_resumed();
+  Table t({"cell", "p50 (ms)", "p99 (ms)", "p50 ratio", "p99 ratio",
+           "completed", "pkt events", "solves/skip"});
+  for (const auto& c : cells) {
+    json.add(c);
+    t.add_row({c.label,
+               c.status == "ok" ? Table::fmt(c.p50_ms) : "(" + c.status + ")",
+               c.status == "ok" ? Table::fmt(c.p99_ms) : "-",
+               c.has_calib ? Table::fmt(c.p50_ratio, 2) : "-",
+               c.has_calib ? Table::fmt(c.p99_ratio, 2) : "-",
+               std::to_string(c.completed) + "/" + std::to_string(c.flows),
+               std::to_string(c.events),
+               std::to_string(c.fluid_solves) + "/" +
+                   std::to_string(c.fluid_solves_skipped)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  if (bench::interrupted()) {
+    json.mark_partial();
+    json.write();
+    std::fprintf(stderr,
+                 "interrupted: journal + checkpoints kept; rerun with "
+                 "--resume to finish\n");
+    return 130;
+  }
+  json.write();
+  sweep.finish(n_cells);
+
+  // Byte-identity gate: both scale cells must land on the same result_hash.
+  const auto& a = cells[utils.size()];
+  const auto& b = cells[utils.size() + 1];
+  if (a.status == "ok" && b.status == "ok") {
+    if (a.result_hash != b.result_hash) {
+      std::fprintf(stderr,
+                   "FAIL: scale cell hashes diverge across intra_jobs "
+                   "(%llu vs %llu)\n",
+                   static_cast<unsigned long long>(a.result_hash),
+                   static_cast<unsigned long long>(b.result_hash));
+      return 1;
+    }
+    std::printf("scale cells byte-identical across intra_jobs (hash %llu)\n",
+                static_cast<unsigned long long>(a.result_hash));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace spineless
+
+int main(int argc, char** argv) { return spineless::run(argc, argv); }

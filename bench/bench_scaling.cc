@@ -34,20 +34,23 @@ namespace {
 struct Cell {
   int intra_jobs = 1;
   int cores_used = 1;  // reactor threads actually backing the shards
+  bool pin_reactors = false;
   std::uint64_t events = 0;
   double wall_s = 0;
   double events_per_sec = 0;
   sim::ShardedEngine::Metrics metrics;
 };
 
-Cell run_cell(int intra_jobs) {
+Cell run_cell(int intra_jobs, bool pin_reactors) {
   constexpr int kTimedRuns = 3;
   Cell c;
   c.intra_jobs = intra_jobs;
+  c.pin_reactors = pin_reactors;
   for (int run = 0; run < 1 + kTimedRuns; ++run) {
     const auto d = topo::make_dring(5, 2, 4);
     sim::NetworkConfig cfg;
     cfg.intra_jobs = intra_jobs;
+    cfg.pin_reactors = pin_reactors;
     sim::Network net(d.graph, cfg);
     sim::FlowDriver driver(net, sim::TcpConfig{});
     Rng rng(7);
@@ -87,11 +90,12 @@ Cell run_cell(int intra_jobs) {
   return c;
 }
 
-int run(const std::string& path) {
+int run(const std::string& path, bool pin_reactors) {
   const unsigned hw_raw = std::thread::hardware_concurrency();
   const int hw = hw_raw == 0 ? 1 : static_cast<int>(hw_raw);
   std::vector<Cell> cells;
-  for (int intra : {1, 2, 4, 7}) cells.push_back(run_cell(intra));
+  for (int intra : {1, 2, 4, 7})
+    cells.push_back(run_cell(intra, pin_reactors));
   const double serial_rate = cells.front().events_per_sec;
 
   JsonWriter w;
@@ -113,6 +117,9 @@ int run(const std::string& path) {
     w.value(static_cast<std::int64_t>(c.intra_jobs));
     w.key("cores_used");
     w.value(static_cast<std::int64_t>(c.cores_used));
+    // Affinity is a pure scheduling hint (results are byte-identical either
+    // way) but it changes the throughput figures, so each cell records it.
+    w.kv("pin_reactors", c.pin_reactors);
     w.key("events");
     w.value(static_cast<std::int64_t>(c.events));
     w.key("wall_s");
@@ -136,6 +143,10 @@ int run(const std::string& path) {
       w.value(static_cast<std::int64_t>(c.metrics.ring_handoffs));
       w.key("engine_max_ring_occupancy");
       w.value(static_cast<std::int64_t>(c.metrics.max_ring_occupancy));
+      w.key("engine_ring_capacity");
+      w.value(static_cast<std::int64_t>(c.metrics.ring_capacity));
+      w.key("engine_ring_growths");
+      w.value(static_cast<std::int64_t>(c.metrics.ring_growths));
       w.key("engine_spin_waits");
       w.value(static_cast<std::int64_t>(c.metrics.spin_waits));
       w.key("engine_central_plans");
@@ -164,8 +175,12 @@ int run(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string path = "BENCH_scaling.json";
+  bool pin_reactors = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) path = argv[i] + 7;
+    if (std::strcmp(argv[i], "--pin_reactors") == 0 ||
+        std::strcmp(argv[i], "--pin_reactors=1") == 0)
+      pin_reactors = true;
   }
-  return spineless::run(path);
+  return spineless::run(path, pin_reactors);
 }

@@ -51,6 +51,28 @@ awk -v s="$serial_eps" -v p="$intra2_eps" 'BEGIN {
   if (overhead > 10.0) { print "perf smoke: 1-core overhead above 10% gate"; exit 1 }
 }'
 
+echo "== hybrid smoke (packet/fluid co-simulation) =="
+# A small hybrid cell (48-switch DRing): the binary itself asserts the
+# result hash is byte-identical across intra_jobs={1,2} (exits nonzero on
+# divergence); on top of that the smoke requires genuinely hybrid
+# execution — nonzero packet events AND nonzero fluid windows/solves in
+# every scale cell, so a regression that silently degenerates one half to
+# a no-op cannot pass.
+./build/bench/bench_hybrid --m=12 --hot_flows=64 --bg_flows=32 \
+  --json_out=hybrid_smoke.json
+awk '
+  /"result_hash":/   { if ($NF + 0 != 0) hash_ok = 1 }
+  /"events":/        { if ($NF + 0 > 0) pkt_ok = 1 }
+  /"fluid_windows":/ { if ($NF + 0 > 0) windows_ok = 1 }
+  /"fluid_solves":/  { if ($NF + 0 > 0) solves_ok = 1 }
+  END {
+    if (!hash_ok)    { print "hybrid smoke: no nonzero result_hash"; exit 1 }
+    if (!pkt_ok)     { print "hybrid smoke: zero packet events"; exit 1 }
+    if (!windows_ok) { print "hybrid smoke: zero fluid windows"; exit 1 }
+    if (!solves_ok)  { print "hybrid smoke: zero fluid solves"; exit 1 }
+    print "hybrid smoke: determinism hash ok, packet + fluid halves live"
+  }' RS=',|\n' FS=':' hybrid_smoke.json
+
 echo "== tier-1 test suite =="
 ctest --test-dir build --output-on-failure
 

@@ -62,11 +62,12 @@ done
 if [[ "$TSAN" == 1 ]]; then
   # Race detection over everything that spawns threads: the experiment
   # runner, parallel table construction, the sharded engine, the fault
-  # subsystem's sharded BFD sessions / incremental repairs, and the
-  # checkpoint/watchdog machinery.
+  # subsystem's sharded BFD sessions / incremental repairs, the
+  # checkpoint/watchdog machinery, and the hybrid co-simulation window
+  # loop (boundary reprogramming against live reactor threads).
   cmake -B build-tsan -G Ninja -DSPINELESS_TSAN=ON
   cmake --build build-tsan
-  ctest --test-dir build-tsan -L 'concurrency|fault|robustness' --output-on-failure
+  ctest --test-dir build-tsan -L 'concurrency|fault|robustness|hybrid' --output-on-failure
   exit 0
 fi
 
@@ -77,7 +78,7 @@ if [[ "$UBSAN" == 1 ]]; then
   # combined ASAN preset would only warn about.
   cmake -B build-ubsan -G Ninja -DSPINELESS_UBSAN=ON
   cmake --build build-ubsan
-  ctest --test-dir build-ubsan -L 'concurrency|fault|robustness' --output-on-failure
+  ctest --test-dir build-ubsan -L 'concurrency|fault|robustness|hybrid' --output-on-failure
   exit 0
 fi
 

@@ -1,0 +1,747 @@
+#include "core/hybrid_experiment.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "core/throughput_experiment.h"
+#include "flowsim/maxmin.h"
+#include "sim/boundary.h"
+#include "sim/sharded_engine.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace spineless::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// A fluid flow is complete when less than an eighth of a byte remains —
+// the FlowLevelSimulator retirement threshold, reused verbatim.
+constexpr double kRemainingEps = 0.125;
+// Full-graph path sampling: below this switch count the mode-aware
+// PathSampler (ECMP / Shortest-Union tables) is affordable; above it the
+// all-pairs table build is O(V*E) per destination and a BFS walk sampler
+// with a bounded distance-array cache takes over.
+constexpr topo::NodeId kPathTableThreshold = 4096;
+constexpr std::uint64_t kPathStreamSalt = 0x70617468ULL;    // "path"
+constexpr std::uint64_t kBoundarySalt = 0x424e4459ULL;      // "BNDY"
+
+// --- Fluid resource indexing (the FluidNetwork layout, full graph) -------
+// host uplink h | host downlink nh+h | directed link 2nh + 2l + dir.
+struct ResourceSpace {
+  std::int64_t num_hosts = 0;
+  std::int64_t num_links = 0;
+  int host_up(topo::HostId h) const { return static_cast<int>(h); }
+  int host_down(topo::HostId h) const {
+    return static_cast<int>(num_hosts + h);
+  }
+  int link(topo::LinkId l, bool a_to_b) const {
+    return static_cast<int>(2 * num_hosts + 2 * l + (a_to_b ? 0 : 1));
+  }
+  std::size_t total() const {
+    return static_cast<std::size_t>(2 * num_hosts + 2 * num_links);
+  }
+};
+
+// First link between adjacent switches (parallel links: lowest port index —
+// deterministic).
+topo::LinkId link_between(const topo::Graph& g, topo::NodeId u,
+                          topo::NodeId v) {
+  for (const topo::Port& p : g.neighbors(u)) {
+    if (p.neighbor == v) return p.link;
+  }
+  SPINELESS_CHECK_MSG(false, "path step between non-adjacent switches");
+  return topo::kInvalidLink;
+}
+
+// Shortest-path walk sampler for graphs too large for PathSampler's
+// all-pairs tables: BFS distances from the destination (cached, bounded),
+// then a uniform walk over distance-decreasing neighbors — the fluid
+// analogue of hop-by-hop ECMP on a huge graph.
+class BfsSampler {
+ public:
+  explicit BfsSampler(const topo::Graph& g) : g_(g) {}
+
+  routing::Path sample(topo::NodeId src, topo::NodeId dst, Rng& rng) {
+    const std::vector<std::int32_t>& dist = dist_to(dst);
+    SPINELESS_CHECK_MSG(dist[static_cast<std::size_t>(src)] >= 0,
+                        "graph is disconnected");
+    routing::Path path{src};
+    topo::NodeId cur = src;
+    while (cur != dst) {
+      const std::int32_t d = dist[static_cast<std::size_t>(cur)];
+      scratch_.clear();
+      for (const topo::Port& p : g_.neighbors(cur)) {
+        if (dist[static_cast<std::size_t>(p.neighbor)] == d - 1)
+          scratch_.push_back(p.neighbor);
+      }
+      cur = scratch_[rng.uniform(scratch_.size())];
+      path.push_back(cur);
+    }
+    return path;
+  }
+
+ private:
+  // FIFO-bounded distance cache: skewed TMs concentrate destinations on few
+  // racks, so a handful of arrays covers most flows; the bound keeps worst-
+  // case memory at kMaxCached * num_switches ints. Purely a speed cache —
+  // eviction can never change a sampled path.
+  static constexpr std::size_t kMaxCached = 64;
+
+  const std::vector<std::int32_t>& dist_to(topo::NodeId dst) {
+    for (const auto& e : cache_) {
+      if (e.first == dst) return e.second;
+    }
+    std::vector<std::int32_t> dist(
+        static_cast<std::size_t>(g_.num_switches()), -1);
+    std::vector<topo::NodeId> frontier{dst};
+    dist[static_cast<std::size_t>(dst)] = 0;
+    std::vector<topo::NodeId> next;
+    while (!frontier.empty()) {
+      next.clear();
+      for (topo::NodeId n : frontier) {
+        const std::int32_t d = dist[static_cast<std::size_t>(n)];
+        for (const topo::Port& p : g_.neighbors(n)) {
+          auto& dn = dist[static_cast<std::size_t>(p.neighbor)];
+          if (dn < 0) {
+            dn = d + 1;
+            next.push_back(p.neighbor);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    if (cache_.size() >= kMaxCached) cache_.erase(cache_.begin());
+    cache_.emplace_back(dst, std::move(dist));
+    return cache_.back().second;
+  }
+
+  const topo::Graph& g_;
+  std::vector<std::pair<topo::NodeId, std::vector<std::int32_t>>> cache_;
+  std::vector<topo::NodeId> scratch_;
+};
+
+enum class FlowKind : std::uint8_t { kInternal, kBoundary, kExternal };
+
+// One flow's co-simulation plan, derived from its sampled full-graph path.
+struct FlowPlan {
+  FlowKind kind = FlowKind::kExternal;
+  std::vector<int> resources;       // fluid resources (boundary/external)
+  topo::HostId pkt_src = -1;        // region host ids (boundary only)
+  topo::HostId pkt_dst = -1;
+  topo::LinkId boundary_link = topo::kInvalidLink;  // phase-key component
+};
+
+int cut_index_of(const topo::RegionCut& cut, topo::LinkId l) {
+  const auto it = std::lower_bound(
+      cut.cut.begin(), cut.cut.end(), l,
+      [](const topo::CutLink& c, topo::LinkId id) { return c.link < id; });
+  SPINELESS_CHECK(it != cut.cut.end() && it->link == l);
+  return static_cast<int>(it - cut.cut.begin());
+}
+
+FlowPlan classify_flow(const topo::Graph& g, const topo::RegionCut& cut,
+                       const topo::RegionGraph& rg, const ResourceSpace& rs,
+                       const workload::FlowSpec& f,
+                       const routing::Path& path) {
+  const std::size_t len = path.size();
+  std::size_t i0 = len;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (cut.contains(path[i])) {
+      i0 = i;
+      break;
+    }
+  }
+  FlowPlan plan;
+  const auto add_edge = [&](std::size_t t) {
+    const topo::LinkId l = link_between(g, path[t], path[t + 1]);
+    plan.resources.push_back(rs.link(l, g.link(l).a == path[t]));
+  };
+  if (i0 == len) {  // no hot switch: pure fluid
+    plan.kind = FlowKind::kExternal;
+    plan.resources.push_back(rs.host_up(f.src));
+    for (std::size_t t = 0; t + 1 < len; ++t) add_edge(t);
+    plan.resources.push_back(rs.host_down(f.dst));
+    return plan;
+  }
+  std::size_t j0 = i0;
+  while (j0 + 1 < len && cut.contains(path[j0 + 1])) ++j0;
+  if (i0 == 0 && j0 == len - 1) {  // whole path hot: full TCP
+    plan.kind = FlowKind::kInternal;
+    return plan;
+  }
+
+  plan.kind = FlowKind::kBoundary;
+  if (i0 == 0) {
+    plan.pkt_src = rg.host_to_region[static_cast<std::size_t>(f.src)];
+  } else {
+    const topo::LinkId entry = link_between(g, path[i0 - 1], path[i0]);
+    plan.pkt_src = rg.gateway_host[static_cast<std::size_t>(
+        cut_index_of(cut, entry))];
+    plan.boundary_link = entry;
+    // Fluid half upstream of the region: src NIC + every edge strictly
+    // before the entry cut link (the cut link itself is modeled by the
+    // gateway host's NIC inside the packet region).
+    plan.resources.push_back(rs.host_up(f.src));
+    for (std::size_t t = 0; t + 1 < i0; ++t) add_edge(t);
+  }
+  if (j0 == len - 1) {
+    plan.pkt_dst = rg.host_to_region[static_cast<std::size_t>(f.dst)];
+  } else {
+    const topo::LinkId exit = link_between(g, path[j0], path[j0 + 1]);
+    plan.pkt_dst = rg.gateway_host[static_cast<std::size_t>(
+        cut_index_of(cut, exit))];
+    if (plan.boundary_link == topo::kInvalidLink) plan.boundary_link = exit;
+    // Fluid half downstream: every edge strictly after the exit cut link
+    // (re-entries into the hot set past the first run stay fluid — a
+    // deliberate approximation) + dst NIC.
+    for (std::size_t t = j0 + 1; t + 1 < len; ++t) add_edge(t);
+    plan.resources.push_back(rs.host_down(f.dst));
+  }
+  if (plan.pkt_src == plan.pkt_dst) {
+    // Degenerate cut (entry and exit collapse onto one gateway): fall back
+    // to pure fluid over the whole path rather than injecting self-traffic.
+    plan = FlowPlan{};
+    plan.kind = FlowKind::kExternal;
+    plan.resources.push_back(rs.host_up(f.src));
+    for (std::size_t t = 0; t + 1 < len; ++t) add_edge(t);
+    plan.resources.push_back(rs.host_down(f.dst));
+  }
+  return plan;
+}
+
+// --- The fluid half + boundary bookkeeping, checkpointed as "HYBR" -------
+
+struct FluidFlowState {
+  // Static (reconstructed, not serialized):
+  std::size_t spec = 0;             // index into the flow list
+  FlowKind kind = FlowKind::kExternal;
+  std::vector<int> resources;
+  std::int64_t bytes = 0;
+  Time start = 0;
+  int boundary = -1;                // index into sources_/sinks_
+
+  // Dynamic (HYBR section):
+  double remaining = 0;
+  double rate = 0;
+  double cap = kInf;
+  double cap_at_solve = kInf;
+  std::int64_t delivered_last = 0;
+  Time finish = -1;
+  bool active = false;
+  bool done = false;
+};
+
+class HybridLoop : public sim::Checkpointable {
+ public:
+  HybridLoop(const HybridConfig& cfg, std::vector<double> capacities)
+      : cfg_(cfg), capacities_(std::move(capacities)) {}
+
+  void add_fluid_flow(FluidFlowState s) {
+    s.remaining = static_cast<double>(s.bytes);
+    fluid_.push_back(std::move(s));
+  }
+  void add_boundary(std::unique_ptr<sim::BoundarySource> src,
+                    std::unique_ptr<sim::BoundarySink> sink) {
+    sources_.push_back(std::move(src));
+    sinks_.push_back(std::move(sink));
+  }
+  int num_boundaries() const { return static_cast<int>(sources_.size()); }
+
+  // Quiescent-boundary window protocol. begin_window runs in the control
+  // context (activations, the capped solve, boundary reprogramming);
+  // end_window reads the packet-side measurements back.
+  void begin_window(sim::Simulator& control, Time t, Time w_end) {
+    static_cast<void>(t);
+    // Flows whose nominal start falls inside the upcoming window activate
+    // now: the solve sees them for the whole window (a conservative
+    // over-subscription of at most one window) but their drain and pacing
+    // are anchored at the exact start (see end_window / not_before), so
+    // window size bounds rate error, not start skew.
+    for (FluidFlowState& f : fluid_) {
+      if (!f.done && !f.active && f.start < w_end) f.active = true;
+    }
+    std::uint64_t sig = 0x48594252ULL;
+    std::size_t num_active = 0;
+    bool caps_moved = false;
+    for (std::size_t i = 0; i < fluid_.size(); ++i) {
+      const FluidFlowState& f = fluid_[i];
+      if (!f.active) continue;
+      ++num_active;
+      sig = splitmix64(sig ^ i);
+      if (f.kind == FlowKind::kBoundary && !caps_moved) {
+        // A cap only matters when it clamps. If the flow was cap-bound at
+        // the last solve, any move beyond the tolerance re-solves; if it
+        // was not, the measured-rate jitter in the cap is irrelevant until
+        // the cap undercuts the rate the flow already holds.
+        const double tol = cfg_.cap_tolerance;
+        const bool was_bound = !std::isinf(f.cap_at_solve) &&
+                               f.rate >= f.cap_at_solve * (1.0 - tol);
+        if (was_bound) {
+          const double base = std::max(f.cap_at_solve, 1.0);
+          if (std::isinf(f.cap) ||
+              std::abs(f.cap - f.cap_at_solve) > tol * base)
+            caps_moved = true;
+        } else if (!std::isinf(f.cap) && f.cap < f.rate * (1.0 - tol)) {
+          caps_moved = true;
+        }
+      }
+    }
+    if (num_active > 0) {
+      if (sig != active_sig_ || caps_moved) {
+        solve(num_active);
+        active_sig_ = sig;
+      } else {
+        ++solves_skipped_;
+      }
+    }
+    // Re-sync every active boundary source to the bytes still owed — the
+    // abstract retransmission of packets the region dropped last window.
+    for (const FluidFlowState& f : fluid_) {
+      if (!f.active || f.kind != FlowKind::kBoundary) continue;
+      const auto bi = static_cast<std::size_t>(f.boundary);
+      const std::int64_t owed = f.bytes - sinks_[bi]->delivered();
+      sources_[bi]->program(control, static_cast<std::int64_t>(f.rate),
+                            owed, /*not_before=*/f.start);
+    }
+  }
+
+  void end_window(Time t, Time w_end) {
+    ++windows_;
+    const double dt_s = units::to_seconds(w_end - t);
+    for (FluidFlowState& f : fluid_) {
+      if (!f.active) continue;
+      // A flow activated mid-window drains only from its exact start.
+      const Time base = f.start > t ? f.start : t;
+      if (f.kind == FlowKind::kExternal) {
+        if (f.rate <= 0) continue;
+        const Time dt = w_end - base;
+        const double drain = f.rate * units::to_seconds(dt) / 8.0;
+        if (f.remaining <= drain + kRemainingEps) {
+          // Interpolated completion inside the window.
+          const double frac_s = f.remaining * 8.0 / f.rate;
+          f.finish = base + std::min<Time>(
+                                dt, static_cast<Time>(
+                                        frac_s *
+                                        static_cast<double>(units::kSecond)));
+          f.remaining = 0;
+          f.done = true;
+          f.active = false;
+        } else {
+          f.remaining -= drain;
+        }
+      } else {
+        const auto bi = static_cast<std::size_t>(f.boundary);
+        const std::int64_t delivered = sinks_[bi]->delivered();
+        const std::int64_t delta = delivered - f.delivered_last;
+        f.delivered_last = delivered;
+        f.remaining = static_cast<double>(f.bytes - delivered);
+        const double measured =
+            static_cast<double>(delta) * 8.0 / dt_s;
+        const double floor_rate =
+            static_cast<double>(sim::kMss) * 8.0 / dt_s;
+        f.cap = std::max(cfg_.cap_headroom * measured, floor_rate);
+        if (sinks_[bi]->completed()) {
+          f.finish = sinks_[bi]->finish();
+          f.done = true;
+          f.active = false;
+        }
+      }
+    }
+  }
+
+  std::uint64_t windows() const { return windows_; }
+  std::uint64_t solves() const { return solves_; }
+  std::uint64_t solves_skipped() const { return solves_skipped_; }
+  const std::vector<FluidFlowState>& fluid() const { return fluid_; }
+  const sim::BoundarySink& sink(int i) const {
+    return *sinks_[static_cast<std::size_t>(i)];
+  }
+
+  // Checkpointable (section "HYBR"):
+  std::uint32_t section_tag() const override { return sim::kSectionHybrid; }
+  void collect_sinks(sim::SinkRegistry& reg) override {
+    for (auto& s : sources_) reg.add(s.get(), sim::CtxKind::kPlain);
+  }
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.u64(windows_);
+    w.u64(solves_);
+    w.u64(solves_skipped_);
+    w.u64(active_sig_);
+    w.u64(fluid_.size());
+    for (const FluidFlowState& f : fluid_) {
+      w.f64(f.remaining);
+      w.f64(f.rate);
+      w.f64(f.cap);
+      w.f64(f.cap_at_solve);
+      w.i64(f.delivered_last);
+      w.i64(f.finish);
+      w.u8(f.active ? 1 : 0);
+      w.u8(f.done ? 1 : 0);
+    }
+    for (const auto& s : sources_) s->save_state(w);
+    for (const auto& s : sinks_) s->save_state(w);
+  }
+  void load_state(sim::SnapshotReader& r) override {
+    windows_ = r.u64();
+    solves_ = r.u64();
+    solves_skipped_ = r.u64();
+    active_sig_ = r.u64();
+    SPINELESS_CHECK_MSG(r.u64() == fluid_.size(),
+                        "hybrid snapshot fluid flow count mismatch");
+    for (FluidFlowState& f : fluid_) {
+      f.remaining = r.f64();
+      f.rate = r.f64();
+      f.cap = r.f64();
+      f.cap_at_solve = r.f64();
+      f.delivered_last = r.i64();
+      f.finish = r.i64();
+      f.active = r.u8() != 0;
+      f.done = r.u8() != 0;
+    }
+    for (auto& s : sources_) s->load_state(r);
+    for (auto& s : sinks_) s->load_state(r);
+  }
+
+ private:
+  void solve(std::size_t num_active) {
+    ++solves_;
+    flowsim::MaxMinProblem problem(capacities_);
+    std::vector<double> caps;
+    caps.reserve(num_active);
+    std::vector<std::size_t> added;
+    added.reserve(num_active);
+    for (std::size_t i = 0; i < fluid_.size(); ++i) {
+      FluidFlowState& f = fluid_[i];
+      if (!f.active) continue;
+      problem.add_flow(f.resources);
+      caps.push_back(f.kind == FlowKind::kBoundary ? f.cap : kInf);
+      added.push_back(i);
+      f.cap_at_solve = f.cap;
+    }
+    const std::vector<double> rates = problem.solve_capped(caps);
+    for (std::size_t k = 0; k < added.size(); ++k)
+      fluid_[added[k]].rate = rates[k];
+  }
+
+  const HybridConfig& cfg_;
+  std::vector<double> capacities_;
+  std::vector<FluidFlowState> fluid_;
+  std::vector<std::unique_ptr<sim::BoundarySource>> sources_;
+  std::vector<std::unique_ptr<sim::BoundarySink>> sinks_;
+  std::uint64_t windows_ = 0;
+  std::uint64_t solves_ = 0;
+  std::uint64_t solves_skipped_ = 0;
+  std::uint64_t active_sig_ = 0;
+};
+
+// Windowed co-simulation drive loop, mirroring run_with_boundaries'
+// checkpoint/audit/cancel semantics at window granularity.
+template <typename Engine>
+bool run_windows(Engine& eng, sim::Simulator& control, HybridLoop& loop,
+                 sim::CheckpointSession* session,
+                 const sim::CheckpointSpec& spec, Time deadline,
+                 Time window) {
+  Time t = eng.now();  // resume point when a snapshot was restored
+  Time last_save = t;
+  while (t < deadline) {
+    const Time w_end = std::min<Time>(deadline, t + window);
+    loop.begin_window(control, t, w_end);
+    eng.run_until(w_end);
+    loop.end_window(t, w_end);
+    t = w_end;
+    if (spec.progress) spec.progress(eng.events_processed());
+    if (session != nullptr && spec.audit) {
+      const sim::AuditReport report = session->audit(eng);
+      if (!report.ok()) throw Error(report.to_string());
+    }
+    if (t >= deadline) break;
+    if (session != nullptr && !spec.path.empty() &&
+        (spec.interval <= 0 || t - last_save >= spec.interval)) {
+      session->save(spec.path, eng);
+      last_save = t;
+    }
+    if (spec.cancel && spec.cancel()) return false;
+  }
+  return true;
+}
+
+std::uint64_t mix_double(sim::HashChain& h, double v) {
+  return h.mix(std::bit_cast<std::uint64_t>(v)).value();
+}
+
+}  // namespace
+
+std::uint64_t hybrid_config_hash(const topo::Graph& g,
+                                 const std::vector<workload::FlowSpec>& specs,
+                                 const HybridConfig& cfg) {
+  sim::HashChain h;
+  h.mix(fct_config_hash(g, cfg.fct))
+      .mix(static_cast<std::uint64_t>(cfg.region_mode))
+      .mix(static_cast<std::uint64_t>(cfg.auto_region_switches))
+      .mix(static_cast<std::uint64_t>(cfg.window));
+  mix_double(h, cfg.cap_tolerance);
+  mix_double(h, cfg.cap_headroom);
+  h.mix(cfg.region_switches.size());
+  for (topo::NodeId n : cfg.region_switches)
+    h.mix(static_cast<std::uint64_t>(n));
+  h.mix(cfg.region_supernodes.size());
+  for (int s : cfg.region_supernodes) h.mix(static_cast<std::uint64_t>(s));
+  h.mix(specs.size());
+  for (const workload::FlowSpec& f : specs) {
+    h.mix(static_cast<std::uint64_t>(f.src))
+        .mix(static_cast<std::uint64_t>(f.dst))
+        .mix(static_cast<std::uint64_t>(f.bytes))
+        .mix(static_cast<std::uint64_t>(f.start));
+  }
+  return h.value();
+}
+
+HybridResult run_hybrid_experiment_flows(
+    const topo::Graph& g, const std::vector<workload::FlowSpec>& specs,
+    const HybridConfig& cfg, const std::vector<int>* supernode_of) {
+  // Hashed hop-by-hop modes only: the full-graph path sample and the
+  // region-local tables must come from the same forwarding discipline, and
+  // kSourceRouted pins full-graph paths no region table can reproduce.
+  SPINELESS_CHECK_MSG(cfg.fct.net.mode != sim::RoutingMode::kSourceRouted,
+                      "hybrid co-simulation supports hashed routing only");
+  const auto setup_start = std::chrono::steady_clock::now();  // NOLINT(spineless-no-wall-clock): metadata-only timing for BENCH table_build_s; never feeds simulated state
+
+  // --- Sample every flow's full-graph path (deterministic side stream) ---
+  Rng path_rng(splitmix64(cfg.fct.seed ^ kPathStreamSalt));
+  std::vector<routing::Path> paths;
+  paths.reserve(specs.size());
+  if (g.num_switches() <= kPathTableThreshold) {
+    PathSampler sampler(g, cfg.fct.net.mode, cfg.fct.net.su_k);
+    for (const workload::FlowSpec& f : specs) {
+      paths.push_back(sampler.sample(g.tor_of_host(f.src),
+                                     g.tor_of_host(f.dst), path_rng));
+    }
+  } else {
+    BfsSampler sampler(g);
+    for (const workload::FlowSpec& f : specs) {
+      paths.push_back(sampler.sample(g.tor_of_host(f.src),
+                                     g.tor_of_host(f.dst), path_rng));
+    }
+  }
+
+  // --- Region selection + packet subgraph ---
+  topo::RegionCut cut;
+  switch (cfg.region_mode) {
+    case RegionMode::kSwitches:
+      cut = topo::region_from_switches(g, cfg.region_switches);
+      break;
+    case RegionMode::kSupernodes:
+      SPINELESS_CHECK_MSG(supernode_of != nullptr,
+                          "RegionMode::kSupernodes needs supernode_of");
+      cut = topo::region_from_supernodes(g, *supernode_of,
+                                         cfg.region_supernodes);
+      break;
+    case RegionMode::kAuto: {
+      // Demand per directed link from the sampled paths — the "prior fluid
+      // pass" that locates the congested neighborhood.
+      std::vector<double> demand(2 * static_cast<std::size_t>(g.num_links()),
+                                 0.0);
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        const routing::Path& p = paths[i];
+        for (std::size_t t = 0; t + 1 < p.size(); ++t) {
+          const topo::LinkId l = link_between(g, p[t], p[t + 1]);
+          const std::size_t dir = g.link(l).a == p[t] ? 0 : 1;
+          demand[2 * static_cast<std::size_t>(l) + dir] +=
+              static_cast<double>(specs[i].bytes);
+        }
+      }
+      cut = topo::region_from_utilization(g, demand,
+                                          cfg.auto_region_switches);
+      break;
+    }
+  }
+  const topo::RegionGraph rg = topo::build_region_graph(g, cut);
+  SPINELESS_CHECK_MSG(rg.graph.connected(),
+                      "hybrid region subgraph must be connected");
+
+  const std::int64_t link_rate = cfg.fct.net.link_rate_bps;
+  const std::int64_t host_rate =
+      cfg.fct.net.host_rate_bps > 0 ? cfg.fct.net.host_rate_bps : link_rate;
+  const ResourceSpace rs{g.total_servers(), g.num_links()};
+  std::vector<double> capacities(rs.total());
+  for (std::int64_t hh = 0; hh < rs.num_hosts; ++hh) {
+    capacities[static_cast<std::size_t>(hh)] =
+        static_cast<double>(host_rate);
+    capacities[static_cast<std::size_t>(rs.num_hosts + hh)] =
+        static_cast<double>(host_rate);
+  }
+  for (std::size_t i = static_cast<std::size_t>(2 * rs.num_hosts);
+       i < capacities.size(); ++i) {
+    capacities[i] = static_cast<double>(link_rate);
+  }
+
+  // --- Classification ---
+  std::vector<FlowPlan> plans;
+  plans.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    plans.push_back(classify_flow(g, cut, rg, rs, specs[i], paths[i]));
+
+  const double setup_s =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - setup_start)  // NOLINT(spineless-no-wall-clock): metadata-only timing for BENCH table_build_s; never feeds simulated state
+          .count();
+
+  // --- Packet region construction (fixed oid order: Network, internal TCP
+  // flows in spec order, then boundary sources in spec order) ---
+  sim::Network net(rg.graph, cfg.fct.net);
+  sim::FlowDriver driver(net, cfg.fct.tcp);
+  HybridLoop loop(cfg, std::move(capacities));
+
+  const Time deadline = static_cast<Time>(
+      static_cast<double>(cfg.fct.flowgen.window) * cfg.fct.drain_factor);
+  const Time window = std::max<Time>(1, cfg.window);
+  const std::uint64_t config_hash = hybrid_config_hash(g, specs, cfg);
+  const sim::CheckpointSpec& spec = cfg.fct.checkpoint;
+
+  HybridResult result;
+  result.flows = specs.size();
+  result.region_switches = static_cast<int>(cut.hot.size());
+  result.cut_links = static_cast<int>(cut.cut.size());
+
+  // spec index -> (internal driver id | fluid index), for result assembly.
+  std::vector<std::int32_t> internal_id(specs.size(), -1);
+  std::vector<std::int32_t> fluid_id(specs.size(), -1);
+
+  const auto build = [&](sim::Simulator& control) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (plans[i].kind != FlowKind::kInternal) continue;
+      const workload::FlowSpec& f = specs[i];
+      internal_id[i] = driver.add_flow(
+          control,
+          rg.host_to_region[static_cast<std::size_t>(f.src)],
+          rg.host_to_region[static_cast<std::size_t>(f.dst)], f.bytes,
+          f.start);
+      ++result.internal_flows;
+    }
+    std::int32_t next_flow_id =
+        static_cast<std::int32_t>(driver.num_flows());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (plans[i].kind == FlowKind::kInternal) continue;
+      const workload::FlowSpec& f = specs[i];
+      FluidFlowState state;
+      state.spec = i;
+      state.kind = plans[i].kind;
+      state.resources = plans[i].resources;
+      state.bytes = f.bytes;
+      state.start = f.start;
+      if (plans[i].kind == FlowKind::kBoundary) {
+        state.boundary = loop.num_boundaries();
+        auto sink = std::make_unique<sim::BoundarySink>(f.bytes);
+        const std::uint64_t phase_key = splitmix64(
+            splitmix64(cfg.fct.seed ^ kBoundarySalt) ^
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(plans[i].boundary_link))
+             << 32) ^
+            static_cast<std::uint64_t>(i));
+        auto src = std::make_unique<sim::BoundarySource>(
+            net, next_flow_id++, plans[i].pkt_src, plans[i].pkt_dst,
+            sink.get(), phase_key);
+        loop.add_boundary(std::move(src), std::move(sink));
+        ++result.boundary_flows;
+      } else {
+        ++result.external_flows;
+      }
+      fluid_id[i] = static_cast<std::int32_t>(i);
+      loop.add_fluid_flow(std::move(state));
+    }
+  };
+  // add_fluid_flow indexed by compacting spec order; remap fluid_id to the
+  // loop's dense index.
+  // (done after build below)
+
+  bool finished = true;
+  std::uint64_t packet_events = 0;
+  const auto drive = [&](auto& eng, sim::Simulator& control) {
+    sim::CheckpointSession session(net, config_hash);
+    session.add(&driver);
+    session.add(&loop);
+    if (spec.resume && !spec.path.empty()) session.restore(spec.path, eng);
+    finished = run_windows(eng, control, loop, &session, spec, deadline,
+                           window);
+    packet_events = eng.events_processed();
+  };
+
+  if (net.sharded()) {
+    sim::ShardedEngine engine(net);
+    build(engine.control());
+    drive(engine, engine.control());
+  } else {
+    sim::Simulator simulator;
+    build(simulator);
+    drive(simulator, simulator);
+  }
+
+  // Remap fluid_id from spec index to dense loop index.
+  {
+    std::int32_t dense = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (fluid_id[i] >= 0) fluid_id[i] = dense++;
+    }
+  }
+
+  // --- Result assembly (spec order, so sample order is deterministic) ---
+  sim::HashChain rh;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Time start = -1;
+    Time finish = -1;
+    if (internal_id[i] >= 0) {
+      const sim::FlowRecord& rec =
+          driver.flow(static_cast<std::size_t>(internal_id[i])).record();
+      start = rec.start;
+      finish = rec.finish;
+    } else {
+      const FluidFlowState& f =
+          loop.fluid()[static_cast<std::size_t>(fluid_id[i])];
+      start = f.start;
+      finish = f.finish;
+    }
+    if (finish >= 0) {
+      result.fct_ms.add(units::to_millis(finish - start));
+      ++result.completed;
+    }
+    rh.mix(static_cast<std::uint64_t>(plans[i].kind))
+        .mix(static_cast<std::uint64_t>(finish));
+  }
+  result.finished = finished;
+  result.packet_events = packet_events;
+  result.fluid_windows = loop.windows();
+  result.fluid_solves = loop.solves();
+  result.fluid_solves_skipped = loop.solves_skipped();
+  result.queue_drops = net.stats().queue_drops;
+  result.retransmits = driver.total_retransmits();
+  result.intra_jobs = net.config().intra_jobs;
+  result.table_build_s = net.table_build_seconds() + setup_s;
+  rh.mix(result.flows)
+      .mix(result.completed)
+      .mix(result.packet_events)
+      .mix(result.fluid_windows)
+      .mix(result.fluid_solves)
+      .mix(result.fluid_solves_skipped)
+      .mix(static_cast<std::uint64_t>(result.queue_drops))
+      .mix(static_cast<std::uint64_t>(result.retransmits));
+  result.result_hash = rh.value();
+  return result;
+}
+
+HybridResult run_hybrid_experiment(const topo::Graph& g,
+                                   const workload::RackTm& tm,
+                                   const HybridConfig& cfg,
+                                   const std::vector<int>* supernode_of) {
+  Rng rng(cfg.fct.seed);
+  workload::TmSampler sampler(g, tm);
+  if (cfg.fct.random_placement) sampler.apply_random_placement(rng);
+  const auto specs = workload::generate_flows(sampler, cfg.fct.flowgen, rng);
+  return run_hybrid_experiment_flows(g, specs, cfg, supernode_of);
+}
+
+}  // namespace spineless::core

@@ -20,9 +20,14 @@ int MaxMinProblem::add_flow(std::vector<int> resources) {
   return static_cast<int>(flows_.size()) - 1;
 }
 
-std::vector<double> MaxMinProblem::solve() const {
+std::vector<double> MaxMinProblem::solve() const { return solve_capped({}); }
+
+std::vector<double> MaxMinProblem::solve_capped(
+    const std::vector<double>& caps) const {
   const std::size_t nf = flows_.size();
   const std::size_t nr = capacity_.size();
+  const bool capped = !caps.empty();
+  if (capped) SPINELESS_CHECK(caps.size() == nf);
   std::vector<double> rate(nf, 0.0);
   std::vector<double> remaining = capacity_;
   // Active consumption count per resource.
@@ -35,37 +40,64 @@ std::vector<double> MaxMinProblem::solve() const {
     ++num_active;
     for (int r : flows_[f]) load[static_cast<std::size_t>(r)] += 1.0;
   }
+  // Compact list of resources any flow crosses: every scan below walks this
+  // list instead of the full capacity array, so sparse problems on huge
+  // networks (the hybrid windowed solve) cost O(touched) per filling round.
+  std::vector<int> touched;
+  for (std::size_t r = 0; r < nr; ++r) {
+    if (load[r] > 0.0) touched.push_back(static_cast<int>(r));
+  }
 
   constexpr double kEps = 1e-12;
+  // Allocated once; only touched entries are ever set, and they are cleared
+  // again before the next round (an O(nr) refill per round would undo the
+  // compact-iteration win).
+  std::vector<char> saturated(nr, 0);
   while (num_active > 0) {
+    // Drop resources whose last crossing flow froze — keeps the scans
+    // shrinking as the filling proceeds.
+    std::erase_if(touched,
+                  [&](int r) { return load[static_cast<std::size_t>(r)] <= kEps; });
+
     // Bottleneck increment: the smallest per-flow headroom across loaded
-    // resources.
+    // resources, further limited by the nearest active flow cap.
     double inc = std::numeric_limits<double>::infinity();
-    for (std::size_t r = 0; r < nr; ++r) {
-      if (load[r] > kEps) inc = std::min(inc, remaining[r] / load[r]);
+    for (int r : touched) {
+      const auto ri = static_cast<std::size_t>(r);
+      inc = std::min(inc, remaining[ri] / load[ri]);
+    }
+    if (capped) {
+      for (std::size_t f = 0; f < nf; ++f) {
+        if (active[f]) inc = std::min(inc, caps[f] - rate[f]);
+      }
     }
     SPINELESS_CHECK(std::isfinite(inc));
     inc = std::max(inc, 0.0);
 
-    for (std::size_t r = 0; r < nr; ++r) remaining[r] -= inc * load[r];
+    for (int r : touched) {
+      const auto ri = static_cast<std::size_t>(r);
+      remaining[ri] -= inc * load[ri];
+    }
 
-    // Freeze every active flow crossing a saturated resource.
-    // (Tolerance is relative to the original capacity scale.)
-    std::vector<char> saturated(nr, 0);
-    for (std::size_t r = 0; r < nr; ++r) {
-      if (load[r] > kEps &&
-          remaining[r] <= 1e-9 * std::max(1.0, capacity_[r]))
-        saturated[r] = 1;
+    // Freeze every active flow crossing a saturated resource or pinned at
+    // its cap. (Tolerance is relative to the original capacity scale.)
+    for (int r : touched) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (remaining[ri] <= 1e-9 * std::max(1.0, capacity_[ri]))
+        saturated[ri] = 1;
     }
     bool any_frozen = false;
     for (std::size_t f = 0; f < nf; ++f) {
       if (!active[f]) continue;
       rate[f] += inc;
-      bool freeze = false;
-      for (int r : flows_[f]) {
-        if (saturated[static_cast<std::size_t>(r)]) {
-          freeze = true;
-          break;
+      bool freeze =
+          capped && rate[f] >= caps[f] - 1e-9 * std::max(1.0, caps[f]);
+      if (!freeze) {
+        for (int r : flows_[f]) {
+          if (saturated[static_cast<std::size_t>(r)]) {
+            freeze = true;
+            break;
+          }
         }
       }
       if (freeze) {
@@ -77,6 +109,7 @@ std::vector<double> MaxMinProblem::solve() const {
     }
     SPINELESS_CHECK_MSG(any_frozen || num_active == 0,
                         "water-filling made no progress");
+    for (int r : touched) saturated[static_cast<std::size_t>(r)] = 0;
   }
   return rate;
 }

@@ -28,6 +28,16 @@ class MaxMinProblem {
   // unconstrained_flows().
   std::vector<double> solve() const;
 
+  // Max-min fair rates with per-flow rate caps (the hybrid boundary layer's
+  // demand limits): a flow whose fair share reaches caps[f] freezes there
+  // and releases its claim on further headroom, exactly as if it crossed a
+  // private resource of capacity caps[f]. Pass an empty vector for no caps
+  // (solve() delegates here). Infinite entries mean uncapped. Iteration
+  // cost is proportional to the resources flows actually cross, not
+  // num_resources() — a 100k-switch network has ~10^5..10^6 resources but a
+  // windowed hybrid solve touches only the few thousand on active paths.
+  std::vector<double> solve_capped(const std::vector<double>& caps) const;
+
   // Property-test hook: verifies a rate vector is feasible and max-min fair
   // (every flow is bottlenecked at some saturated resource where it has the
   // maximal rate), within tolerance.

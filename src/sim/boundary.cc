@@ -1,0 +1,101 @@
+#include "sim/boundary.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace spineless::sim {
+
+BoundarySource::BoundarySource(Network& net, std::int32_t flow_id,
+                               topo::HostId src, topo::HostId dst,
+                               Endpoint* sink, std::uint64_t phase_key)
+    : net_(net),
+      flow_id_(flow_id),
+      src_(src),
+      dst_(dst),
+      dst_tor_(net.graph().tor_of_host(dst)),
+      phase_key_(phase_key) {
+  SPINELESS_CHECK(src != dst);
+  net_.register_flow(flow_id, this, sink);
+  set_event_identity(net.next_oid(), net.shard_of_host(src));
+}
+
+void BoundarySource::program(Simulator& sim, std::int64_t rate_bps,
+                             std::int64_t remaining_bytes, Time not_before) {
+  ++epoch_;
+  rate_bps_ = rate_bps;
+  remaining_ = remaining_bytes;
+  if (rate_bps_ <= 0 || remaining_ <= 0) return;
+  interval_ = units::serialization_time(kDataPacketBytes, rate_bps_);
+  // First-fire phase in [0, interval): splitmix64 of the (seed, boundary
+  // link, flow) key mixed with the epoch, so restarts of the same flow in
+  // later windows do not all fire at the window edge.
+  const Time phase = static_cast<Time>(
+      splitmix64(phase_key_ + epoch_) % static_cast<std::uint64_t>(interval_));
+  const Time base = not_before > sim.now() ? not_before : sim.now();
+  sim.schedule_at(base + phase, this, epoch_);
+}
+
+void BoundarySource::on_event(Simulator& sim, std::uint64_t ctx) {
+  if (ctx != epoch_) return;  // stale fire from an earlier program
+  if (remaining_ <= 0) return;
+  transmit(sim);
+  remaining_ -= std::min<std::int64_t>(kMss, remaining_);
+  if (remaining_ > 0) sim.schedule_after(interval_, this, epoch_);
+}
+
+void BoundarySource::transmit(Simulator& sim) {
+  Packet pkt;
+  pkt.src_host = src_;
+  pkt.dst_host = dst_;
+  pkt.dst_tor = dst_tor_;
+  pkt.flow_id = flow_id_;
+  pkt.seq = seq_++;
+  pkt.size_bytes = kDataPacketBytes;
+  pkt.is_ack = false;
+  pkt.ts = sim.now();
+  ++packets_sent_;
+  net_.inject_from_host(sim, pkt);
+}
+
+void BoundarySource::save_state(SnapshotWriter& w) const {
+  w.u64(epoch_);
+  w.i64(rate_bps_);
+  w.i64(remaining_);
+  w.i64(interval_);
+  w.i64(seq_);
+  w.i64(packets_sent_);
+}
+
+void BoundarySource::load_state(SnapshotReader& r) {
+  epoch_ = r.u64();
+  rate_bps_ = r.i64();
+  remaining_ = r.i64();
+  interval_ = r.i64();
+  seq_ = r.i64();
+  packets_sent_ = r.i64();
+}
+
+void BoundarySink::on_packet(Simulator& sim, const Packet& pkt) {
+  SPINELESS_DCHECK(!pkt.is_ack);
+  static_cast<void>(pkt);  // only examined by the debug assertion
+  if (finish_ >= 0) return;  // duplicate tail after completion
+  delivered_ += std::min<std::int64_t>(kMss, target_ - delivered_);
+  if (delivered_ >= target_) finish_ = sim.now();
+}
+
+void BoundarySink::save_state(SnapshotWriter& w) const {
+  w.i64(target_);
+  w.i64(delivered_);
+  w.i64(finish_);
+}
+
+void BoundarySink::load_state(SnapshotReader& r) {
+  const std::int64_t target = r.i64();
+  SPINELESS_CHECK_MSG(target == target_,
+                      "boundary sink target mismatch on restore");
+  delivered_ = r.i64();
+  finish_ = r.i64();
+}
+
+}  // namespace spineless::sim

@@ -9,10 +9,11 @@
 namespace spineless::sim {
 namespace {
 
-// Section tags after the summary, in the order they are written.
+// Section tags after the summary, in the order they are written. Parts
+// frame their state in their own section_tag() (kSectionPartTag unless
+// overridden, e.g. the hybrid loop's kSectionHybrid — see checkpoint.h).
 constexpr std::uint32_t kSectionPrio = 0x5052494f;     // "PRIO"
 constexpr std::uint32_t kSectionNet = 0x4e455457;      // "NETW"
-constexpr std::uint32_t kSectionPart = 0x50415254;     // "PART"
 constexpr std::uint32_t kSectionEngine = 0x454e474e;   // "ENGN"
 constexpr std::uint32_t kSectionGlobals = 0x474c424c;  // "GLBL"
 
@@ -223,7 +224,7 @@ void CheckpointSession::save_view(const std::string& path,
   w.end_section();
 
   for (const Checkpointable* part : parts_) {
-    w.begin_section(kSectionPart);
+    w.begin_section(part->section_tag());
     part->save_state(w);
     w.end_section();
   }
@@ -284,7 +285,7 @@ bool CheckpointSession::restore_view(const std::string& path,
   r.end_section();
 
   for (Checkpointable* part : parts_) {
-    r.expect_section(kSectionPart);
+    r.expect_section(part->section_tag());
     part->load_state(r);
     r.end_section();
   }

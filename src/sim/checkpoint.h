@@ -81,6 +81,13 @@ class PacketCodec {
   Network& net_;
 };
 
+// Default section tag for Checkpointable parts ("PART"), and the hybrid
+// co-simulation loop's own tag ("HYBR") — a distinct tag so a snapshot
+// taken mid-hybrid-run is structurally self-describing and cannot be
+// restored into a pure-packet experiment by accident.
+inline constexpr std::uint32_t kSectionPartTag = 0x50415254;   // "PART"
+inline constexpr std::uint32_t kSectionHybrid = 0x48594252;    // "HYBR"
+
 // Anything beyond the Network that owns mutable simulation state and/or
 // event sinks: FlowDriver, FaultInjector, monitors. Implementations must
 // save/load in a fixed field order and register their sinks in
@@ -91,6 +98,10 @@ class Checkpointable {
   virtual void collect_sinks(SinkRegistry& reg) = 0;
   virtual void save_state(SnapshotWriter& w) const = 0;
   virtual void load_state(SnapshotReader& r) = 0;
+  // The snapshot section this part's state is framed in. Parts that carry
+  // non-packet simulation state of their own (the hybrid loop's fluid
+  // flows) override this so the on-disk format names them explicitly.
+  virtual std::uint32_t section_tag() const { return kSectionPartTag; }
 };
 
 // One invariant violation found by the auditor, e.g.

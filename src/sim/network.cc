@@ -56,9 +56,11 @@ Network::Network(const Graph& g, const NetworkConfig& cfg)
     switch_shard_[static_cast<std::size_t>(n)] = static_cast<std::int32_t>(
         (static_cast<std::int64_t>(n) * num_shards_) / g.num_switches());
   }
-  if (num_shards_ > 1)
+  const int table_jobs =
+      cfg_.table_jobs > 0 ? cfg_.table_jobs : num_shards_;
+  if (table_jobs > 1)
     table_runner_ = std::make_unique<util::Runner>(
-        num_shards_, util::Runner::Nested::kAllow);
+        table_jobs, util::Runner::Nested::kAllow);
   shard_stats_.resize(static_cast<std::size_t>(num_shards_));
   pools_.reserve(static_cast<std::size_t>(num_shards_));
   for (int s = 0; s < num_shards_; ++s)

@@ -92,6 +92,17 @@ struct NetworkConfig {
   // hosts. Results are byte-identical for every value; this knob is not
   // part of the experiment configuration hash.
   int reactor_threads = 0;
+  // Pin each reactor thread to a core (pthread_setaffinity_np, reactor r ->
+  // core r mod hardware_concurrency) when the host has more than one core.
+  // Pure scheduling hint: results are byte-identical pinned or not, so like
+  // reactor_threads it stays outside the experiment configuration hash.
+  bool pin_reactors = false;
+  // Workers for route-table construction. 0 = inherit intra_jobs (tables
+  // fan over the shard count). N > 1 parallelizes the per-destination BFS
+  // even for serial-engine cells — at 10k+ switches table build otherwise
+  // dominates cell setup. The table contents are identical for every value,
+  // so like reactor_threads this stays outside the configuration hash.
+  int table_jobs = 0;
 };
 
 // A TCP source or sink — receives the packets addressed to its flow.
@@ -327,7 +338,8 @@ class Network {
   int num_shards_ = 1;
   std::vector<std::int32_t> switch_shard_;
   std::uint32_t next_oid_ = 1;  // 0 is the simulators' root context
-  // Worker pool for parallel table construction; null when intra_jobs == 1.
+  // Worker pool for parallel table construction; null when both intra_jobs
+  // and table_jobs resolve to 1.
   // Nested::kAllow — the benches divide --jobs between sweep and cell.
   std::unique_ptr<util::Runner> table_runner_;
   double table_build_s_ = 0;

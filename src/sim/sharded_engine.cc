@@ -1,5 +1,10 @@
 #include "sim/sharded_engine.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "util/runner.h"
 
 namespace spineless::sim {
@@ -10,8 +15,13 @@ namespace {
 constexpr int kRunBatch = 512;
 // Ring entries moved to staging per opportunistic drain.
 constexpr std::size_t kDrainBatch = 256;
-// Ring capacity (power of two). Overflow vectors absorb bursts beyond it.
+// Initial ring capacity (power of two). Overflow vectors absorb bursts
+// beyond it, and sustained producer-overflow pressure grows a lane's ring
+// geometrically (doubling at quiescent run_until boundaries) up to
+// kMaxRingCapacity — the micro scenario used to pin max_ring_occupancy at
+// the old fixed 1024 with every burst spilling to overflow.
 constexpr std::size_t kRingCapacity = 1024;
+constexpr std::size_t kMaxRingCapacity = 65536;
 // Full no-progress reactor passes before yielding the OS thread.
 constexpr int kSpinPasses = 64;
 
@@ -24,6 +34,23 @@ int resolve_reactors(int requested, int shards) {
   if (r > shards) r = shards;
   if (r < 1) r = 1;
   return r;
+}
+
+// Best-effort reactor->core pinning (NetworkConfig::pin_reactors). Purely a
+// performance hint: affinity never reaches event order, so pinned and
+// unpinned runs are byte-identical. No-op off Linux or on 1-core hosts.
+void pin_to_core(std::thread::native_handle_type handle, int reactor) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(reactor) % hw, &set);
+  pthread_setaffinity_np(handle, sizeof(set), &set);  // failure = unpinned
+#else
+  (void)handle;
+  (void)reactor;
+#endif
 }
 
 }  // namespace
@@ -47,6 +74,7 @@ ShardedEngine::ShardedEngine(Network& net)
     p->sim->set_shard_context(this, s);
     p->overflow.resize(k);
     p->overflow_head.assign(k, 0);
+    p->overflow_pressure.assign(k, 0);
     p->in.resize(k);
     pollers_.push_back(std::move(p));
   }
@@ -62,6 +90,14 @@ ShardedEngine::ShardedEngine(Network& net)
   threads_.reserve(static_cast<std::size_t>(num_reactors_ - 1));
   for (int r = 1; r < num_reactors_; ++r)
     threads_.emplace_back([this, r] { worker_main(r); });
+  if (net.config().pin_reactors) {
+#if defined(__linux__)
+    pin_to_core(pthread_self(), /*reactor=*/0);  // reactor 0 is the caller
+#endif
+    for (int r = 1; r < num_reactors_; ++r)
+      pin_to_core(threads_[static_cast<std::size_t>(r - 1)].native_handle(),
+                  r);
+  }
 }
 
 ShardedEngine::~ShardedEngine() {
@@ -127,19 +163,49 @@ std::uint64_t ShardedEngine::events_processed() const {
 ShardedEngine::Metrics ShardedEngine::metrics() const {
   Metrics m;
   m.central_plans = central_plans_;
+  m.ring_growths = ring_growths_;
+  m.max_ring_occupancy = retired_ring_occupancy_;
   if (!pollers_.empty()) m.windows = pollers_[0]->windows;
   for (const auto& p : pollers_) m.ring_handoffs += p->handoffs;
   for (const auto& r : rings_) {
-    if (r != nullptr && r->max_occupancy() > m.max_ring_occupancy)
+    if (r == nullptr) continue;
+    if (r->max_occupancy() > m.max_ring_occupancy)
       m.max_ring_occupancy = r->max_occupancy();
+    if (r->capacity() > m.ring_capacity) m.ring_capacity = r->capacity();
   }
   for (const ReactorStats& rs : reactor_stats_) m.spin_waits += rs.spins;
   return m;
 }
 
+void ShardedEngine::grow_pressured_rings() {
+  for (int src = 0; src < num_shards_; ++src) {
+    Poller& p = *pollers_[static_cast<std::size_t>(src)];
+    for (int dst = 0; dst < num_shards_; ++dst) {
+      if (dst == src) continue;
+      std::uint64_t& pressure =
+          p.overflow_pressure[static_cast<std::size_t>(dst)];
+      if (pressure == 0) continue;
+      pressure = 0;
+      auto& slot = rings_[static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(num_shards_) +
+                          static_cast<std::size_t>(dst)];
+      const std::size_t cap = slot->capacity();
+      if (cap >= kMaxRingCapacity) continue;
+      // Empty between rounds (every producer flushed, every consumer
+      // merged), so the swap cannot lose or reorder events.
+      SPINELESS_DCHECK(slot->empty());
+      if (slot->max_occupancy() > retired_ring_occupancy_)
+        retired_ring_occupancy_ = slot->max_occupancy();
+      slot = std::make_unique<Ring>(cap * 2);
+      ++ring_growths_;
+    }
+  }
+}
+
 void ShardedEngine::run_until(Time deadline) {
   SPINELESS_DCHECK(deadline >= deadline_);
   deadline_ = deadline;
+  grow_pressured_rings();
   plan();
   if (plan_.phase == Phase::kStop) return;  // nothing due: clocks parked
   for (const auto& p : pollers_) adopt_plan(*p);
@@ -273,8 +339,12 @@ void ShardedEngine::lane_push(Poller& p, int dst, const Simulator::Event& e) {
   std::vector<Simulator::Event>& ovf =
       p.overflow[static_cast<std::size_t>(dst)];
   // A full ring never blocks: order is preserved by routing every push
-  // through the overflow once it is non-empty.
-  if (!ovf.empty() || !ring(p.s, dst).try_push(e)) ovf.push_back(e);
+  // through the overflow once it is non-empty. Every parked event counts as
+  // growth pressure on the lane (read at the next quiescent boundary).
+  if (!ovf.empty() || !ring(p.s, dst).try_push(e)) {
+    ovf.push_back(e);
+    ++p.overflow_pressure[static_cast<std::size_t>(dst)];
+  }
 }
 
 bool ShardedEngine::flush_overflow(Poller& p) {

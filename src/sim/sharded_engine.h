@@ -127,6 +127,11 @@ class ShardedEngine : public ShardRouter {
     std::uint64_t max_ring_occupancy = 0;  // peak ring fill, any lane
     std::uint64_t spin_waits = 0;     // no-progress reactor passes
     std::uint64_t central_plans = 0;  // rendezvous plans (globals/jumps/stop)
+    // Adaptive ring sizing: lanes whose producer hit the overflow vector
+    // double their ring at the next quiescent boundary (geometric growth,
+    // bounded). ring_capacity reports the largest lane the run settled on.
+    std::uint64_t ring_capacity = 0;
+    std::uint64_t ring_growths = 0;
   };
   Metrics metrics() const;
 
@@ -212,9 +217,11 @@ class ShardedEngine : public ShardRouter {
     std::uint64_t plan_seen = 0;  // plan_gen_ already adopted
 
     // Producer side: per-dst overflow for full rings (index cursor avoids
-    // pop-front churn).
+    // pop-front churn). overflow_pressure counts events parked per lane
+    // since the last quiescent boundary — the ring-growth signal.
     std::vector<std::vector<Simulator::Event>> overflow;
     std::vector<std::size_t> overflow_head;
+    std::vector<std::uint64_t> overflow_pressure;
 
     // Consumer side: per-src staging.
     std::vector<Stage> in;
@@ -254,6 +261,9 @@ class ShardedEngine : public ShardRouter {
 
   void worker_main(int reactor);
   void reactor_main(int reactor);
+  // Quiescent boundary only (every ring empty): doubles any lane whose
+  // producer overflowed since the last call, up to the growth bound.
+  void grow_pressured_rings();
   bool poll(Poller& p);  // one non-blocking slice; true if progress
   void lane_push(Poller& p, int dst, const Simulator::Event& e);
   bool flush_overflow(Poller& p);  // true when every lane drained
@@ -308,6 +318,10 @@ class ShardedEngine : public ShardRouter {
   std::atomic<int> central_arrived_{0};
   Time deadline_ = 0;  // current run_until target
   std::uint64_t central_plans_ = 0;
+  std::uint64_t ring_growths_ = 0;
+  // Peak occupancies of rings retired by growth, so metrics() keeps the
+  // all-time maximum across swaps.
+  std::uint64_t retired_ring_occupancy_ = 0;
 
   // Per-reactor spin-wait counters (padded; summed while quiescent).
   struct alignas(64) ReactorStats {

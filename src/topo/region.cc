@@ -1,0 +1,168 @@
+#include "topo/region.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace spineless::topo {
+namespace {
+
+RegionCut finish_cut(const Graph& g, std::vector<NodeId> hot) {
+  std::sort(hot.begin(), hot.end());
+  hot.erase(std::unique(hot.begin(), hot.end()), hot.end());
+  SPINELESS_CHECK_MSG(!hot.empty(), "region hot set is empty");
+  SPINELESS_CHECK(hot.front() >= 0 && hot.back() < g.num_switches());
+
+  RegionCut cut;
+  cut.in_region.assign(static_cast<std::size_t>(g.num_switches()), 0);
+  for (NodeId n : hot) cut.in_region[static_cast<std::size_t>(n)] = 1;
+  cut.hot = std::move(hot);
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const Link& link = g.link(l);
+    const bool a_hot = cut.contains(link.a);
+    const bool b_hot = cut.contains(link.b);
+    if (a_hot == b_hot) continue;
+    cut.cut.push_back(CutLink{l, a_hot ? link.a : link.b,
+                              a_hot ? link.b : link.a});
+  }
+  return cut;
+}
+
+}  // namespace
+
+RegionCut region_from_switches(const Graph& g, std::vector<NodeId> hot) {
+  return finish_cut(g, std::move(hot));
+}
+
+RegionCut region_from_supernodes(const Graph& g,
+                                 const std::vector<int>& supernode_of,
+                                 const std::vector<int>& hot_supernodes) {
+  SPINELESS_CHECK(static_cast<NodeId>(supernode_of.size()) ==
+                  g.num_switches());
+  std::vector<NodeId> hot;
+  for (NodeId n = 0; n < g.num_switches(); ++n) {
+    const int sn = supernode_of[static_cast<std::size_t>(n)];
+    if (std::find(hot_supernodes.begin(), hot_supernodes.end(), sn) !=
+        hot_supernodes.end()) {
+      hot.push_back(n);
+    }
+  }
+  return finish_cut(g, std::move(hot));
+}
+
+RegionCut region_from_utilization(const Graph& g,
+                                  const std::vector<double>& directed_util,
+                                  int k) {
+  SPINELESS_CHECK(directed_util.size() ==
+                  2 * static_cast<std::size_t>(g.num_links()));
+  SPINELESS_CHECK(k > 0);
+  std::vector<double> score(static_cast<std::size_t>(g.num_switches()), 0.0);
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const Link& link = g.link(l);
+    const std::size_t li = static_cast<std::size_t>(l);
+    const double u = std::max(directed_util[2 * li], directed_util[2 * li + 1]);
+    score[static_cast<std::size_t>(link.a)] =
+        std::max(score[static_cast<std::size_t>(link.a)], u);
+    score[static_cast<std::size_t>(link.b)] =
+        std::max(score[static_cast<std::size_t>(link.b)], u);
+  }
+  // Greedy connected growth from the hottest switch: always absorb the
+  // hottest frontier switch (ties: lowest id). A plain top-K could scatter
+  // across the graph; the region subgraph must be connected for its own
+  // routing tables to cover every in-region pair.
+  NodeId seed = 0;
+  for (NodeId n = 1; n < g.num_switches(); ++n) {
+    if (score[static_cast<std::size_t>(n)] >
+        score[static_cast<std::size_t>(seed)])
+      seed = n;
+  }
+  std::vector<char> in(static_cast<std::size_t>(g.num_switches()), 0);
+  std::vector<NodeId> hot{seed};
+  in[static_cast<std::size_t>(seed)] = 1;
+  const auto want = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                          static_cast<std::size_t>(
+                                              g.num_switches()));
+  while (hot.size() < want) {
+    NodeId best = kInvalidNode;
+    for (NodeId n : hot) {
+      for (const Port& p : g.neighbors(n)) {
+        if (in[static_cast<std::size_t>(p.neighbor)]) continue;
+        if (best == kInvalidNode ||
+            score[static_cast<std::size_t>(p.neighbor)] >
+                score[static_cast<std::size_t>(best)] ||
+            (score[static_cast<std::size_t>(p.neighbor)] ==
+                 score[static_cast<std::size_t>(best)] &&
+             p.neighbor < best)) {
+          best = p.neighbor;
+        }
+      }
+    }
+    if (best == kInvalidNode) break;  // component exhausted
+    in[static_cast<std::size_t>(best)] = 1;
+    hot.push_back(best);
+  }
+  return finish_cut(g, std::move(hot));
+}
+
+RegionGraph build_region_graph(const Graph& g, const RegionCut& cut) {
+  RegionGraph rg{Graph(static_cast<NodeId>(cut.hot.size()), /*ports=*/0,
+                       g.name() + "-region"),
+                 {}, {}, {}, {}, {}};
+  rg.to_full = cut.hot;
+  rg.to_region.assign(static_cast<std::size_t>(g.num_switches()),
+                      kInvalidNode);
+  for (std::size_t i = 0; i < cut.hot.size(); ++i) {
+    rg.to_region[static_cast<std::size_t>(cut.hot[i])] =
+        static_cast<NodeId>(i);
+  }
+
+  // Induced links, in full-graph link-id order — the region graph's link
+  // numbering is thereby a deterministic function of the cut.
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const Link& link = g.link(l);
+    if (cut.contains(link.a) && cut.contains(link.b)) {
+      rg.graph.add_link(rg.to_region[static_cast<std::size_t>(link.a)],
+                        rg.to_region[static_cast<std::size_t>(link.b)]);
+    }
+  }
+
+  // Per region switch: the real servers first, then one gateway per cut
+  // link whose inside endpoint is that switch (in cut order). Graph numbers
+  // hosts contiguously per switch, so this layout fixes every host id.
+  std::vector<int> gateways_at(cut.hot.size(), 0);
+  for (const CutLink& c : cut.cut)
+    ++gateways_at[static_cast<std::size_t>(
+        rg.to_region[static_cast<std::size_t>(c.inside)])];
+  for (std::size_t i = 0; i < cut.hot.size(); ++i) {
+    rg.graph.set_servers(static_cast<NodeId>(i),
+                         g.servers(cut.hot[i]) +
+                             gateways_at[i]);
+  }
+
+  rg.host_to_region.assign(static_cast<std::size_t>(g.total_servers()), -1);
+  rg.region_host_to_full.assign(
+      static_cast<std::size_t>(rg.graph.total_servers()), -1);
+  for (std::size_t i = 0; i < cut.hot.size(); ++i) {
+    const NodeId full = cut.hot[i];
+    const HostId full_base = g.first_host_of(full);
+    const HostId region_base = rg.graph.first_host_of(static_cast<NodeId>(i));
+    for (int s = 0; s < g.servers(full); ++s) {
+      rg.host_to_region[static_cast<std::size_t>(full_base + s)] =
+          region_base + s;
+      rg.region_host_to_full[static_cast<std::size_t>(region_base + s)] =
+          full_base + s;
+    }
+  }
+  std::vector<int> gateway_seen(cut.hot.size(), 0);
+  rg.gateway_host.reserve(cut.cut.size());
+  for (const CutLink& c : cut.cut) {
+    const auto ri = static_cast<std::size_t>(
+        rg.to_region[static_cast<std::size_t>(c.inside)]);
+    const HostId h = rg.graph.first_host_of(static_cast<NodeId>(ri)) +
+                     g.servers(c.inside) + gateway_seen[ri];
+    ++gateway_seen[ri];
+    rg.gateway_host.push_back(h);
+  }
+  return rg;
+}
+
+}  // namespace spineless::topo
