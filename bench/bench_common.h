@@ -206,6 +206,16 @@ class BenchJson {
     std::size_t external_flows = 0;
     int region_switches = 0;
     int cut_links = 0;
+    // Whole-network fault-tolerance cells (bench_hybrid --faults): the
+    // cross-boundary fault metrics from HybridResult. goodput_recovery is
+    // shared with the packet-fault block above — a cell is one or the other.
+    bool has_hybrid_fault = false;
+    int failed_links = 0;
+    std::size_t stalled_flows = 0;
+    std::size_t boundary_repins = 0;
+    std::size_t fluid_outages = 0;
+    double fluid_blackhole_s = 0;
+    double stalled_s = 0;
     // Calibration cells (bench_hybrid): the pure-packet reference and the
     // hybrid/packet FCT ratios the documented tolerance is judged against.
     bool has_calib = false;
@@ -311,6 +321,19 @@ class BenchJson {
         w.kv("external_flows", static_cast<std::int64_t>(c.external_flows));
         w.kv("region_switches", c.region_switches);
         w.kv("cut_links", c.cut_links);
+        w.end_object();
+      }
+      if (c.has_hybrid_fault) {
+        w.key("fault_tolerance");
+        w.begin_object();
+        w.kv("failed_links", c.failed_links);
+        w.kv("fluid_outages", static_cast<std::int64_t>(c.fluid_outages));
+        w.kv("stalled_flows", static_cast<std::int64_t>(c.stalled_flows));
+        w.kv("boundary_repins",
+             static_cast<std::int64_t>(c.boundary_repins));
+        w.kv("fluid_blackhole_s", c.fluid_blackhole_s);
+        w.kv("stalled_s", c.stalled_s);
+        w.kv("goodput_recovery", c.goodput_recovery);
         w.end_object();
       }
       if (c.has_calib) {
@@ -433,6 +456,16 @@ inline util::SweepJournal::Fields cell_to_fields(const BenchJson::Cell& c) {
     f["region_switches"] = std::to_string(c.region_switches);
     f["cut_links"] = std::to_string(c.cut_links);
   }
+  if (c.has_hybrid_fault) {
+    f["hybrid_fault"] = "1";
+    f["failed_links"] = std::to_string(c.failed_links);
+    f["fluid_outages"] = std::to_string(c.fluid_outages);
+    f["stalled_flows"] = std::to_string(c.stalled_flows);
+    f["boundary_repins"] = std::to_string(c.boundary_repins);
+    f["fluid_blackhole_s"] = fmt_double(c.fluid_blackhole_s);
+    f["stalled_s"] = fmt_double(c.stalled_s);
+    f["goodput_recovery"] = fmt_double(c.goodput_recovery);
+  }
   if (c.has_calib) {
     f["calib"] = "1";
     f["packet_p50_ms"] = fmt_double(c.packet_p50_ms);
@@ -490,6 +523,17 @@ inline BenchJson::Cell cell_from_fields(const util::SweepJournal::Fields& f) {
     c.external_flows = static_cast<std::size_t>(field_i(f, "external_flows"));
     c.region_switches = static_cast<int>(field_i(f, "region_switches"));
     c.cut_links = static_cast<int>(field_i(f, "cut_links"));
+  }
+  c.has_hybrid_fault = field_i(f, "hybrid_fault") != 0;
+  if (c.has_hybrid_fault) {
+    c.failed_links = static_cast<int>(field_i(f, "failed_links"));
+    c.fluid_outages = static_cast<std::size_t>(field_i(f, "fluid_outages"));
+    c.stalled_flows = static_cast<std::size_t>(field_i(f, "stalled_flows"));
+    c.boundary_repins =
+        static_cast<std::size_t>(field_i(f, "boundary_repins"));
+    c.fluid_blackhole_s = field_d(f, "fluid_blackhole_s");
+    c.stalled_s = field_d(f, "stalled_s");
+    c.goodput_recovery = field_d(f, "goodput_recovery");
   }
   c.has_calib = field_i(f, "calib") != 0;
   if (c.has_calib) {
@@ -580,6 +624,23 @@ inline BenchJson::Cell hybrid_cell(const std::string& label,
   c.external_flows = r.external_flows;
   c.region_switches = r.region_switches;
   c.cut_links = r.cut_links;
+  return c;
+}
+
+// A hybrid cell plus the whole-network fault-tolerance metrics
+// (bench_hybrid --faults).
+inline BenchJson::Cell hybrid_fault_cell(const std::string& label,
+                                         const core::HybridResult& r,
+                                         int failed_links) {
+  BenchJson::Cell c = hybrid_cell(label, r);
+  c.has_hybrid_fault = true;
+  c.failed_links = failed_links;
+  c.stalled_flows = r.stalled_flows;
+  c.boundary_repins = r.boundary_repins;
+  c.fluid_outages = r.fluid_outages;
+  c.fluid_blackhole_s = r.fluid_blackhole_seconds;
+  c.stalled_s = r.stalled_seconds;
+  c.goodput_recovery = r.goodput_recovery;
   return c;
 }
 

@@ -73,6 +73,27 @@ awk '
     print "hybrid smoke: determinism hash ok, packet + fluid halves live"
   }' RS=',|\n' FS=':' hybrid_smoke.json
 
+echo "== hybrid-fault smoke (whole-network fault tolerance) =="
+# Flap a seed-sampled set of whole-graph links (region, cut, and external
+# alike) under long-lived flows on a 48-switch cell. The binary gates
+# flow accounting (completed + stalled == flows), nonzero blackhole, and
+# result-hash identity across intra_jobs; the smoke additionally requires
+# that the fluid half actually saw outages in every cell AND that
+# post-repair goodput recovered to >= 95% of the pre-fault peak — a
+# regression that strands flows after reconvergence cannot pass.
+./build/bench/bench_hybrid --faults --m=12 --m_big=12 --hot_flows=32 \
+  --bg_flows=16 --flow_bytes=2000000 --flap_ms=1 \
+  --json_out=hybrid_fault_smoke.json
+awk '
+  /"fluid_outages":/    { cells++; if ($NF + 0 > 0) outage_ok++ }
+  /"goodput_recovery":/ { if ($NF + 0 >= 0.95) recov_ok++ }
+  END {
+    if (cells == 0)        { print "hybrid-fault smoke: no fault cells"; exit 1 }
+    if (outage_ok < cells) { print "hybrid-fault smoke: a cell saw no fluid outage"; exit 1 }
+    if (recov_ok < cells)  { print "hybrid-fault smoke: goodput recovery below 95%"; exit 1 }
+    printf "hybrid-fault smoke: %d cells, fluid outages live, recovery >= 95%%\n", cells
+  }' RS=',|\n' FS=':' hybrid_fault_smoke.json
+
 echo "== tier-1 test suite =="
 ctest --test-dir build --output-on-failure
 

@@ -21,9 +21,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/fct_experiment.h"
+#include "fault/injector.h"
 #include "topo/region.h"
 #include "workload/flows.h"
 
@@ -49,6 +51,21 @@ struct HybridConfig {
   double cap_tolerance = 0.05;
   // Boundary cap = headroom x measured departure rate of the last window.
   double cap_headroom = 2.0;
+
+  // Whole-network fault schedule (FaultPlan grammar over FULL-graph link
+  // ids; empty = no faults, and every fault field below is inert so
+  // fault-free runs hash identically to pre-fault builds). Region-internal
+  // links drive a packet FaultInjector over the region subgraph; cut links
+  // become boundary/gateway faults; everything else becomes fluid capacity
+  // faults with a window-quantized outage model (core/hybrid_fault.h).
+  // Gray/degrade clauses on cut links are not modeled (fail/restore only
+  // there); gray on external links scales capacity by the expected goodput
+  // fraction and is never "detected", mirroring packet gray semantics.
+  std::string fault_spec;
+  // BFD/repair timing shared by the packet injector and the fluid outage
+  // model, so both halves of a fault report measure the same control
+  // plane. Validated through FaultInjectorConfig::validate.
+  fault::FaultInjectorConfig fault;
 };
 
 struct HybridResult {
@@ -72,6 +89,22 @@ struct HybridResult {
   // Order-sensitive chain over every per-flow outcome — the byte-identity
   // fingerprint the determinism suite and check.sh's smoke stage compare.
   std::uint64_t result_hash = 0;
+
+  // Whole-network fault tolerance (populated iff fault_spec is non-empty).
+  std::size_t stalled_flows = 0;   // fluid flows with no surviving path at end
+  std::size_t boundary_repins = 0;
+  std::size_t fluid_outages = 0;
+  // Sum over fluid-side outages of min(t_routed_out, t_restored, end) -
+  // t_down — the packet injector's blackhole formula applied to the fluid
+  // half's links.
+  double fluid_blackhole_seconds = 0;
+  double stalled_seconds = 0;      // per-flow no-surviving-path time, summed
+  // Peak per-window goodput after the last topology change / peak before
+  // the first fault (0 when either phase saw no traffic).
+  double goodput_recovery = 0;
+  // Unified cross-half fault report (packet outages + fluid outages +
+  // boundary re-pins) as deterministic JSON; empty when fault_spec is.
+  std::string fault_report;
 
   double median_ms() const { return fct_ms.median(); }
   double p99_ms() const { return fct_ms.p99(); }

@@ -1,0 +1,68 @@
+// Fault tolerance across the packet/fluid boundary (core/hybrid_experiment).
+//
+// A full-graph FaultPlan is partitioned three ways: actions on
+// region-internal links are renumbered into a sub-plan driving an ordinary
+// fault::FaultInjector over the packet subgraph; actions on cut links
+// become boundary/gateway faults (flows re-pinned to surviving cut links or
+// demoted to stalled-fluid when the region is severed); everything else
+// becomes fluid capacity faults with a window-quantized outage model that
+// mirrors the packet side's BFD timing — a failed link's capacities drop to
+// zero at the first window after the failure, and affected flows re-path
+// over surviving routes only hold_count * hello_interval + repair_delay
+// later, exactly the detection + reconvergence delay a packet run measures.
+//
+// These structs are the serialized fault state carried in version 2 of the
+// HYBR snapshot section (lint's snapshot-coverage audits guard their field
+// coverage against core/hybrid_experiment.cc). Everything is a pure
+// function of (seed, plan, window), so the unified fault report and the
+// result hash are byte-identical across --intra_jobs, forced reactor
+// threads, and kill -9 + --resume mid-outage.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/graph.h"
+#include "util/units.h"
+
+namespace spineless::core {
+
+// Fluid-side view of one faulted link. The capacity of each direction is
+// base * (down ? 0 : 1) * degrade_factor * gray_factor; routed_out is the
+// fluid control plane's "removed from the tables" bit that re-pathing and
+// boundary re-pinning key off. Gray on an external link only scales
+// capacity by the expected goodput fraction — like the packet side, a gray
+// link that still passes hellos is never detected or routed around.
+struct FluidLinkState {
+  topo::LinkId link = topo::kInvalidLink;  // full-graph link id
+  bool down = false;
+  bool routed_out = false;
+  double degrade_factor = 1.0;
+  double gray_factor = 1.0;
+  std::int32_t open_outage = -1;  // index into the outage log, -1 = none
+};
+
+// One fail/restore cycle handled on the fluid side (external or cut
+// links) — the deterministic mirror of fault::FaultInjector::Outage.
+// Times are the nominal event instants (capacity/table effects apply at
+// the first window boundary at or after them); -1 = never happened.
+struct FluidOutage {
+  topo::LinkId link = topo::kInvalidLink;  // full-graph link id
+  Time t_down = -1;
+  Time t_routed_out = -1;  // t_down + hold + repair_delay (skipped when the
+                           // link recovered before the hold expired)
+  Time t_restored = -1;
+  Time t_routed_in = -1;   // t_restored + hello_interval + repair_delay
+  bool boundary = false;   // cut link: a gateway outage, not a capacity one
+};
+
+// One deterministic re-pin of a boundary flow off a failed cut link.
+// to_cut == -1 records a severed region: no surviving cut link, the flow
+// was demoted to stalled-fluid.
+struct BoundaryRepin {
+  std::int64_t flow = -1;  // flow-spec index
+  std::int32_t from_cut = -1;
+  std::int32_t to_cut = -1;
+  Time at = -1;  // the routed-out instant that triggered the re-pin
+};
+
+}  // namespace spineless::core

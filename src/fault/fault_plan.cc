@@ -187,4 +187,16 @@ FaultPlan FaultPlan::parse(const std::string& spec, const topo::Graph& g,
   return plan;
 }
 
+FaultPlan FaultPlan::from_actions(std::vector<FaultAction> actions,
+                                  std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  plan.actions_ = std::move(actions);
+  // Stable: simultaneous actions apply in caller order.
+  std::stable_sort(
+      plan.actions_.begin(), plan.actions_.end(),
+      [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+  return plan;
+}
+
 }  // namespace spineless::fault

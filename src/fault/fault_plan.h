@@ -56,6 +56,13 @@ class FaultPlan {
   static FaultPlan parse(const std::string& spec, const topo::Graph& g,
                          std::uint64_t seed);
 
+  // Programmatic construction for derived plans — the hybrid engine
+  // partitions a full-graph plan into a region sub-plan (link ids
+  // renumbered into the region graph) and fluid/boundary event lists.
+  // Actions are stable-sorted by time, same as parse.
+  static FaultPlan from_actions(std::vector<FaultAction> actions,
+                                std::uint64_t seed);
+
   // Sorted by (time, clause order) — the order the injector applies them.
   const std::vector<FaultAction>& actions() const noexcept { return actions_; }
   std::uint64_t seed() const noexcept { return seed_; }

@@ -78,14 +78,27 @@ class FaultInjector::BfdRx : public sim::EventSink {
   bool down_ = false;
 };
 
+void FaultInjectorConfig::validate(Time link_delay) const {
+  if (repair_delay < link_delay) {
+    throw Error("FaultInjectorConfig: repair_delay (" +
+                std::to_string(repair_delay) + "ps) is below the network "
+                "link delay (" + std::to_string(link_delay) +
+                "ps) — repair events would land inside the sharded engine's "
+                "lookahead horizon and break cross-shard determinism");
+  }
+  if (hello_interval <= 0) {
+    throw Error("FaultInjectorConfig: hello_interval must be positive, got " +
+                std::to_string(hello_interval) + "ps");
+  }
+  if (hold_count < 1) {
+    throw Error("FaultInjectorConfig: hold_count must be >= 1, got " +
+                std::to_string(hold_count));
+  }
+}
+
 FaultInjector::FaultInjector(Network& net, const FaultPlan& plan,
                              const FaultInjectorConfig& cfg)
     : net_(net), plan_(plan), cfg_(cfg) {
-  SPINELESS_CHECK_MSG(
-      cfg_.repair_delay >= net.config().link_delay,
-      "FaultInjector: repair_delay must be >= the link delay (the sharded "
-      "engine's lookahead horizon)");
-  SPINELESS_CHECK(cfg_.hello_interval > 0 && cfg_.hold_count >= 1);
   net_.register_global_sink(this);
   net_.set_hello_handler(this);
 
@@ -113,6 +126,7 @@ FaultInjector::FaultInjector(Network& net, const FaultPlan& plan,
 FaultInjector::~FaultInjector() { net_.set_hello_handler(nullptr); }
 
 void FaultInjector::arm(Simulator& sim, Time until) {
+  cfg_.validate(net_.config().link_delay);
   hello_until_ = until;
   for (std::size_t i = 0; i < plan_.actions().size(); ++i)
     sim.schedule_at(plan_.actions()[i].at, this, i);

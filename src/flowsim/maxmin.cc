@@ -10,12 +10,21 @@ namespace spineless::flowsim {
 
 MaxMinProblem::MaxMinProblem(std::vector<double> capacities)
     : capacity_(std::move(capacities)) {
-  for (double c : capacity_) SPINELESS_CHECK(c >= 0);
+  for (std::size_t r = 0; r < capacity_.size(); ++r) {
+    // NaN fails every comparison, so `>= 0` alone would admit it and the
+    // filling loop would silently never saturate the resource.
+    SPINELESS_CHECK_MSG(capacity_[r] >= 0 && !std::isnan(capacity_[r]),
+                        "MaxMinProblem: capacity[" << r << "] = "
+                            << capacity_[r]
+                            << " — capacities must be >= 0 and not NaN");
+  }
 }
 
 int MaxMinProblem::add_flow(std::vector<int> resources) {
   for (int r : resources)
-    SPINELESS_CHECK(r >= 0 && r < num_resources());
+    SPINELESS_CHECK_MSG(r >= 0 && r < num_resources(),
+                        "add_flow: resource " << r << " outside [0, "
+                                              << num_resources() << ")");
   flows_.push_back(std::move(resources));
   return static_cast<int>(flows_.size()) - 1;
 }
@@ -27,7 +36,19 @@ std::vector<double> MaxMinProblem::solve_capped(
   const std::size_t nf = flows_.size();
   const std::size_t nr = capacity_.size();
   const bool capped = !caps.empty();
-  if (capped) SPINELESS_CHECK(caps.size() == nf);
+  if (capped) {
+    SPINELESS_CHECK_MSG(caps.size() == nf,
+                        "solve_capped: " << caps.size() << " caps for " << nf
+                                         << " flows — pass one cap per flow "
+                                            "or an empty vector for no caps");
+    for (std::size_t f = 0; f < nf; ++f) {
+      // A negative cap would make `caps[f] - rate[f]` negative and stall
+      // the filling; NaN poisons every min(). +infinity means uncapped.
+      SPINELESS_CHECK_MSG(caps[f] >= 0 && !std::isnan(caps[f]),
+                          "solve_capped: caps[" << f << "] = " << caps[f]
+                              << " — caps must be >= 0 and not NaN");
+    }
+  }
   std::vector<double> rate(nf, 0.0);
   std::vector<double> remaining = capacity_;
   // Active consumption count per resource.

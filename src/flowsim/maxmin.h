@@ -36,6 +36,10 @@ class MaxMinProblem {
   // cost is proportional to the resources flows actually cross, not
   // num_resources() — a 100k-switch network has ~10^5..10^6 resources but a
   // windowed hybrid solve touches only the few thousand on active paths.
+  // Inputs are validated (throws spineless::Error): when non-empty, `caps`
+  // must have exactly one entry per flow and every entry must be >= 0 and
+  // not NaN — a silent size mismatch or NaN cap would otherwise stall the
+  // filling loop or index past the cap vector.
   std::vector<double> solve_capped(const std::vector<double>& caps) const;
 
   // Property-test hook: verifies a rate vector is feasible and max-min fair

@@ -20,6 +20,24 @@ BoundarySource::BoundarySource(Network& net, std::int32_t flow_id,
   set_event_identity(net.next_oid(), net.shard_of_host(src));
 }
 
+void BoundarySource::retarget(topo::HostId src, topo::HostId dst,
+                              std::uint64_t phase_key) {
+  SPINELESS_CHECK(src != dst);
+  src_ = src;
+  dst_ = dst;
+  dst_tor_ = net_.graph().tor_of_host(dst);
+  phase_key_ = phase_key;
+  // Move to the new src host's shard WITHOUT resetting the priority
+  // counter: set_event_identity zeroes it, and a reset would re-issue
+  // (oid, counter) keys that stale pending fires may still hold.
+  const std::uint64_t prio = prio_state();
+  set_event_identity(event_oid(), net_.shard_of_host(src_));
+  restore_prio_state(prio);
+  ++epoch_;
+  rate_bps_ = 0;
+  remaining_ = 0;
+}
+
 void BoundarySource::program(Simulator& sim, std::int64_t rate_bps,
                              std::int64_t remaining_bytes, Time not_before) {
   ++epoch_;
@@ -59,6 +77,11 @@ void BoundarySource::transmit(Simulator& sim) {
 }
 
 void BoundarySource::save_state(SnapshotWriter& w) const {
+  // Endpoints and phase key are snapshot state since a boundary-fault
+  // retarget() can have moved them off their construction-time values.
+  w.i64(static_cast<std::int64_t>(src_));
+  w.i64(static_cast<std::int64_t>(dst_));
+  w.u64(phase_key_);
   w.u64(epoch_);
   w.i64(rate_bps_);
   w.i64(remaining_);
@@ -68,6 +91,16 @@ void BoundarySource::save_state(SnapshotWriter& w) const {
 }
 
 void BoundarySource::load_state(SnapshotReader& r) {
+  src_ = static_cast<topo::HostId>(r.i64());
+  dst_ = static_cast<topo::HostId>(r.i64());
+  dst_tor_ = net_.graph().tor_of_host(dst_);
+  phase_key_ = r.u64();
+  // The shard must follow the restored src — the reconstructed source was
+  // built at its pre-fault pinning. Preserve the priority counter the PRIO
+  // section already restored (set_event_identity resets it).
+  const std::uint64_t prio = prio_state();
+  set_event_identity(event_oid(), net_.shard_of_host(src_));
+  restore_prio_state(prio);
   epoch_ = r.u64();
   rate_bps_ = r.i64();
   remaining_ = r.i64();

@@ -44,6 +44,18 @@ class BoundarySource : public EventSink, public Endpoint {
   void program(Simulator& sim, std::int64_t rate_bps,
                std::int64_t remaining_bytes, Time not_before = 0);
 
+  // Boundary-fault re-pin (control context, engine quiescent): moves the
+  // source to a new (src, dst) gateway pairing when its cut link failed.
+  // The oid and flow_id are construction-order invariants and stay put;
+  // the shard follows the new src host, and the pacing phase is re-keyed
+  // (the caller derives phase_key from (seed, new cut link, flow,
+  // generation)) so the packet stream stays a pure function of
+  // (seed, plan). Bumps the epoch — in-flight fires from the old pinning
+  // become stale no-ops — and pauses the source until the next program().
+  void retarget(topo::HostId src, topo::HostId dst, std::uint64_t phase_key);
+
+  topo::HostId src() const noexcept { return src_; }
+  topo::HostId dst() const noexcept { return dst_; }
   std::int64_t packets_sent() const noexcept { return packets_sent_; }
 
   void on_event(Simulator& sim, std::uint64_t ctx) override;

@@ -491,4 +491,38 @@ AuditReport CheckpointSession::audit(const ShardedEngine& eng) {
   return audit_view(view);
 }
 
+std::string section_tag_name(std::uint32_t tag) {
+  std::string name;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    const char c = static_cast<char>((tag >> shift) & 0xff);
+    name += (c >= 0x20 && c < 0x7f) ? c : '?';
+  }
+  return name;
+}
+
+void write_section_version(SnapshotWriter& w, std::uint32_t tag,
+                           std::uint32_t version) {
+  w.u64((static_cast<std::uint64_t>(tag) << 32) | version);
+}
+
+void expect_section_version(SnapshotReader& r, std::uint32_t tag,
+                            std::uint32_t version) {
+  const std::uint64_t word = r.u64();
+  const auto got_tag = static_cast<std::uint32_t>(word >> 32);
+  const auto got_version = static_cast<std::uint32_t>(word);
+  if (got_tag != tag) {
+    // Pre-versioning payloads started with ordinary state words whose high
+    // half never spells the section tag.
+    throw Error("snapshot section '" + section_tag_name(tag) +
+                "': payload predates section versioning (no version "
+                "header) — re-create the snapshot with this build");
+  }
+  if (got_version != version) {
+    throw Error("snapshot section '" + section_tag_name(tag) + "' version " +
+                std::to_string(got_version) + ", expected " +
+                std::to_string(version) +
+                " — snapshot was written by an incompatible build");
+  }
+}
+
 }  // namespace spineless::sim

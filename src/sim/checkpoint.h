@@ -88,6 +88,23 @@ class PacketCodec {
 inline constexpr std::uint32_t kSectionPartTag = 0x50415254;   // "PART"
 inline constexpr std::uint32_t kSectionHybrid = 0x48594252;    // "HYBR"
 
+// Versioned section payloads. A section that expects to evolve (the hybrid
+// loop's HYBR state grew fault-tolerance fields in PR 8) leads its payload
+// with a single u64 word (tag << 32 | version) so version skew fails with a
+// section-named message instead of a checksum-adjacent misalignment:
+// write_section_version as the first word of save_state, expect_section_
+// version as the first read of load_state. A payload whose leading word
+// does not carry the tag in its high half predates versioning entirely —
+// reported as such, again by section name. The leading word is the
+// section's field 0, so snapshot_patch_u64(path, tag, 0, ...) can forge a
+// future version for forward-compat negative tests.
+void write_section_version(SnapshotWriter& w, std::uint32_t tag,
+                           std::uint32_t version);
+void expect_section_version(SnapshotReader& r, std::uint32_t tag,
+                            std::uint32_t version);
+// "HYBR" from 0x48594252 — for error messages.
+std::string section_tag_name(std::uint32_t tag);
+
 // Anything beyond the Network that owns mutable simulation state and/or
 // event sinks: FlowDriver, FaultInjector, monitors. Implementations must
 // save/load in a fixed field order and register their sinks in

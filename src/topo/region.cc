@@ -106,7 +106,7 @@ RegionCut region_from_utilization(const Graph& g,
 RegionGraph build_region_graph(const Graph& g, const RegionCut& cut) {
   RegionGraph rg{Graph(static_cast<NodeId>(cut.hot.size()), /*ports=*/0,
                        g.name() + "-region"),
-                 {}, {}, {}, {}, {}};
+                 {}, {}, {}, {}, {}, {}};
   rg.to_full = cut.hot;
   rg.to_region.assign(static_cast<std::size_t>(g.num_switches()),
                       kInvalidNode);
@@ -117,9 +117,13 @@ RegionGraph build_region_graph(const Graph& g, const RegionCut& cut) {
 
   // Induced links, in full-graph link-id order — the region graph's link
   // numbering is thereby a deterministic function of the cut.
+  rg.link_to_region.assign(static_cast<std::size_t>(g.num_links()),
+                           kInvalidLink);
   for (LinkId l = 0; l < g.num_links(); ++l) {
     const Link& link = g.link(l);
     if (cut.contains(link.a) && cut.contains(link.b)) {
+      rg.link_to_region[static_cast<std::size_t>(l)] =
+          rg.graph.num_links();
       rg.graph.add_link(rg.to_region[static_cast<std::size_t>(link.a)],
                         rg.to_region[static_cast<std::size_t>(link.b)]);
     }

@@ -68,6 +68,10 @@ struct RegionGraph {
   std::vector<HostId> region_host_to_full;
   // gateway_host[i] = region host id standing in for RegionCut::cut[i].
   std::vector<HostId> gateway_host;
+  // Full link -> region link for region-internal links (both endpoints
+  // hot), kInvalidLink otherwise. This is how a full-graph FaultPlan is
+  // translated into a sub-plan over the region subgraph.
+  std::vector<LinkId> link_to_region;
 };
 
 RegionGraph build_region_graph(const Graph& g, const RegionCut& cut);

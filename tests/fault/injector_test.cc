@@ -183,5 +183,65 @@ TEST(FaultInjector, DegradedPortSlowsTheFlowDown) {
   EXPECT_GT(degraded, 2 * clean);
 }
 
+// Config validation: a structured error naming the offending value, not a
+// silent nondeterministic run. Each clause of validate() fires on its own.
+TEST(FaultInjectorConfig, ValidateRejectsRepairDelayBelowLinkDelay) {
+  FaultInjectorConfig cfg;
+  cfg.repair_delay = 10;  // ps, far below any real link delay
+  try {
+    cfg.validate(/*link_delay=*/units::kMicrosecond);
+    FAIL() << "validate accepted repair_delay < link_delay";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("repair_delay"), std::string::npos) << what;
+    EXPECT_NE(what.find("10ps"), std::string::npos) << what;
+    EXPECT_NE(what.find("lookahead"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultInjectorConfig, ValidateRejectsNonPositiveHelloInterval) {
+  FaultInjectorConfig cfg;
+  cfg.hello_interval = 0;
+  try {
+    cfg.validate(/*link_delay=*/0);
+    FAIL() << "validate accepted hello_interval == 0";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("hello_interval must be positive"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultInjectorConfig, ValidateRejectsHoldCountBelowOne) {
+  FaultInjectorConfig cfg;
+  cfg.hold_count = 0;
+  try {
+    cfg.validate(/*link_delay=*/0);
+    FAIL() << "validate accepted hold_count == 0";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("hold_count must be >= 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// arm() is the enforcement point: a live injector with a bad config must
+// throw before scheduling anything.
+TEST(FaultInjectorConfig, ArmValidates) {
+  const topo::Graph g = pair_graph();
+  sim::Network net(g, NetworkConfig{});
+  const auto plan = FaultPlan::parse("fail link=0 at=1ms", g, 1);
+  FaultInjectorConfig cfg;
+  cfg.repair_delay = 0;
+  FaultInjector inj(net, plan, cfg);
+  sim::Simulator sim;
+  EXPECT_THROW(inj.arm(sim, 10 * units::kMillisecond), Error);
+}
+
+TEST(FaultInjectorConfig, ValidateAcceptsDefaults) {
+  FaultInjectorConfig cfg;
+  EXPECT_NO_THROW(cfg.validate(/*link_delay=*/units::kMicrosecond));
+}
+
 }  // namespace
 }  // namespace spineless::fault

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -71,6 +73,45 @@ TEST(MaxMin, InvalidResourceRejected) {
 
 TEST(MaxMin, NegativeCapacityRejected) {
   EXPECT_THROW(MaxMinProblem({-1.0}), Error);
+}
+
+TEST(MaxMin, NanCapacityRejected) {
+  EXPECT_THROW(MaxMinProblem({std::numeric_limits<double>::quiet_NaN()}),
+               Error);
+}
+
+// solve_capped input hardening: a silent caps-size mismatch would index
+// past the vector; negative or NaN caps stall the filling loop. Each is a
+// structured Error up front, and +infinity remains a valid "uncapped".
+TEST(MaxMin, CapsSizeMismatchRejected) {
+  MaxMinProblem p({10.0});
+  p.add_flow({0});
+  p.add_flow({0});
+  EXPECT_THROW(p.solve_capped({1.0}), Error);            // too few
+  EXPECT_THROW(p.solve_capped({1.0, 1.0, 1.0}), Error);  // too many
+}
+
+TEST(MaxMin, NegativeCapRejected) {
+  MaxMinProblem p({10.0});
+  p.add_flow({0});
+  EXPECT_THROW(p.solve_capped({-1.0}), Error);
+}
+
+TEST(MaxMin, NanCapRejected) {
+  MaxMinProblem p({10.0});
+  p.add_flow({0});
+  EXPECT_THROW(p.solve_capped({std::numeric_limits<double>::quiet_NaN()}),
+               Error);
+}
+
+TEST(MaxMin, InfiniteCapMeansUncapped) {
+  MaxMinProblem p({10.0});
+  p.add_flow({0});
+  p.add_flow({0});
+  const auto r = p.solve_capped(
+      {std::numeric_limits<double>::infinity(), 2.0});
+  EXPECT_NEAR(r[1], 2.0, 1e-6);   // capped flow freezes at its cap...
+  EXPECT_NEAR(r[0], 8.0, 1e-6);   // ...uncapped flow absorbs the headroom
 }
 
 TEST(MaxMin, CertificateRejectsUnfairAllocation) {
