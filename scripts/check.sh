@@ -94,6 +94,54 @@ awk '
     printf "hybrid-fault smoke: %d cells, fluid outages live, recovery >= 95%%\n", cells
   }' RS=',|\n' FS=':' hybrid_fault_smoke.json
 
+echo "== serving smoke (spinelessd) =="
+# The full robustness ladder at process level: SIGTERM graceful drain with
+# an in-flight request, then kill -9 -> restart -> replay byte-identity
+# against the persisted warm snapshot (scripts/service_drain_smoke.sh).
+bash scripts/service_drain_smoke.sh ./build/tools/spinelessd/spinelessd \
+  check_service_smoke
+# Overload behavior over the socket: a 1-worker, 2-deep daemon hit by 12
+# concurrent clients (valid, invalid, and repeated bodies — the built-in
+# --connect client is deliberately lockstep, so concurrency comes from
+# parallel clients) must answer every line — some `ok`, at least one
+# explicit `overloaded`, the bad request as `error` — and drain cleanly
+# afterwards. No crash, no hang, no silence.
+SOCK=check_service_smoke/overload.sock
+./build/tools/spinelessd/spinelessd --socket="$SOCK" --workers=1 \
+  --queue_limit=2 > check_service_smoke/overload.out 2>&1 &
+DPID=$!
+for _ in $(seq 1 100); do
+  grep -q '^spinelessd: ready' check_service_smoke/overload.out && break
+  sleep 0.1
+done
+CPIDS=()
+for i in $(seq 1 11); do
+  printf '{"id":%d,"kind":"whatif_tm","tm":"skewed","seed_salt":%d}\n' \
+    "$i" "$((i % 3))" |
+    ./build/tools/spinelessd/spinelessd --connect="$SOCK" \
+      > "check_service_smoke/overload_c$i.txt" &
+  CPIDS+=($!)
+done
+printf '{"id":12,"kind":"whatif_fault"}\n' |
+  ./build/tools/spinelessd/spinelessd --connect="$SOCK" \
+    > check_service_smoke/overload_c12.txt &
+CPIDS+=($!)
+for pid in "${CPIDS[@]}"; do wait "$pid"; done
+kill -TERM "$DPID" && wait "$DPID"
+cat check_service_smoke/overload_c*.txt \
+  > check_service_smoke/overload_answers.txt
+awk '
+  /"status":"ok"/         { ok++ }
+  /"status":"overloaded"/ { shed++ }
+  /"status":"error"/      { err++ }
+  END {
+    printf "serving smoke: %d ok, %d overloaded, %d error\n", ok, shed, err
+    if (ok + shed + err != 12) { print "serving smoke: missing answers"; exit 1 }
+    if (ok < 1)   { print "serving smoke: no ok answers"; exit 1 }
+    if (shed < 1) { print "serving smoke: overload never shed"; exit 1 }
+    if (err != 1) { print "serving smoke: bad request not an error"; exit 1 }
+  }' check_service_smoke/overload_answers.txt
+
 echo "== tier-1 test suite =="
 ctest --test-dir build --output-on-failure
 

@@ -7,7 +7,7 @@
 #   scripts/reproduce.sh --jobs=8     # fan experiment cells over 8 workers
 #   scripts/reproduce.sh --tsan       # ThreadSanitizer pass over the
 #                                     # concurrency + fault + robustness
-#                                     # test suites
+#                                     # + service test suites
 #   scripts/reproduce.sh --asan       # Address/UB-sanitizer pass over the
 #                                     # full test suite
 #   scripts/reproduce.sh --ubsan      # UBSan-only pass (trap-on-UB, no
@@ -67,7 +67,7 @@ if [[ "$TSAN" == 1 ]]; then
   # loop (boundary reprogramming against live reactor threads).
   cmake -B build-tsan -G Ninja -DSPINELESS_TSAN=ON
   cmake --build build-tsan
-  ctest --test-dir build-tsan -L 'concurrency|fault|robustness|hybrid' --output-on-failure
+  ctest --test-dir build-tsan -L 'concurrency|fault|robustness|hybrid|service' --output-on-failure
   exit 0
 fi
 
@@ -78,7 +78,7 @@ if [[ "$UBSAN" == 1 ]]; then
   # combined ASAN preset would only warn about.
   cmake -B build-ubsan -G Ninja -DSPINELESS_UBSAN=ON
   cmake --build build-ubsan
-  ctest --test-dir build-ubsan -L 'concurrency|fault|robustness|hybrid' --output-on-failure
+  ctest --test-dir build-ubsan -L 'concurrency|fault|robustness|hybrid|service' --output-on-failure
   exit 0
 fi
 

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Process-level robustness checks for spinelessd, run as a ctest (label
+# `service`):
+#
+#   1. SIGTERM graceful drain: a daemon serving a request over its socket
+#      is SIGTERMed; it must answer the in-flight request, log the drain,
+#      and exit 0.
+#   2. kill -9 -> restart -> replay byte-identity: a daemon with a
+#      snapshot_dir is killed uncleanly mid-trace; a restarted process must
+#      report restoring the warm snapshot and replaying the full trace must
+#      produce answers byte-identical to the pre-crash golden replay
+#      (status responses excluded: they carry live counters by design).
+#
+# Usage: service_drain_smoke.sh <spinelessd-binary> <workdir>
+set -euo pipefail
+
+BIN="$1"
+WORK="$2"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+SNAP="$WORK/snap"
+SOCK="$WORK/sock"
+
+fail() { echo "service_drain_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_ready() {  # wait_ready <stdout-file> <pid>
+  for _ in $(seq 1 100); do
+    grep -q '^spinelessd: ready' "$1" 2>/dev/null && return 0
+    kill -0 "$2" 2>/dev/null || fail "daemon died before ready (see $1)"
+    sleep 0.1
+  done
+  fail "daemon never became ready (see $1)"
+}
+
+# The deterministic request trace: a mix of what-if kinds including a
+# deliberate repeat (cache hit) and a bad request (error response).
+TRACE="$WORK/trace.txt"
+cat > "$TRACE" <<'EOF'
+{"id":1,"kind":"whatif_fault","spec":"fail link=3 at=1ms"}
+{"id":2,"kind":"whatif_fault","spec":"flap link=5 down=1ms up=3ms"}
+{"id":3,"kind":"whatif_tm","tm":"skewed","seed_salt":2,"fidelity":"fluid"}
+{"id":4,"kind":"affected","link":2,"down":true}
+{"id":5,"kind":"whatif_fault","spec":"fail link=3 at=1ms"}
+{"id":6,"kind":"whatif_fault","spec":"fail link=9999 at=1ms"}
+{"id":7,"kind":"status"}
+EOF
+
+# ---- Test 1: SIGTERM graceful drain -----------------------------------
+"$BIN" --socket="$SOCK" --workers=2 > "$WORK/d1.out" 2> "$WORK/d1.err" &
+DPID=$!
+wait_ready "$WORK/d1.out" "$DPID"
+
+# A client holding a request in flight when the SIGTERM lands.
+printf '%s\n' '{"id":10,"kind":"whatif_fault","spec":"fail link=4 at=2ms"}' |
+  "$BIN" --connect="$SOCK" > "$WORK/c1.out" 2> "$WORK/c1.err" &
+CPID=$!
+sleep 0.3
+kill -TERM "$DPID"
+wait "$CPID" || fail "client failed during drain"
+wait "$DPID" || fail "daemon exit code nonzero after SIGTERM"
+grep -q '"id":10' "$WORK/c1.out" || fail "in-flight request unanswered"
+grep -q '"status":"ok"' "$WORK/c1.out" || fail "in-flight request not ok"
+grep -q 'drained' "$WORK/d1.err" || fail "no drain log line"
+[ -S "$SOCK" ] && fail "socket not removed after drain"
+echo "service_drain_smoke: SIGTERM drain ok"
+
+# ---- Test 2: kill -9 -> restart -> replay byte-identity ----------------
+# Golden answers: a fresh process builds the warm state, persists it into
+# SNAP, and replays the trace synchronously.
+"$BIN" --snapshot_dir="$SNAP" --replay="$TRACE" --out="$WORK/golden.txt" \
+  > "$WORK/g.out" 2> "$WORK/g.err" || fail "golden replay failed"
+grep -q 'built fresh' "$WORK/g.err" || fail "golden run unexpectedly restored"
+
+# A serving daemon on the same snapshot dir, killed uncleanly mid-stream.
+"$BIN" --socket="$SOCK" --snapshot_dir="$SNAP" --workers=2 \
+  > "$WORK/d2.out" 2> "$WORK/d2.err" &
+DPID=$!
+wait_ready "$WORK/d2.out" "$DPID"
+grep -q 'restored=1' "$WORK/d2.out" || fail "daemon did not restore snapshot"
+head -3 "$TRACE" | "$BIN" --connect="$SOCK" > "$WORK/c2.out" \
+  2> "$WORK/c2.err" &
+CPID=$!
+sleep 0.3
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null && fail "kill -9 reported clean exit"
+wait "$CPID" 2>/dev/null || true  # the client may see the connection die
+
+# Restart: must restore from the snapshot and answer byte-identically.
+"$BIN" --snapshot_dir="$SNAP" --replay="$TRACE" --out="$WORK/replayed.txt" \
+  > "$WORK/r.out" 2> "$WORK/r.err" || fail "post-crash replay failed"
+grep -q 'restored from snapshot' "$WORK/r.err" ||
+  fail "post-crash replay did not restore the warm snapshot"
+grep -v '"kind":"status"' "$WORK/golden.txt" > "$WORK/golden.cmp"
+grep -v '"kind":"status"' "$WORK/replayed.txt" > "$WORK/replayed.cmp"
+cmp "$WORK/golden.cmp" "$WORK/replayed.cmp" ||
+  fail "post-crash answers differ from golden"
+echo "service_drain_smoke: kill -9 recovery byte-identical"
+echo "service_drain_smoke: PASS"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -100,15 +101,70 @@ Time parse_time(const std::string& s) {
   return static_cast<Time>(std::llround(v * static_cast<double>(mult)));
 }
 
+namespace {
+
+// One clause's claim on a link: which fault channel it drives (physical
+// up/down, gray loss, or rate degrade — independent state machines in the
+// injector) and over what [start, end) window. Two clauses may target the
+// same link only on different channels or disjoint windows; overlapping
+// claims used to resolve silently as last-writer-wins, which turns a spec
+// typo into a quietly different experiment.
+struct ClauseWindow {
+  topo::LinkId link;
+  int channel;  // 0 = physical, 1 = gray, 2 = degrade
+  Time start;
+  Time end;  // exclusive; kForever when the clause never releases the link
+  std::string clause;
+};
+
+constexpr Time kForever = std::numeric_limits<Time>::max();
+
+const char* channel_name(int channel) {
+  switch (channel) {
+    case 0: return "physical";
+    case 1: return "gray";
+    default: return "degrade";
+  }
+}
+
+void reject_overlaps(std::vector<ClauseWindow> windows) {
+  // Sort by (link, channel, start); spec order breaks start ties so the
+  // error always names the earlier clause first.
+  std::stable_sort(windows.begin(), windows.end(),
+                   [](const ClauseWindow& a, const ClauseWindow& b) {
+                     if (a.link != b.link) return a.link < b.link;
+                     if (a.channel != b.channel) return a.channel < b.channel;
+                     return a.start < b.start;
+                   });
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    const ClauseWindow& prev = windows[i - 1];
+    const ClauseWindow& cur = windows[i];
+    if (prev.link != cur.link || prev.channel != cur.channel) continue;
+    if (prev.end > cur.start) {
+      throw Error("FaultPlan: clause '" + cur.clause + "' overlaps clause '" +
+                  prev.clause + "' on link " + std::to_string(cur.link) +
+                  " (" + std::string(channel_name(cur.channel)) +
+                  " channel): duplicate clauses targeting the same link must "
+                  "use disjoint time windows");
+    }
+  }
+}
+
+}  // namespace
+
 FaultPlan FaultPlan::parse(const std::string& spec, const topo::Graph& g,
                            std::uint64_t seed) {
   FaultPlan plan;
   plan.seed_ = seed;
+  std::vector<ClauseWindow> windows;
   for (const std::string& clause : split(spec, ';')) {
     const auto toks = tokens(clause);
     if (toks.empty()) continue;  // empty clause (trailing ';')
     const std::string& kind = toks[0];
     const auto kv = keyvals(toks, clause);
+    auto note = [&](topo::LinkId l, int channel, Time start, Time end) {
+      windows.push_back({l, channel, start, end, clause});
+    };
     auto flap_links = [&](const std::vector<topo::LinkId>& links) {
       const Time down = parse_time(require(kv, "down", clause));
       const Time up = parse_time(require(kv, "up", clause));
@@ -117,14 +173,16 @@ FaultPlan FaultPlan::parse(const std::string& spec, const topo::Graph& g,
       for (const topo::LinkId l : links) {
         plan.actions_.push_back({FaultAction::Kind::kLinkDown, down, l});
         plan.actions_.push_back({FaultAction::Kind::kLinkUp, up, l});
+        note(l, 0, down, up);
       }
     };
     if (kind == "flap") {
       flap_links({parse_link(require(kv, "link", clause), g)});
     } else if (kind == "fail") {
-      plan.actions_.push_back({FaultAction::Kind::kLinkDown,
-                               parse_time(require(kv, "at", clause)),
-                               parse_link(require(kv, "link", clause), g)});
+      const Time at = parse_time(require(kv, "at", clause));
+      const topo::LinkId l = parse_link(require(kv, "link", clause), g);
+      plan.actions_.push_back({FaultAction::Kind::kLinkDown, at, l});
+      note(l, 0, at, kForever);
     } else if (kind == "switch") {
       const double nv = parse_real(require(kv, "node", clause));
       const auto node = static_cast<topo::NodeId>(nv);
@@ -151,13 +209,16 @@ FaultPlan FaultPlan::parse(const std::string& spec, const topo::Graph& g,
                               clause + "'");
       plan.actions_.push_back(on);
       const auto uit = kv.find("until");
+      Time gray_end = kForever;
       if (uit != kv.end()) {
         const Time until = parse_time(uit->second);
         SPINELESS_CHECK_MSG(until > on.at,
                             "FaultPlan: until must follow from in '" + clause +
                                 "'");
         plan.actions_.push_back({FaultAction::Kind::kGrayOff, until, l});
+        gray_end = until;
       }
+      note(l, 1, on.at, gray_end);
     } else if (kind == "degrade") {
       const topo::LinkId l = parse_link(require(kv, "link", clause), g);
       FaultAction on{FaultAction::Kind::kDegradeOn,
@@ -168,6 +229,7 @@ FaultPlan FaultPlan::parse(const std::string& spec, const topo::Graph& g,
                               clause + "'");
       plan.actions_.push_back(on);
       const auto uit = kv.find("until");
+      Time degrade_end = kForever;
       if (uit != kv.end()) {
         const Time until = parse_time(uit->second);
         SPINELESS_CHECK_MSG(until > on.at,
@@ -175,11 +237,14 @@ FaultPlan FaultPlan::parse(const std::string& spec, const topo::Graph& g,
                                 "'");
         FaultAction off{FaultAction::Kind::kDegradeOff, until, l};
         plan.actions_.push_back(off);
+        degrade_end = until;
       }
+      note(l, 2, on.at, degrade_end);
     } else {
       throw Error("FaultPlan: unknown clause kind '" + kind + "'");
     }
   }
+  reject_overlaps(std::move(windows));
   // Stable: simultaneous actions apply in spec order.
   std::stable_sort(
       plan.actions_.begin(), plan.actions_.end(),

@@ -128,8 +128,7 @@ FaultInjector::~FaultInjector() { net_.set_hello_handler(nullptr); }
 void FaultInjector::arm(Simulator& sim, Time until) {
   cfg_.validate(net_.config().link_delay);
   hello_until_ = until;
-  for (std::size_t i = 0; i < plan_.actions().size(); ++i)
-    sim.schedule_at(plan_.actions()[i].at, this, i);
+  arm_actions(sim);
   // Stagger hello start times evenly across one interval so the fabric is
   // not probed in lockstep (and the stagger is a pure function of the
   // session index — deterministic).
@@ -143,6 +142,19 @@ void FaultInjector::arm(Simulator& sim, Time until) {
   }
 }
 
+void FaultInjector::arm_actions(Simulator& sim) {
+  cfg_.validate(net_.config().link_delay);
+  for (std::size_t i = 0; i < plan_.actions().size(); ++i) {
+    SPINELESS_CHECK_MSG(plan_.actions()[i].at >= sim.now(),
+                        "FaultInjector: plan action at t="
+                            << plan_.actions()[i].at
+                            << " is before the engine clock " << sim.now()
+                            << " (what-if faults must start after the warm "
+                               "checkpoint)");
+    sim.schedule_at(plan_.actions()[i].at, this, i);
+  }
+}
+
 void FaultInjector::on_hello(Simulator& sim, const sim::Packet& pkt) {
   const auto idx = static_cast<std::size_t>(pkt.seq);
   SPINELESS_DCHECK(idx < num_sessions_);
@@ -151,20 +163,25 @@ void FaultInjector::on_hello(Simulator& sim, const sim::Packet& pkt) {
 
 void FaultInjector::schedule_repair(Simulator& sim, topo::LinkId link,
                                     bool up) {
-  // ctx layout: [0, actions) = plan actions; beyond that, repair events
-  // packing (link, direction-of-change).
-  const std::uint64_t ctx = plan_.actions().size() +
-                            2 * static_cast<std::uint64_t>(link) +
-                            (up ? 1 : 0);
+  // ctx layout: plain indexes are plan actions; repair events set the high
+  // bit and pack (link, direction-of-change) below it. The encoding must
+  // not depend on the plan size: a warm checkpoint saved under one plan is
+  // restored into an experiment armed with another (the serving layer's
+  // what-if requests), and an in-flight repair whose ctx were
+  // `actions.size() + k` would silently re-decode as a plan action there.
+  const std::uint64_t ctx = kRepairCtxBit |
+                            (2 * static_cast<std::uint64_t>(link) +
+                             (up ? 1 : 0));
   sim.schedule_at(sim.now() + cfg_.repair_delay, this, ctx);
 }
 
 void FaultInjector::on_event(Simulator& sim, std::uint64_t ctx) {
-  if (ctx < plan_.actions().size()) {
+  if ((ctx & kRepairCtxBit) == 0) {
+    SPINELESS_DCHECK(ctx < plan_.actions().size());
     apply_action(plan_.actions()[ctx], sim.now());
     return;
   }
-  const std::uint64_t rest = ctx - plan_.actions().size();
+  const std::uint64_t rest = ctx & ~kRepairCtxBit;
   apply_repair(static_cast<topo::LinkId>(rest / 2), (rest % 2) != 0,
                sim.now());
 }

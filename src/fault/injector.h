@@ -75,6 +75,15 @@ class FaultInjector : public sim::EventSink,
   // transmissions stop after `until`). Call once, before running.
   void arm(Simulator& sim, Time until);
 
+  // Restore-safe arming: schedules ONLY the plan actions, leaving the BFD
+  // machinery alone. This is the entry point for experiments that restore
+  // a warm checkpoint whose event arrays already contain the hello/hold
+  // events (re-running arm() would duplicate them): construct the injector
+  // with the request's plan, restore, then arm_actions. Throws when any
+  // action predates the engine clock — a what-if fault cannot land inside
+  // the already-simulated warm prefix.
+  void arm_actions(Simulator& sim);
+
   // One routed-out/routed-in cycle of a link. Times are -1 when the
   // corresponding transition never happened. A gray link that trips BFD
   // (e.g. drop=1.0) produces an outage with t_down == -1: the data plane
@@ -133,6 +142,12 @@ class FaultInjector : public sim::EventSink,
   class HelloTx;
   class BfdRx;
   friend class BfdRx;
+
+  // High bit of a global-event ctx marks a detection-driven repair; the
+  // low bits pack (link, up). Plan actions use their plain index. Keeping
+  // the two spaces disjoint — independent of the plan size — lets a warm
+  // checkpoint with in-flight repairs be restored under a different plan.
+  static constexpr std::uint64_t kRepairCtxBit = 1ULL << 63;
 
   // Called by a BFD session (shard context): queue a global repair event.
   void schedule_repair(Simulator& sim, topo::LinkId link, bool up);

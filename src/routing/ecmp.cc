@@ -222,6 +222,21 @@ std::vector<NodeId> EcmpTable::destinations_affected_by(const Graph& g,
   return out;
 }
 
+std::vector<NodeId> EcmpTable::splice_link_change(const Graph& g,
+                                                  LinkSet& dead,
+                                                  topo::LinkId link,
+                                                  bool now_dead,
+                                                  util::Runner* runner) {
+  std::vector<NodeId> dsts = destinations_affected_by(g, link, now_dead);
+  if (now_dead) {
+    dead.insert(link);
+  } else {
+    dead.erase(link);
+  }
+  recompute_destinations(g, &dead, dsts, runner);
+  return dsts;
+}
+
 bool ecmp_table_valid(const Graph& g, const EcmpTable& table,
                       const LinkSet* dead) {
   if (table.num_switches() != g.num_switches()) return false;

@@ -54,6 +54,17 @@ class EcmpTable {
                                                topo::LinkId link,
                                                bool now_dead) const;
 
+  // One-call incremental splice (the serving layer's what-if queries):
+  // find the destinations a single link transition can touch, apply the
+  // transition to `dead`, and recompute exactly those destinations against
+  // the updated set. Returns the affected destination list. Equivalent to
+  // destinations_affected_by + dead.insert/erase + recompute_destinations,
+  // packaged so callers cannot get the ordering wrong (the affected set
+  // must be computed against the PRE-change table).
+  std::vector<NodeId> splice_link_change(const Graph& g, LinkSet& dead,
+                                         topo::LinkId link, bool now_dead,
+                                         util::Runner* runner = nullptr);
+
   std::span<const Port> next_hops(NodeId node, NodeId dst) const {
     const std::size_t i = index(node, dst);
     return {ports_.data() + off_[i], off_[i + 1] - off_[i]};

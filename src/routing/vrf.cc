@@ -176,6 +176,21 @@ std::vector<NodeId> VrfTable::destinations_affected_by(const Graph& g,
   return out;
 }
 
+std::vector<NodeId> VrfTable::splice_link_change(const Graph& g,
+                                                 LinkSet& dead,
+                                                 topo::LinkId link,
+                                                 bool now_dead,
+                                                 util::Runner* runner) {
+  std::vector<NodeId> dsts = destinations_affected_by(g, link, now_dead);
+  if (now_dead) {
+    dead.insert(link);
+  } else {
+    dead.erase(link);
+  }
+  recompute_destinations(g, &dead, dsts, runner);
+  return dsts;
+}
+
 bool VrfTable::theorem1_holds(const Graph& g, NodeId src, NodeId dst) const {
   if (src == dst) return true;
   const auto dist = topo::bfs_distances(g, src);

@@ -80,6 +80,13 @@ class VrfTable {
                                                topo::LinkId link,
                                                bool now_dead) const;
 
+  // One-call incremental splice, mirroring EcmpTable::splice_link_change:
+  // affected set against the pre-change table, then the transition, then
+  // the targeted recompute. Returns the affected destinations.
+  std::vector<NodeId> splice_link_change(const Graph& g, LinkSet& dead,
+                                         topo::LinkId link, bool now_dead,
+                                         util::Runner* runner = nullptr);
+
   int k() const noexcept { return k_; }
 
   // Minimum VRF-graph cost from (vrf, node) to (VRF K, dst).

@@ -1,0 +1,180 @@
+#include "service/daemon.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "util/fsio.h"
+
+namespace spineless::service {
+namespace {
+
+bool fill_sockaddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) return false;
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+// MSG_NOSIGNAL: a client that disconnected before its answer arrived must
+// not SIGPIPE the daemon — the write just fails and the response is
+// dropped (the journal still has the request).
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads one '\n'-terminated line (without the newline) using `buf` as the
+// carry-over buffer. False on EOF/error with no buffered line.
+bool read_line(int fd, std::string* buf, std::string* line) {
+  while (true) {
+    const std::size_t nl = buf->find('\n');
+    if (nl != std::string::npos) {
+      line->assign(*buf, 0, nl);
+      buf->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buf->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+Daemon::Daemon(Engine& engine, std::string socket_path)
+    : engine_(engine), socket_path_(std::move(socket_path)) {}
+
+Daemon::~Daemon() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (std::thread& t : connections_)
+    if (t.joinable()) t.join();
+}
+
+bool Daemon::listen_on_socket() {
+  sockaddr_un addr;
+  if (!fill_sockaddr(socket_path_, &addr)) {
+    std::fprintf(stderr, "spinelessd: bad socket path '%s'\n",
+                 socket_path_.c_str());
+    return false;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  util::remove_file(socket_path_);  // stale socket from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    std::fprintf(stderr, "spinelessd: cannot listen on %s: %s\n",
+                 socket_path_.c_str(), std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+int Daemon::serve() {
+  if (listen_fd_ < 0) return 1;
+  while (!shutdown_.load()) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    // The timeout bounds how long a SIGTERM waits to be noticed; poll
+    // itself also returns with EINTR when the signal lands.
+    const int rc = ::poll(&p, 1, 100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || (p.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> l(mu_);
+    open_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+
+  // Graceful drain: stop accepting, answer anything new with `draining`,
+  // finish everything already admitted, then tear connections down.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  engine_.begin_drain();
+  engine_.stop();  // waits for queue + in-flight
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connections_)
+    if (t.joinable()) t.join();
+  connections_.clear();
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    for (int fd : open_fds_) ::close(fd);
+    open_fds_.clear();
+  }
+  util::remove_file(socket_path_);
+  return 0;
+}
+
+void Daemon::connection_loop(int fd) {
+  // One write mutex per connection: workers finish out of order, and two
+  // interleaved response lines would corrupt the stream.
+  auto write_mu = std::make_shared<std::mutex>();
+  std::string buf, line;
+  while (read_line(fd, &buf, &line)) {
+    if (line.empty()) continue;
+    engine_.submit(line, [fd, write_mu](std::string response) {
+      response.push_back('\n');
+      std::lock_guard<std::mutex> l(*write_mu);
+      send_all(fd, response);
+    });
+  }
+  // The engine may still hold callbacks with this fd; responses for a
+  // closed connection fail harmlessly in send_all. Delay the close until
+  // drain in serve() would be more polite, but the fd must not be reused
+  // while callbacks are live — so the fd is closed only after the engine
+  // drained (serve joins us post-stop) or on process exit.
+  ::shutdown(fd, SHUT_RD);
+}
+
+int run_client(const std::string& socket_path) {
+  sockaddr_un addr;
+  if (!fill_sockaddr(socket_path, &addr)) return 2;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return 2;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "spinelessd: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return 2;
+  }
+  std::string buf, response;
+  char line[65536];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    std::string req(line);
+    if (req.empty() || req == "\n") continue;
+    if (req.back() != '\n') req.push_back('\n');
+    if (!send_all(fd, req)) break;
+    if (!read_line(fd, &buf, &response)) break;
+    std::fprintf(stdout, "%s\n", response.c_str());
+    std::fflush(stdout);
+  }
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace spineless::service

@@ -1,0 +1,60 @@
+// spinelessd's socket front end: a Unix-domain SOCK_STREAM listener with a
+// thread per connection, newline-delimited JSON requests in, responses out
+// (matched by the echoed `id`; workers may answer out of order).
+//
+// Shutdown contract (the SIGTERM drain test pins this): request_shutdown()
+// is async-signal-safe (one atomic store). serve() then stops accepting,
+// puts the engine into drain (new requests are answered `draining`),
+// finishes every queued and in-flight request, closes connections, removes
+// the socket file, and returns 0. A kill -9 instead of SIGTERM loses
+// nothing durable: the warm snapshot and admission journal are already on
+// disk, and a restarted daemon rebuilds byte-identical answers from them.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/engine.h"
+
+namespace spineless::service {
+
+class Daemon {
+ public:
+  Daemon(Engine& engine, std::string socket_path);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Binds and listens (replacing a stale socket file). False on failure.
+  bool listen_on_socket();
+
+  // Blocking accept loop; returns the process exit code (0 after a clean
+  // drain). Call listen_on_socket() first.
+  int serve();
+
+  // Async-signal-safe shutdown request (SIGTERM/SIGINT handler body).
+  void request_shutdown() noexcept { shutdown_.store(true); }
+
+ private:
+  void connection_loop(int fd);
+
+  Engine& engine_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex mu_;
+  std::vector<std::thread> connections_;
+  std::vector<int> open_fds_;
+};
+
+// Built-in lockstep client (spinelessd --connect): sends each stdin line
+// to the daemon, prints the matching response line to stdout, exits 0 on
+// EOF. Keeps the check.sh smoke test free of nc/python dependencies.
+int run_client(const std::string& socket_path);
+
+}  // namespace spineless::service

@@ -1,0 +1,13 @@
+#include "service/deadline.h"
+
+#include <chrono>
+
+namespace spineless::service {
+
+double wall_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace spineless::service

@@ -1,0 +1,66 @@
+// Request/response schema for spinelessd.
+//
+// Wire format: newline-delimited JSON objects over a local socket (or a
+// trace file in replay mode). Every request carries a client-chosen
+// integer `id` echoed in the response, so a client may pipeline.
+//
+//   {"id":1,"kind":"whatif_fault","spec":"flap link=3 down=2ms up=4ms"}
+//   {"id":2,"kind":"whatif_tm","tm":"skewed","load_scale":1.5}
+//   {"id":3,"kind":"affected","link":7,"down":true}
+//   {"id":4,"kind":"status"}
+//
+// Optional fields: "fidelity" ("auto" | "packet" | "fluid", default auto),
+// "deadline_ms" (0 = none), "seed_salt" (mixed into workload perturbation
+// seeds, default 0).
+//
+// Responses: {"id":N,"status":"ok",...} | "error" | "overloaded" |
+// "draining"; every ok answer names the "fidelity" it was computed at.
+// Deterministic by construction — no wall-clock field ever appears in a
+// response body (timing lives in the `status` request and bench output),
+// which is what makes the kill-9/replay byte-identity contract testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace spineless::service {
+
+enum class RequestKind { kWhatIfFault, kWhatIfTm, kAffected, kStatus };
+
+enum class Fidelity { kAuto, kPacket, kFluid };
+
+const char* fidelity_name(Fidelity f);
+
+struct Request {
+  std::int64_t id = 0;
+  RequestKind kind = RequestKind::kStatus;
+
+  std::string fault_spec;  // kWhatIfFault: FaultPlan grammar
+  std::string tm;          // kWhatIfTm: uniform | skewed | permutation
+  double load_scale = 1.0;  // kWhatIfTm: offered-load multiplier
+
+  std::int64_t link = -1;  // kAffected
+  bool down = true;        // kAffected: fail (true) or restore (false)
+
+  Fidelity fidelity = Fidelity::kAuto;
+  double deadline_ms = 0;  // 0 = no deadline
+  std::uint64_t seed_salt = 0;
+};
+
+// Parses one request line. Throws spineless::Error (json position errors,
+// unknown kinds, missing/ill-typed fields) — the engine turns the throw
+// into an `error` response rather than dying.
+Request parse_request(const std::string& line);
+
+// Deterministic re-serialization of everything that affects the ANSWER —
+// excludes id and deadline_ms (they affect routing/scheduling of the
+// request, never its payload). This string is the result-cache key
+// material and the journal/trace record body.
+std::string canonical_request_body(const Request& req);
+
+// Full trace line: canonical body plus the id, replayable by --replay.
+std::string canonical_request_line(const Request& req);
+
+}  // namespace spineless::service

@@ -5,6 +5,7 @@
 
 #include "sim/network.h"
 #include "sim/sharded_engine.h"
+#include "util/fsio.h"
 
 namespace spineless::sim {
 namespace {
@@ -169,8 +170,7 @@ std::vector<Simulator::Event> CheckpointSession::read_events(
   return events;
 }
 
-void CheckpointSession::save_view(const std::string& path,
-                                  const EngineView& view) {
+std::string CheckpointSession::save_view_bytes(const EngineView& view) {
   build_registry();
   const PacketCodec codec(net_);
   SnapshotWriter w(config_hash_);
@@ -246,7 +246,12 @@ void CheckpointSession::save_view(const std::string& path,
     w.end_section();
   }
 
-  SPINELESS_CHECK_MSG(w.write_file(path),
+  return w.seal();
+}
+
+void CheckpointSession::save_view(const std::string& path,
+                                  const EngineView& view) {
+  SPINELESS_CHECK_MSG(util::atomic_write_file(path, save_view_bytes(view)),
                       "checkpoint: failed to write snapshot to " << path);
 }
 
@@ -254,6 +259,12 @@ bool CheckpointSession::restore_view(const std::string& path,
                                      const EngineView& view) {
   std::string bytes;
   if (!SnapshotReader::load_file(path, &bytes)) return false;
+  restore_view_bytes(std::move(bytes), view);
+  return true;
+}
+
+void CheckpointSession::restore_view_bytes(std::string bytes,
+                                           const EngineView& view) {
   SnapshotReader r(std::move(bytes));
   if (r.config_hash() != config_hash_) {
     throw Error(
@@ -373,7 +384,6 @@ bool CheckpointSession::restore_view(const std::string& path,
     violated("ttl", os.str());
   }
   if (!report.ok()) throw Error("checkpoint restore: " + report.to_string());
-  return true;
 }
 
 AuditReport CheckpointSession::audit_view(const EngineView& view) {
@@ -475,6 +485,32 @@ bool CheckpointSession::restore(const std::string& path, ShardedEngine& eng) {
   EngineView view;
   view.sharded = &eng;
   return restore_view(path, view);
+}
+
+std::string CheckpointSession::save_bytes(const Simulator& sim) {
+  EngineView view;
+  view.serial = const_cast<Simulator*>(&sim);
+  return save_view_bytes(view);
+}
+
+std::string CheckpointSession::save_bytes(const ShardedEngine& eng) {
+  EngineView view;
+  view.sharded = const_cast<ShardedEngine*>(&eng);
+  return save_view_bytes(view);
+}
+
+void CheckpointSession::restore_bytes(const std::string& bytes,
+                                      Simulator& sim) {
+  EngineView view;
+  view.serial = &sim;
+  restore_view_bytes(bytes, view);
+}
+
+void CheckpointSession::restore_bytes(const std::string& bytes,
+                                      ShardedEngine& eng) {
+  EngineView view;
+  view.sharded = &eng;
+  restore_view_bytes(bytes, view);
 }
 
 AuditReport CheckpointSession::audit(const Simulator& sim) {

@@ -172,6 +172,17 @@ class CheckpointSession {
   bool restore(const std::string& path, Simulator& sim);
   bool restore(const std::string& path, ShardedEngine& eng);
 
+  // Request-granularity checkpoint reuse (the serving layer): seal a
+  // snapshot to resident bytes without touching disk, and restore from
+  // bytes held in memory. Identical format and invariant cross-checks as
+  // the file paths above — save(path) is exactly save_bytes + an atomic
+  // write, so a warm checkpoint kept in RAM and one reloaded from disk
+  // after a crash restore byte-identically.
+  std::string save_bytes(const Simulator& sim);
+  std::string save_bytes(const ShardedEngine& eng);
+  void restore_bytes(const std::string& bytes, Simulator& sim);
+  void restore_bytes(const std::string& bytes, ShardedEngine& eng);
+
   // Live invariant checks at a quiescent boundary: packet conservation
   // (pool in_use == queued nodes + in-flight packet events), monotonic
   // event time (no pending event before now), non-negative / consistent
@@ -183,7 +194,9 @@ class CheckpointSession {
   struct EngineView;  // uniform serial/sharded access, see checkpoint.cc
 
   void build_registry();
+  std::string save_view_bytes(const EngineView& view);
   void save_view(const std::string& path, const EngineView& view);
+  void restore_view_bytes(std::string bytes, const EngineView& view);
   bool restore_view(const std::string& path, const EngineView& view);
   AuditReport audit_view(const EngineView& view);
   void write_events(SnapshotWriter& w, const PacketCodec& codec,

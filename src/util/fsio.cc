@@ -17,6 +17,27 @@ bool flush_and_sync(std::FILE* f) {
   return ::fsync(::fileno(f)) == 0;
 }
 
+// fsync the directory containing `path`. POSIX only guarantees that a
+// rename() or a newly created directory entry is durable once the
+// *directory* itself has been fsynced — fsyncing the file contents alone
+// leaves the entry in the directory's in-memory page cache, so a power
+// loss after atomic_write_file's rename (or after the first append that
+// created a journal) could resurface the old file, or no file at all,
+// even though the data blocks hit the platter. See e.g. the "crash
+// consistency" discussion in the ext4/xfs man pages for fsync(2).
+bool fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? std::string("/")
+                                            : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
 }  // namespace
 
 bool atomic_write_file(const std::string& path, const std::string& contents) {
@@ -41,7 +62,11 @@ bool atomic_write_file(const std::string& path, const std::string& contents) {
     ::unlink(tmp.c_str());
     return false;
   }
-  return true;
+  // The rename itself is only durable once the parent directory's entry
+  // table is on disk (see fsync_parent_dir). Without this a crash can
+  // leave the data blocks durable but the *name* pointing at the old
+  // inode — exactly the torn state atomic_write_file promises to prevent.
+  return fsync_parent_dir(path);
 }
 
 bool read_file(const std::string& path, std::string* out) {
@@ -61,9 +86,21 @@ bool file_exists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0;
 }
 
+bool ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return true;
+  if (errno != EEXIST) return false;
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
 void remove_file(const std::string& path) { ::unlink(path.c_str()); }
 
 bool append_line_durable(const std::string& path, const std::string& line) {
+  // If this append is the one that creates the file (the sweep journal's
+  // first record, a fresh request journal), the new directory entry needs
+  // a directory fsync to be durable — fsyncing the file alone does not
+  // persist its name (see fsync_parent_dir).
+  const bool created = !file_exists(path);
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) return false;
   bool ok = line.empty() ||
@@ -71,7 +108,9 @@ bool append_line_durable(const std::string& path, const std::string& line) {
   if (ok && (line.empty() || line.back() != '\n'))
     ok = std::fputc('\n', f) != EOF;
   ok = ok && flush_and_sync(f);
-  return (std::fclose(f) == 0) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok && created) ok = fsync_parent_dir(path);
+  return ok;
 }
 
 }  // namespace spineless::util

@@ -11,8 +11,10 @@
 
 namespace spineless::util {
 
-// Atomically replaces `path` with `contents` (temp file + fsync + rename).
-// Returns false on any I/O failure; the target is left untouched then.
+// Atomically replaces `path` with `contents` (temp file + fsync + rename +
+// parent-directory fsync — POSIX makes a rename durable only once the
+// directory entry itself is synced). Returns false on any I/O failure; the
+// target is left untouched then.
 bool atomic_write_file(const std::string& path, const std::string& contents);
 
 // Reads the whole file into *out. Returns false if it cannot be opened.
@@ -21,12 +23,18 @@ bool read_file(const std::string& path, std::string* out);
 // True if `path` exists (as any file type).
 bool file_exists(const std::string& path);
 
+// Creates `path` as a directory if it does not exist (single level, mode
+// 0755). Returns true when the directory exists afterwards.
+bool ensure_dir(const std::string& path);
+
 // Removes `path`; missing files are not an error.
 void remove_file(const std::string& path);
 
 // Appends `line` (a trailing '\n' is added if absent) to `path` and fsyncs
 // before returning, so a completed append survives a crash. A single short
 // append is atomic on POSIX, which is what the sweep journal relies on.
+// When the append creates the file, the parent directory is fsynced too —
+// creat(2)'s new directory entry is otherwise not durable.
 // Returns false on any I/O failure.
 bool append_line_durable(const std::string& path, const std::string& line);
 

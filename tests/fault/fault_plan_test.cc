@@ -134,5 +134,72 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
                Error);
 }
 
+// Duplicate clauses targeting the same link with overlapping windows used
+// to resolve silently as last-writer-wins; the parser now rejects them with
+// an error naming both clauses, the link, and the fault channel.
+TEST(FaultPlan, RejectsOverlappingClausesOnSameLink) {
+  const auto g = square();
+  const auto expect_overlap = [&](const std::string& spec,
+                                  const std::string& needle) {
+    try {
+      FaultPlan::parse(spec, g, 0);
+      FAIL() << "expected overlap rejection for: " << spec;
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("overlaps clause"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("disjoint time windows"), std::string::npos) << msg;
+      EXPECT_NE(msg.find(needle), std::string::npos) << msg;
+    }
+  };
+  // Two flaps of the same link with intersecting [down, up) windows.
+  expect_overlap("flap link=1 down=2ms up=6ms; flap link=1 down=4ms up=8ms",
+                 "link 1 (physical channel)");
+  // fail never recovers, so ANY later physical clause on that link overlaps.
+  expect_overlap("fail link=2 at=1ms; flap link=2 down=5ms up=6ms",
+                 "link 2 (physical channel)");
+  // A switch clause claims every incident link; a flap of one of them
+  // inside the same window double-drives it.
+  expect_overlap("switch node=0 down=1ms up=4ms; flap link=3 down=2ms up=3ms",
+                 "link 3 (physical channel)");
+  // Unbounded gray (no until=) overlaps any later gray on the same link.
+  expect_overlap("gray link=0 drop=0.1 from=1ms; gray link=0 drop=0.2 from=5ms",
+                 "link 0 (gray channel)");
+  expect_overlap(
+      "degrade link=0 rate=0.5 from=1ms until=9ms;"
+      " degrade link=0 rate=0.25 from=8ms until=10ms",
+      "link 0 (degrade channel)");
+}
+
+TEST(FaultPlan, DisjointOrCrossChannelClausesOnSameLinkAreLegal) {
+  const auto g = square();
+  // Back-to-back flaps: the first window's exclusive end may touch the
+  // second's start.
+  const auto seq = FaultPlan::parse(
+      "flap link=1 down=2ms up=6ms; flap link=1 down=6ms up=8ms", g, 0);
+  EXPECT_EQ(seq.actions().size(), 4u);
+  // Physical, gray, and degrade are independent channels in the injector,
+  // so one link may carry all three at once.
+  const auto cross = FaultPlan::parse(
+      "flap link=0 down=2ms up=6ms; gray link=0 drop=0.1 from=1ms until=9ms;"
+      " degrade link=0 rate=0.5 from=1ms until=9ms",
+      g, 0);
+  EXPECT_EQ(cross.actions().size(), 6u);
+}
+
+TEST(FaultPlan, OverlapErrorNamesBothClauses) {
+  const auto g = square();
+  try {
+    FaultPlan::parse("fail link=0 at=1ms; fail link=0 at=2ms", g, 0);
+    FAIL() << "expected overlap rejection";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    // The later clause is reported as overlapping the earlier one.
+    EXPECT_NE(msg.find("' fail link=0 at=2ms' overlaps clause 'fail link=0 "
+                       "at=1ms'"),
+              std::string::npos)
+        << msg;
+  }
+}
+
 }  // namespace
 }  // namespace spineless::fault

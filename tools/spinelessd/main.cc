@@ -1,0 +1,147 @@
+// spinelessd — the always-on what-if service.
+//
+//   spinelessd --socket=/tmp/spineless.sock [--snapshot_dir=DIR] ...
+//       Serve requests over a Unix socket. SIGTERM drains gracefully
+//       (in-flight requests finish, new ones get `draining`, exit 0).
+//
+//   spinelessd --replay=trace.jsonl [--out=answers.jsonl] ...
+//       Deterministic offline replay of a request trace through the same
+//       engine (no admission control, auto fidelity = packet). Two replays
+//       of the same trace — including across a kill -9 and a warm-snapshot
+//       restart — produce byte-identical output.
+//
+//   spinelessd --connect=/tmp/spineless.sock
+//       Built-in lockstep client: stdin request lines -> stdout responses.
+//
+//   spinelessd --warm_only --snapshot_dir=DIR
+//       Build and persist the warm state, print its hash, exit.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "service/daemon.h"
+#include "service/engine.h"
+#include "service/warm_state.h"
+#include "util/flags.h"
+
+namespace spineless::service {
+namespace {
+
+Daemon* g_daemon = nullptr;
+
+void on_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_shutdown();
+}
+
+ServiceConfig service_config(const Flags& flags) {
+  ServiceConfig cfg;
+  cfg.topology = flags.get("topology", cfg.topology);
+  cfg.scenario.seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  cfg.utilization = flags.get_double("utilization", cfg.utilization);
+  cfg.horizon = static_cast<Time>(
+      flags.get_double("horizon_ms", 8.0) * units::kMillisecond);
+  cfg.warm_time = static_cast<Time>(
+      flags.get_double("warm_us", 500.0) * units::kMicrosecond);
+  cfg.snapshot_dir = flags.get("snapshot_dir", "");
+  return cfg;
+}
+
+EngineConfig engine_config(const Flags& flags) {
+  EngineConfig cfg;
+  cfg.workers = static_cast<int>(flags.get_int("workers", 2));
+  cfg.queue_limit =
+      static_cast<std::size_t>(flags.get_int("queue_limit", 16));
+  cfg.degrade_depth =
+      static_cast<std::size_t>(flags.get_int("degrade_depth", 8));
+  cfg.default_deadline_ms = flags.get_double("default_deadline_ms", 0);
+  cfg.journal_path = flags.get("journal", "");
+  cfg.retry.max_attempts = 1;
+  cfg.retry.wall_timeout_s = flags.get_double("request_timeout_s", 0);
+  return cfg;
+}
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+
+  if (flags.has("connect")) return run_client(flags.get("connect", ""));
+
+  std::fprintf(stderr, "spinelessd: building warm state...\n");
+  const std::unique_ptr<WarmState> warm =
+      WarmState::build(service_config(flags));
+  std::fprintf(stderr, "spinelessd: warm state ready (%s)\n",
+               warm->restored_from_disk() ? "restored from snapshot"
+                                          : "built fresh");
+
+  if (flags.has("warm_only")) {
+    std::printf("spinelessd: warm_hash=%016llx restored=%d\n",
+                static_cast<unsigned long long>(warm->warm_hash()),
+                warm->restored_from_disk() ? 1 : 0);
+    return 0;
+  }
+
+  Engine engine(*warm, engine_config(flags));
+
+  if (flags.has("replay")) {
+    std::ifstream in(flags.get("replay", ""));
+    if (!in) {
+      std::fprintf(stderr, "spinelessd: cannot open replay trace\n");
+      return 2;
+    }
+    const std::string out_path = flags.get("out", "");
+    std::FILE* out =
+        out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "spinelessd: cannot open --out file\n");
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const std::string response = engine.handle_line(line);
+      std::fprintf(out, "%s\n", response.c_str());
+    }
+    if (out != stdout) std::fclose(out);
+    return 0;
+  }
+
+  const std::string socket_path = flags.get("socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: spinelessd --socket=PATH | --replay=FILE "
+                 "[--out=FILE] | --connect=PATH | --warm_only\n");
+    return 2;
+  }
+
+  Daemon daemon(engine, socket_path);
+  if (!daemon.listen_on_socket()) return 1;
+  g_daemon = &daemon;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // The ready line is the machine-readable startup handshake the smoke
+  // test and the bench wait for before sending traffic.
+  std::printf("spinelessd: ready socket=%s restored=%d\n",
+              socket_path.c_str(), warm->restored_from_disk() ? 1 : 0);
+  std::fflush(stdout);
+
+  const int rc = daemon.serve();
+  g_daemon = nullptr;
+  std::fprintf(stderr, "spinelessd: drained, exiting %d\n", rc);
+  return rc;
+}
+
+}  // namespace
+}  // namespace spineless::service
+
+int main(int argc, char** argv) {
+  try {
+    return spineless::service::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spinelessd: fatal: %s\n", e.what());
+    return 1;
+  }
+}
