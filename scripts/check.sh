@@ -29,9 +29,14 @@ cmake -B build -G Ninja -DSPINELESS_WERROR="$WERROR"
 cmake --build build
 
 echo "== static checks (spineless_lint) =="
-# The JSON artifact is written even when the run is clean, so CI always
-# has a machine-readable record; the exit code is the gate.
-./build/tools/lint/spineless_lint --root=. --json=lint_findings.json
+# The JSON artifacts (findings + cross-TU symbol index) are written even
+# when the run is clean, so CI always has a machine-readable record; the
+# exit code is the gate. --baseline makes the gate a ratchet: any finding
+# not explicitly accepted in tools/lint/lint_baseline.txt (shipped empty)
+# fails the run.
+./build/tools/lint/spineless_lint --root=. --json=lint_findings.json \
+  --index-dump=build/lint_index.json \
+  --baseline=tools/lint/lint_baseline.txt
 ctest --test-dir build -L lint --output-on-failure
 
 echo "== perf smoke (reactor-engine overhead) =="

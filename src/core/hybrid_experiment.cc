@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -18,6 +17,7 @@
 #include "sim/simulator.h"
 #include "util/json.h"
 #include "util/rng.h"
+#include "util/walltime.h"
 
 namespace spineless::core {
 namespace {
@@ -1127,7 +1127,7 @@ HybridResult run_hybrid_experiment_flows(
   // kSourceRouted pins full-graph paths no region table can reproduce.
   SPINELESS_CHECK_MSG(cfg.fct.net.mode != sim::RoutingMode::kSourceRouted,
                       "hybrid co-simulation supports hashed routing only");
-  const auto setup_start = std::chrono::steady_clock::now();  // NOLINT(spineless-no-wall-clock): metadata-only timing for BENCH table_build_s; never feeds simulated state
+  const double setup_start = util::monotonic_seconds();
 
   // --- Sample every flow's full-graph path (deterministic side stream) ---
   Rng path_rng(splitmix64(cfg.fct.seed ^ kPathStreamSalt));
@@ -1299,10 +1299,7 @@ HybridResult run_hybrid_experiment_flows(
         fault::FaultPlan::from_actions(std::move(region_actions), cfg.fct.seed);
   }
 
-  const double setup_s =
-      std::chrono::duration<double>(
-          std::chrono::steady_clock::now() - setup_start)  // NOLINT(spineless-no-wall-clock): metadata-only timing for BENCH table_build_s; never feeds simulated state
-          .count();
+  const double setup_s = util::monotonic_seconds() - setup_start;
 
   // --- Packet region construction (fixed oid order: Network, internal TCP
   // flows in spec order, then boundary sources in spec order) ---

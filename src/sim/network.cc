@@ -1,9 +1,9 @@
 #include "sim/network.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "sim/checkpoint.h"
+#include "util/walltime.h"
 
 namespace spineless::sim {
 
@@ -198,7 +198,7 @@ void Network::send_hello(Simulator& sim, topo::LinkId link, int dir) {
 // is accumulated into table_build_s_ (BENCH_*.json's table_build_s), and
 // destinations fan over table_runner_ when the network is sharded.
 void Network::rebuild_tables(const routing::LinkSet* dead) {
-  const auto start = std::chrono::steady_clock::now();  // NOLINT(spineless-no-wall-clock): metadata-only timing for BENCH table_build_s; never feeds simulated state
+  const double start = util::monotonic_seconds();
   if (cfg_.mode == RoutingMode::kEcmp) {
     ecmp_ = std::make_unique<routing::EcmpTable>(
         routing::EcmpTable::compute(graph_, dead, table_runner_.get()));
@@ -212,10 +212,7 @@ void Network::rebuild_tables(const routing::LinkSet* dead) {
   }
   installed_dead_ = dead != nullptr ? *dead : routing::LinkSet{};
   pending_repair_.clear();
-  table_build_s_ +=
-      // NOLINTNEXTLINE(spineless-no-wall-clock): metadata-only BENCH timing
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  table_build_s_ += util::monotonic_seconds() - start;
 }
 
 void Network::reconverge_tables() { rebuild_tables(&down_links_); }
@@ -238,7 +235,7 @@ void Network::repair_tables() {
     installed_dead_ = down_links_;
     return;
   }
-  const auto start = std::chrono::steady_clock::now();  // NOLINT(spineless-no-wall-clock): metadata-only timing for BENCH table_build_s; never feeds simulated state
+  const double start = util::monotonic_seconds();
   const auto n = static_cast<std::size_t>(graph_.num_switches());
   std::vector<char> mark(n, 0);
   std::vector<NodeId> dsts;
@@ -275,10 +272,7 @@ void Network::repair_tables() {
                                  table_runner_.get());
   }
   installed_dead_ = down_links_;
-  table_build_s_ +=
-      // NOLINTNEXTLINE(spineless-no-wall-clock): metadata-only BENCH timing
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  table_build_s_ += util::monotonic_seconds() - start;
 }
 
 void Network::schedule_link_failure(Simulator& sim, topo::LinkId link, Time at,

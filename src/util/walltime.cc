@@ -1,0 +1,13 @@
+#include "util/walltime.h"
+
+#include <chrono>
+
+namespace spineless::util {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace spineless::util

@@ -1,0 +1,23 @@
+// The one sanctioned wall-clock wrapper for metadata-only timing in the
+// determinism-critical layers (sim/routing/fault/flowsim/core).
+//
+// Rationale: those layers must be a pure function of (seed, sim time), so
+// spineless_lint's taint-wall-clock rule forbids them from transitively
+// reaching a clock read. But they do legitimately *measure* themselves —
+// table_build_s / setup_s accounting in BENCH_*.json — and that
+// measurement never feeds simulated state. Routing such timing through
+// this barrier file makes the exception a call-graph-verified edge
+// instead of a per-line NOLINT: the lint allowlists src/util/walltime.
+// exactly once, and any new clock read elsewhere is flagged.
+//
+// Do NOT use this for anything a packet, table, event, or snapshot byte
+// depends on; wall time here is for humans reading reports only.
+#pragma once
+
+namespace spineless::util {
+
+// Seconds on a monotonic clock, for interval measurement
+// (end - begin). The epoch is arbitrary; only differences are meaningful.
+double monotonic_seconds();
+
+}  // namespace spineless::util

@@ -1,0 +1,8 @@
+// The codec itself never names a field — everything is delegated.
+#include "snap.h"
+
+#include <ostream>
+
+void write_parts(std::ostream& os, const DelState& s);
+
+void save_del(std::ostream& os, const DelState& s) { write_parts(os, s); }

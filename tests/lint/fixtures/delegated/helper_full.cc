@@ -1,0 +1,7 @@
+#include "snap.h"
+
+#include <ostream>
+
+void write_parts(std::ostream& os, const DelState& s) {
+  os << s.epoch << s.skew;
+}

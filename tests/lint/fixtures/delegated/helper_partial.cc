@@ -1,0 +1,7 @@
+// Writes epoch but forgets skew: the delegated closure must still flag
+// the missing field.
+#include "snap.h"
+
+#include <ostream>
+
+void write_parts(std::ostream& os, const DelState& s) { os << s.epoch; }

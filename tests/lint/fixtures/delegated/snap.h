@@ -1,0 +1,10 @@
+// Delegated-codec fixture: the codec file forwards to a helper in another
+// TU; snapshot-coverage v2 must resolve the call to count the helper's
+// field mentions.
+#pragma once
+#include <iosfwd>
+
+struct DelState {
+  int epoch = 0;
+  double skew = 0.0;
+};

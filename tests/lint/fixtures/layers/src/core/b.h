@@ -1,0 +1,7 @@
+// core (rank 1) -> util (rank 0) points down the DAG: allowed.
+#pragma once
+#include "util/a.h"
+
+namespace l {
+int high();
+}  // namespace l

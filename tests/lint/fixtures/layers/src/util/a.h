@@ -1,0 +1,5 @@
+#pragma once
+
+namespace l {
+int low();
+}  // namespace l

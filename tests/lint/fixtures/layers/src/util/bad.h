@@ -1,0 +1,8 @@
+// Layering fixture: util (rank 0) reaching up into core (rank 1) is a
+// back-edge.
+#pragma once
+#include "core/b.h"
+
+namespace l {
+int bad();
+}  // namespace l

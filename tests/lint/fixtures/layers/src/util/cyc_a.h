@@ -1,0 +1,8 @@
+// Include cycle fixture: cyc_a -> cyc_b -> cyc_a. Intra-layer, so only
+// the cycle detector (not the rank check) may report it — exactly once.
+#pragma once
+#include "util/cyc_b.h"
+
+namespace l {
+int cyc_a();
+}  // namespace l

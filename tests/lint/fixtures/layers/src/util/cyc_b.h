@@ -1,0 +1,6 @@
+#pragma once
+#include "util/cyc_a.h"
+
+namespace l {
+int cyc_b();
+}  // namespace l

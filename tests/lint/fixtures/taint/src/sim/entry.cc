@@ -1,0 +1,14 @@
+// The protected layer: none of these functions touch a clock or an RNG
+// directly — only the taint rules can see the hazard behind the helpers.
+#include "util/helper.h"
+
+namespace app {
+
+double stamp() { return helper_now(); }
+
+long jitter() { return helper_draw(); }
+
+// Two hops from the seed: taint must propagate through stamp().
+double indirect() { return stamp() * 2.0; }
+
+}  // namespace app

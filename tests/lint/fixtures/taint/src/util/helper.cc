@@ -1,0 +1,19 @@
+#include "util/helper.h"
+
+#include <chrono>
+#include <random>
+
+namespace app {
+
+double helper_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long helper_draw() {
+  std::mt19937 gen(7);
+  return static_cast<long>(gen());
+}
+
+}  // namespace app

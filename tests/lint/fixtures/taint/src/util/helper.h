@@ -1,0 +1,11 @@
+// Taint fixture: helpers whose hazards the sim entry points reach only
+// transitively. The per-file rules are disabled in the fixture config so
+// the tests isolate the call-graph propagation.
+#pragma once
+
+namespace app {
+
+double helper_now();
+long helper_draw();
+
+}  // namespace app

@@ -1,0 +1,184 @@
+// Tests for the phase-1 cross-TU symbol index: definition scanning,
+// call-edge resolution (and its explicit assume-clean-but-counted policy
+// for unresolved/ambiguous calls), the #include graph, and the
+// deterministic JSON dump.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "index.h"
+#include "lint.h"
+
+namespace spineless::lint {
+namespace {
+
+Index build(const std::vector<SourceFile>& files) {
+  return build_index(Config{}, files);
+}
+
+const Symbol* sym(const Index& idx, const std::string& qname) {
+  return idx.find(qname);
+}
+
+bool has_edge(const Index& idx, const std::string& from,
+              const std::string& to) {
+  const Symbol* f = idx.find(from);
+  const Symbol* t = idx.find(to);
+  if (f == nullptr || t == nullptr) return false;
+  const auto t_id = static_cast<std::size_t>(t - idx.symbols.data());
+  for (const std::size_t c : f->callees)
+    if (c == t_id) return true;
+  return false;
+}
+
+TEST(IndexDefs, ScopesMethodsCtorsAndTrailingReturns) {
+  std::vector<SourceFile> files;
+  files.push_back(make_source(
+      "a.h",
+      "namespace ns {\n"
+      "class Widget {\n"
+      " public:\n"
+      "  Widget() : x_(0) {}\n"
+      "  int get() const { return x_; }\n"
+      "  auto compute(int v) -> int { return v + x_; }\n"
+      " private:\n"
+      "  int x_ = 0;\n"
+      "};\n"
+      "int free_fn();\n"
+      "}  // namespace ns\n"));
+  files.push_back(make_source(
+      "b.cc",
+      "#include \"a.h\"\n"
+      "namespace ns {\n"
+      "struct Gadget {\n"
+      "  explicit Gadget(int v);\n"
+      "  int v_;\n"
+      "};\n"
+      "Gadget::Gadget(int v) : v_(v) {}\n"
+      "}  // namespace ns\n"));
+  const Index idx = build(files);
+
+  ASSERT_NE(sym(idx, "ns::Widget::Widget"), nullptr);
+  ASSERT_NE(sym(idx, "ns::Widget::get"), nullptr);
+  ASSERT_NE(sym(idx, "ns::Widget::compute"), nullptr)
+      << "trailing-return definitions must be recognized";
+  ASSERT_NE(sym(idx, "ns::Gadget::Gadget"), nullptr)
+      << "out-of-class ctor with init list must be recognized";
+  // Declarations are not definitions.
+  EXPECT_EQ(sym(idx, "ns::free_fn"), nullptr);
+  // Symbols are emitted in qualified-name order (dump determinism).
+  for (std::size_t i = 1; i < idx.symbols.size(); ++i)
+    EXPECT_LT(idx.symbols[i - 1].qname, idx.symbols[i].qname);
+}
+
+TEST(IndexCalls, QualifiedSuffixAndUnqualifiedUniqueResolve) {
+  std::vector<SourceFile> files;
+  files.push_back(make_source(
+      "lib.cc",
+      "namespace ns {\n"
+      "int helper() { return 1; }\n"
+      "int free_fn() { return helper(); }\n"
+      "}  // namespace ns\n"));
+  files.push_back(make_source(
+      "main.cc",
+      "namespace ns { int free_fn(); }\n"
+      "int main() { return ns::free_fn(); }\n"));
+  const Index idx = build(files);
+  EXPECT_TRUE(has_edge(idx, "ns::free_fn", "ns::helper"))
+      << "unqualified call with a unique candidate must resolve";
+  EXPECT_TRUE(has_edge(idx, "main", "ns::free_fn"))
+      << "qualified call must resolve by suffix match";
+}
+
+TEST(IndexCalls, PolicyCountsUnresolvedAndAmbiguous) {
+  std::vector<SourceFile> files;
+  files.push_back(
+      make_source("m1.cc", "namespace a { int mk() { return 1; } }\n"));
+  files.push_back(
+      make_source("m2.cc", "namespace b { int mk() { return 2; } }\n"));
+  files.push_back(make_source(
+      "use.cc",
+      "#include <cstdio>\n"
+      "int use_both() { return mk() + printf(\"\"); }\n"));
+  files.push_back(make_source(
+      "pref.cc",
+      "namespace c { int mk() { return 3; } }\n"
+      "int prefer() { return mk(); }\n"));
+  const Index idx = build(files);
+
+  // mk() from use.cc has two candidates in other files and none here:
+  // ambiguous — assumed clean, counted. printf has no candidate at all:
+  // unresolved — assumed clean, counted.
+  const Symbol* use = sym(idx, "use_both");
+  ASSERT_NE(use, nullptr);
+  EXPECT_EQ(use->ambiguous_calls, 1u);
+  EXPECT_EQ(use->unresolved_calls, 1u);
+  EXPECT_TRUE(use->callees.empty());
+
+  // mk() from pref.cc has three candidates but exactly one in the same
+  // file: the same-file definition wins.
+  EXPECT_TRUE(has_edge(idx, "prefer", "c::mk"));
+  const Symbol* prefer = sym(idx, "prefer");
+  ASSERT_NE(prefer, nullptr);
+  EXPECT_EQ(prefer->ambiguous_calls, 0u);
+
+  EXPECT_GE(idx.ambiguous_calls, 1u);
+  EXPECT_GE(idx.unresolved_calls, 1u);
+}
+
+TEST(IndexIncludes, ResolvesAgainstScannedSetOnly) {
+  std::vector<SourceFile> files;
+  files.push_back(make_source("src/x/dep.h", "#pragma once\n"));
+  files.push_back(make_source(
+      "src/x/top.h",
+      "#pragma once\n"
+      "#include \"x/dep.h\"\n"
+      "#include <vector>\n"
+      "#include \"not/in/tree.h\"\n"));
+  const Index idx = build(files);
+  ASSERT_EQ(idx.includes.size(), 1u)
+      << "system and out-of-tree includes must not create edges";
+  EXPECT_EQ(idx.files[idx.includes[0].from], "src/x/top.h");
+  EXPECT_EQ(idx.files[idx.includes[0].to], "src/x/dep.h");
+  EXPECT_EQ(idx.includes[0].line, 2);
+}
+
+TEST(IndexIncludes, LayerAssignmentFollowsConfig) {
+  Config cfg;
+  cfg.layers = {{0, "src/util/"}, {1, "src/sim/"}};
+  std::vector<SourceFile> files;
+  files.push_back(make_source("src/util/u.h", "#pragma once\n"));
+  files.push_back(make_source("src/sim/s.h", "#pragma once\n"));
+  files.push_back(make_source("doc/readme.h", "#pragma once\n"));
+  const Index idx = build_index(cfg, files);
+  ASSERT_EQ(idx.files.size(), 3u);
+  for (std::size_t i = 0; i < idx.files.size(); ++i) {
+    if (idx.files[i] == "src/util/u.h") {
+      EXPECT_EQ(idx.file_rank[i], 0);
+      EXPECT_EQ(idx.file_layer[i], "src/util/");
+    } else if (idx.files[i] == "src/sim/s.h") {
+      EXPECT_EQ(idx.file_rank[i], 1);
+    } else {
+      EXPECT_EQ(idx.file_rank[i], -1) << "unlayered files get rank -1";
+    }
+  }
+}
+
+TEST(IndexDump, ByteStableAndCarriesPolicyCounters) {
+  std::vector<SourceFile> files;
+  files.push_back(make_source(
+      "z.cc",
+      "int callee() { return 0; }\n"
+      "int caller() { return callee() + unknown_fn(); }\n"));
+  const Index a = build(files);
+  const Index b = build(files);
+  const std::string dump = dump_index_json(a);
+  EXPECT_EQ(dump, dump_index_json(b));
+  EXPECT_NE(dump.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(dump.find("\"unresolved_calls\": 1"), std::string::npos)
+      << "the assume-clean-but-counted policy must surface in the dump";
+  EXPECT_NE(dump.find("\"call_edges\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spineless::lint

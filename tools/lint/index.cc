@@ -1,0 +1,552 @@
+#include "index.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace spineless::lint {
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+// Control-flow and expression keywords that look like "name(" but never
+// name a function we should index (as a definition or as a call edge).
+bool is_call_keyword(const std::string& s) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "if",       "for",        "while",    "switch",   "catch",
+      "return",   "sizeof",     "alignof",  "alignas",  "decltype",
+      "noexcept", "static_assert", "defined", "assert", "throw",
+      "new",      "delete",     "co_await", "co_return", "co_yield",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (is_punct(t[i], "<")) ++depth;
+    if (is_punct(t[i], ">") && --depth == 0) return i + 1;
+    if (is_punct(t[i], ";")) break;  // malformed; bail at statement end
+  }
+  return i;
+}
+
+std::size_t skip_parens(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (is_punct(t[i], "(")) ++depth;
+    if (is_punct(t[i], ")") && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+std::size_t skip_braces(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (is_punct(t[i], "{")) ++depth;
+    if (is_punct(t[i], "}") && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+std::vector<std::string> split_qname(const std::string& q) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= q.size()) {
+    const std::size_t sep = q.find("::", pos);
+    if (sep == std::string::npos) {
+      out.push_back(q.substr(pos));
+      break;
+    }
+    out.push_back(q.substr(pos, sep - pos));
+    pos = sep + 2;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Definition scanner: one pass over a file's tokens with a namespace/type
+// scope stack. Function bodies are skipped wholesale (their token range is
+// recorded for the call-extraction pass), so the scanner only ever looks
+// at declaration scope.
+
+struct Scope {
+  enum Kind { kNamespace, kType, kBlock } kind;
+  std::string name;  // "" for anonymous namespaces and plain blocks
+};
+
+class DefScanner {
+ public:
+  DefScanner(const SourceFile& f, std::size_t file_id,
+             std::vector<FunctionDef>* out)
+      : t_(f.tokens), file_id_(file_id), out_(out) {}
+
+  void run() {
+    std::size_t i = 0;
+    while (i < t_.size()) {
+      const Token& tok = t_[i];
+      if (tok.kind == TokKind::kPreproc || tok.kind == TokKind::kString ||
+          tok.kind == TokKind::kCharLit || tok.kind == TokKind::kNumber) {
+        ++i;
+        continue;
+      }
+      if (is_ident(tok, "template") && i + 1 < t_.size() &&
+          is_punct(t_[i + 1], "<")) {
+        i = skip_angles(t_, i + 1);
+        continue;
+      }
+      if (is_ident(tok, "namespace")) {
+        i = enter_namespace(i);
+        continue;
+      }
+      if (is_ident(tok, "enum")) {
+        i = skip_enum(i);
+        continue;
+      }
+      if ((is_ident(tok, "class") || is_ident(tok, "struct") ||
+           is_ident(tok, "union"))) {
+        i = enter_type(i);
+        continue;
+      }
+      if (is_punct(tok, "(") && i > 0 && t_[i - 1].kind == TokKind::kIdent &&
+          at_decl_scope()) {
+        const std::size_t next = try_function(i);
+        if (next != 0) {
+          i = next;
+          continue;
+        }
+      }
+      if (is_punct(tok, "{")) {
+        stack_.push_back({Scope::kBlock, ""});
+        ++i;
+        continue;
+      }
+      if (is_punct(tok, "}")) {
+        if (!stack_.empty()) stack_.pop_back();
+        ++i;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+ private:
+  bool at_decl_scope() const {
+    return stack_.empty() || stack_.back().kind != Scope::kBlock;
+  }
+
+  // `namespace a::b { ... }` / `namespace { ... }` / `namespace x = y;`
+  std::size_t enter_namespace(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string name;
+    while (j < t_.size() && t_[j].kind == TokKind::kIdent) {
+      if (!name.empty()) name += "::";
+      name += t_[j].text;
+      ++j;
+      if (j < t_.size() && is_punct(t_[j], "::")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j < t_.size() && is_punct(t_[j], "{")) {
+      // One scope per nested-namespace-definition: a single '}' closes it.
+      stack_.push_back({Scope::kNamespace, name});
+      return j + 1;
+    }
+    // Alias or using-directive fragment: skip to ';'.
+    while (j < t_.size() && !is_punct(t_[j], ";")) ++j;
+    return j + 1;
+  }
+
+  // enum [class|struct] [name] [: type] { ... } ;  — enumerators are
+  // neither fields nor functions, so the body is skipped outright.
+  std::size_t skip_enum(std::size_t i) {
+    std::size_t j = i + 1;
+    while (j < t_.size() && !is_punct(t_[j], "{") && !is_punct(t_[j], ";"))
+      ++j;
+    if (j < t_.size() && is_punct(t_[j], "{")) return skip_braces(t_, j);
+    return j + 1;
+  }
+
+  // class/struct/union: pushes a type scope when a body follows; forward
+  // declarations and elaborated type uses are skipped.
+  std::size_t enter_type(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string name;
+    if (j + 1 < t_.size() && is_ident(t_[j], "alignas") &&
+        is_punct(t_[j + 1], "("))
+      j = skip_parens(t_, j + 1);
+    if (j < t_.size() && t_[j].kind == TokKind::kIdent) {
+      name = t_[j].text;
+      ++j;
+    }
+    while (j < t_.size()) {
+      if (is_punct(t_[j], "{")) {
+        stack_.push_back({Scope::kType, name});
+        return j + 1;
+      }
+      if (is_punct(t_[j], ";") || is_punct(t_[j], "(") ||
+          is_punct(t_[j], ")") || is_punct(t_[j], ",") ||
+          is_punct(t_[j], "=") || is_punct(t_[j], ">"))
+        return j;  // fwd decl, param type, base-list of something else
+      if (is_punct(t_[j], "<")) {
+        j = skip_angles(t_, j);
+        continue;
+      }
+      ++j;
+    }
+    return j;
+  }
+
+  // `i` points at '(' preceded by an identifier at declaration scope.
+  // Returns one past the function body when this is a definition, else 0.
+  std::size_t try_function(std::size_t i) {
+    // Name chain: ident ("::" ident)* ending at t_[i-1].
+    std::vector<const Token*> chain{&t_[i - 1]};
+    std::size_t k = i - 1;
+    while (k >= 2 && is_punct(t_[k - 1], "::") &&
+           t_[k - 2].kind == TokKind::kIdent) {
+      chain.insert(chain.begin(), &t_[k - 2]);
+      k -= 2;
+    }
+    if (k > 0 && (is_punct(t_[k - 1], ".") || is_punct(t_[k - 1], "->")))
+      return 0;  // member access, not a declarator
+    if (is_call_keyword(chain.back()->text)) return 0;
+
+    std::size_t j = skip_parens(t_, i);
+    // Declarator suffix: cv/ref/noexcept/override/final, a trailing
+    // return type, or a constructor init list — then '{' opens the body.
+    while (j < t_.size()) {
+      const Token& tok = t_[j];
+      if (tok.kind == TokKind::kIdent &&
+          (tok.text == "const" || tok.text == "override" ||
+           tok.text == "final" || tok.text == "mutable" ||
+           tok.text == "try")) {
+        ++j;
+        continue;
+      }
+      if (is_ident(tok, "noexcept")) {
+        ++j;
+        if (j < t_.size() && is_punct(t_[j], "(")) j = skip_parens(t_, j);
+        continue;
+      }
+      if (is_punct(tok, "&")) {
+        ++j;
+        continue;
+      }
+      if (is_punct(tok, "->")) {  // trailing return type
+        ++j;
+        while (j < t_.size() && !is_punct(t_[j], "{") &&
+               !is_punct(t_[j], ";") && !is_punct(t_[j], "=")) {
+          if (is_punct(t_[j], "<")) {
+            j = skip_angles(t_, j);
+            continue;
+          }
+          ++j;
+        }
+        continue;
+      }
+      if (is_punct(tok, ":")) {  // constructor initializer list
+        ++j;
+        while (j < t_.size()) {
+          // member name (possibly qualified/templated base class)
+          while (j < t_.size() &&
+                 (t_[j].kind == TokKind::kIdent || is_punct(t_[j], "::")))
+            ++j;
+          if (j < t_.size() && is_punct(t_[j], "<")) j = skip_angles(t_, j);
+          if (j >= t_.size()) return 0;
+          if (is_punct(t_[j], "("))
+            j = skip_parens(t_, j);
+          else if (is_punct(t_[j], "{"))
+            j = skip_braces(t_, j);
+          else
+            return 0;
+          if (j < t_.size() && is_punct(t_[j], ",")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      if (is_punct(tok, "{")) {
+        emit(chain, j);
+        return skip_braces(t_, j);
+      }
+      return 0;  // ';', '=', ',' ... : declaration, not a definition
+    }
+    return 0;
+  }
+
+  void emit(const std::vector<const Token*>& chain, std::size_t body_open) {
+    FunctionDef def;
+    std::string q;
+    for (const Scope& s : stack_) {
+      if (s.name.empty()) continue;  // anonymous namespace / block
+      q += s.name;
+      q += "::";
+    }
+    for (std::size_t c = 0; c < chain.size(); ++c) {
+      if (c != 0) q += "::";
+      q += chain[c]->text;
+    }
+    def.qname = std::move(q);
+    def.file = file_id_;
+    def.line = chain.front()->line;
+    def.tok_begin = body_open + 1;
+    def.tok_end = skip_braces(t_, body_open) - 1;
+    out_->push_back(std::move(def));
+  }
+
+  const std::vector<Token>& t_;
+  std::size_t file_id_;
+  std::vector<FunctionDef>* out_;
+  std::vector<Scope> stack_;
+};
+
+// --------------------------------------------------------------------------
+// Call extraction + resolution.
+
+struct RawCall {
+  std::string text;  // "::"-joined as written
+  int line = 0;
+  bool member = false;  // x.f(...) / x->f(...): receiver type unknown
+};
+
+void extract_calls(const std::vector<Token>& t, const FunctionDef& def,
+                   std::vector<RawCall>* out) {
+  for (std::size_t j = def.tok_begin; j + 1 < def.tok_end; ++j) {
+    if (t[j].kind != TokKind::kIdent || !is_punct(t[j + 1], "(")) continue;
+    std::vector<const Token*> chain{&t[j]};
+    std::size_t k = j;
+    while (k >= def.tok_begin + 2 && is_punct(t[k - 1], "::") &&
+           t[k - 2].kind == TokKind::kIdent) {
+      chain.insert(chain.begin(), &t[k - 2]);
+      k -= 2;
+    }
+    if (is_call_keyword(chain.back()->text)) continue;
+    RawCall call;
+    call.member = k > def.tok_begin &&
+                  (is_punct(t[k - 1], ".") || is_punct(t[k - 1], "->"));
+    for (std::size_t c = 0; c < chain.size(); ++c) {
+      if (c != 0) call.text += "::";
+      call.text += chain[c]->text;
+    }
+    call.line = t[j].line;
+    out->push_back(std::move(call));
+  }
+}
+
+bool suffix_match(const std::vector<std::string>& qname,
+                  const std::vector<std::string>& call) {
+  if (call.size() > qname.size()) return false;
+  for (std::size_t i = 0; i < call.size(); ++i)
+    if (qname[qname.size() - call.size() + i] != call[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+const Symbol* Index::find(const std::string& qname) const {
+  const auto it = by_qname.find(qname);
+  return it == by_qname.end() ? nullptr : &symbols[it->second];
+}
+
+std::vector<std::size_t> Index::resolve_suffix(const std::string& suffix) const {
+  const std::vector<std::string> want = split_qname(suffix);
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < symbols.size(); ++s)
+    if (suffix_match(split_qname(symbols[s].qname), want)) out.push_back(s);
+  return out;
+}
+
+Index build_index(const Config& cfg, const std::vector<SourceFile>& files) {
+  Index idx;
+  idx.files.reserve(files.size());
+  for (const SourceFile& f : files) {
+    idx.files.push_back(f.path);
+    std::string prefix;
+    idx.file_rank.push_back(cfg.layer_rank(f.path, &prefix));
+    idx.file_layer.push_back(prefix);
+  }
+
+  // --- definitions ---
+  for (std::size_t fi = 0; fi < files.size(); ++fi)
+    DefScanner(files[fi], fi, &idx.defs).run();
+
+  // --- symbols (one per distinct qualified name, name-sorted) ---
+  std::map<std::string, std::vector<std::size_t>> defs_by_qname;
+  for (std::size_t d = 0; d < idx.defs.size(); ++d)
+    defs_by_qname[idx.defs[d].qname].push_back(d);
+  idx.symbols.reserve(defs_by_qname.size());
+  for (auto& [qname, def_ids] : defs_by_qname) {
+    idx.by_qname[qname] = idx.symbols.size();
+    Symbol sym;
+    sym.qname = qname;
+    sym.defs = std::move(def_ids);
+    idx.symbols.push_back(std::move(sym));
+  }
+
+  // Last-segment candidate table for suffix resolution.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_last;
+  std::vector<std::vector<std::string>> segs(idx.symbols.size());
+  for (std::size_t s = 0; s < idx.symbols.size(); ++s) {
+    segs[s] = split_qname(idx.symbols[s].qname);
+    by_last[segs[s].back()].push_back(s);
+  }
+
+  // --- call edges ---
+  for (std::size_t s = 0; s < idx.symbols.size(); ++s) {
+    Symbol& sym = idx.symbols[s];
+    std::set<std::size_t> callees;
+    for (const std::size_t d : sym.defs) {
+      const FunctionDef& def = idx.defs[d];
+      std::vector<RawCall> calls;
+      extract_calls(files[def.file].tokens, def, &calls);
+      for (const RawCall& call : calls) {
+        const std::vector<std::string> want = split_qname(call.text);
+        const auto it = by_last.find(want.back());
+        std::vector<std::size_t> cands;
+        if (it != by_last.end())
+          for (const std::size_t c : it->second)
+            if (suffix_match(segs[c], want)) cands.push_back(c);
+        if (cands.empty()) {
+          ++sym.unresolved_calls;
+          continue;
+        }
+        std::size_t target = cands[0];
+        if (cands.size() > 1) {
+          // Prefer a candidate defined in the calling file (anonymous-
+          // namespace helpers, file-local overrides); otherwise the call
+          // is ambiguous and — by policy — assumed clean, but counted.
+          std::vector<std::size_t> same_file;
+          for (const std::size_t c : cands)
+            for (const std::size_t cd : idx.symbols[c].defs)
+              if (idx.defs[cd].file == def.file) {
+                same_file.push_back(c);
+                break;
+              }
+          if (same_file.size() != 1) {
+            ++sym.ambiguous_calls;
+            continue;
+          }
+          target = same_file[0];
+        }
+        if (target == s) continue;  // direct recursion adds no edge
+        callees.insert(target);
+        idx.edge_site.emplace(std::make_pair(s, target),
+                              std::make_pair(def.file, call.line));
+      }
+    }
+    sym.callees.assign(callees.begin(), callees.end());
+    idx.call_edges += sym.callees.size();
+    idx.unresolved_calls += sym.unresolved_calls;
+    idx.ambiguous_calls += sym.ambiguous_calls;
+  }
+
+  // --- include graph ---
+  std::map<std::string, std::size_t> file_id;
+  for (std::size_t fi = 0; fi < idx.files.size(); ++fi)
+    file_id.emplace(idx.files[fi], fi);
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::string& from = files[fi].path;
+    const std::size_t slash = from.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "" : from.substr(0, slash + 1);
+    for (const Token& tok : files[fi].tokens) {
+      const std::optional<std::string> inc = include_path(tok, nullptr);
+      if (!inc.has_value()) continue;
+      // Repo-style first ("sim/network.h" hangs off src/), then as
+      // written, then relative to the including file's directory.
+      for (const std::string& cand :
+           {"src/" + *inc, *inc, dir + *inc}) {
+        const auto it = file_id.find(cand);
+        if (it == file_id.end()) continue;
+        idx.includes.push_back({fi, it->second, tok.line});
+        break;
+      }
+    }
+  }
+  std::sort(idx.includes.begin(), idx.includes.end(),
+            [&](const IncludeEdge& a, const IncludeEdge& b) {
+              return std::tie(idx.files[a.from], a.line, idx.files[a.to]) <
+                     std::tie(idx.files[b.from], b.line, idx.files[b.to]);
+            });
+  return idx;
+}
+
+std::string dump_index_json(const Index& idx) {
+  std::string out = "{\n  \"tool\": \"spineless_lint\",\n";
+  out += "  \"schema_version\": 2,\n";
+
+  // Files sorted by path for a byte-stable dump regardless of load order.
+  std::vector<std::size_t> order(idx.files.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return idx.files[a] < idx.files[b];
+  });
+
+  out += "  \"files\": [";
+  bool first = true;
+  for (const std::size_t fi : order) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"path\": " + json_quote(idx.files[fi]) +
+           ", \"rank\": " + std::to_string(idx.file_rank[fi]) +
+           ", \"layer\": " + json_quote(idx.file_layer[fi]) +
+           ", \"includes\": [";
+    bool inner_first = true;
+    std::vector<std::string> targets;
+    for (const IncludeEdge& e : idx.includes)
+      if (e.from == fi) targets.push_back(idx.files[e.to]);
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    for (const std::string& t : targets) {
+      out += inner_first ? "" : ", ";
+      inner_first = false;
+      out += json_quote(t);
+    }
+    out += "]}";
+  }
+  out += idx.files.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"symbols\": [";
+  first = true;
+  for (const Symbol& s : idx.symbols) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const FunctionDef& d0 = idx.defs[s.defs.front()];
+    out += "    {\"name\": " + json_quote(s.qname) +
+           ", \"file\": " + json_quote(idx.files[d0.file]) +
+           ", \"line\": " + std::to_string(d0.line) +
+           ", \"defs\": " + std::to_string(s.defs.size()) + ", \"calls\": [";
+    bool inner_first = true;
+    for (const std::size_t c : s.callees) {
+      out += inner_first ? "" : ", ";
+      inner_first = false;
+      out += json_quote(idx.symbols[c].qname);
+    }
+    out += "], \"unresolved\": " + std::to_string(s.unresolved_calls) +
+           ", \"ambiguous\": " + std::to_string(s.ambiguous_calls) + "}";
+  }
+  out += idx.symbols.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"stats\": {\"files\": " + std::to_string(idx.files.size()) +
+         ", \"symbols\": " + std::to_string(idx.symbols.size()) +
+         ", \"call_edges\": " + std::to_string(idx.call_edges) +
+         ", \"unresolved_calls\": " + std::to_string(idx.unresolved_calls) +
+         ", \"ambiguous_calls\": " + std::to_string(idx.ambiguous_calls) +
+         ", \"include_edges\": " + std::to_string(idx.includes.size()) +
+         "}\n}\n";
+  return out;
+}
+
+}  // namespace spineless::lint

@@ -1,0 +1,99 @@
+// Phase 1 of the two-phase analyzer: the cross-TU symbol index.
+//
+// The per-file rules (rules.cc) see one token stream at a time; the graph
+// rules (graph_rules.cc) need whole-program structure. build_index derives
+// that structure from the same tokenizer output, with no clang dependency:
+//
+//   * function/method definitions, scope-qualified ("ns::Class::name")
+//     by tracking namespace/class scopes and heuristic "name(...){" /
+//     "Class::name(...) : init {" definition shapes;
+//   * call edges, resolved by qualified-name suffix match against the
+//     definition set ("util::monotonic_seconds" resolves to
+//     "spineless::util::monotonic_seconds"). The resolution policy is
+//     explicit: an unqualified call with several candidates, or a call
+//     with no candidate at all (std::, libc, macros), is *assumed clean
+//     but counted* — the counts surface in the index dump so silent
+//     blindness is visible;
+//   * the #include graph, each directive resolved against the scanned
+//     file set (repo-style "sim/network.h", then relative to the
+//     including file's directory).
+//
+// Everything is deterministic: files arrive sorted, symbols are keyed and
+// emitted in qualified-name order, and dump_index_json is byte-stable for
+// a given tree — `--index-dump=FILE` diffs cleanly in CI.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace spineless::lint {
+
+// One function/method definition site. tok_begin/tok_end delimit the body
+// (the token range between the outermost braces) in files[file].tokens.
+struct FunctionDef {
+  std::string qname;       // "::"-joined scopes + name
+  std::size_t file = 0;    // index into the Index's file table
+  int line = 0;            // line of the function name
+  std::size_t tok_begin = 0;
+  std::size_t tok_end = 0;
+};
+
+// One symbol = one qualified name. Overloads and the decl/def split
+// collapse into a single node (the graph rules reason about names, not
+// signatures), so a symbol can own several definition sites.
+struct Symbol {
+  std::string qname;
+  std::vector<std::size_t> defs;     // FunctionDef ids, scan order
+  std::vector<std::size_t> callees;  // Symbol ids, sorted + deduped
+  std::size_t unresolved_calls = 0;  // no candidate definition
+  std::size_t ambiguous_calls = 0;   // several candidates, none preferred
+};
+
+struct IncludeEdge {
+  std::size_t from = 0;  // file ids
+  std::size_t to = 0;
+  int line = 0;  // line of the #include in `from`
+};
+
+struct Index {
+  // File table: path + layer assignment (rank into Config::layers, or -1
+  // when the path is under no configured layer). Paths are kept in input
+  // order (run_lint provides them sorted); the dump re-sorts for output.
+  std::vector<std::string> files;
+  std::vector<int> file_rank;
+  std::vector<std::string> file_layer;   // matched layer prefix ("" = none)
+
+  std::vector<FunctionDef> defs;
+  std::vector<Symbol> symbols;                     // sorted by qname
+  std::map<std::string, std::size_t> by_qname;
+  std::vector<IncludeEdge> includes;               // sorted (from, to, line)
+
+  std::size_t call_edges = 0;       // resolved, after dedup
+  std::size_t unresolved_calls = 0;
+  std::size_t ambiguous_calls = 0;
+
+  // Representative call site per resolved edge, for taint-chain
+  // diagnostics: (caller symbol, callee symbol) -> line in the caller's
+  // file where the first call appears.
+  std::map<std::pair<std::size_t, std::size_t>, std::pair<std::size_t, int>>
+      edge_site;  // value: (file id, line)
+
+  const Symbol* find(const std::string& qname) const;
+  // All symbol ids whose qualified name ends with `suffix` (suffix given
+  // as "::"-separated segments, e.g. "Network::rebuild_tables").
+  std::vector<std::size_t> resolve_suffix(const std::string& suffix) const;
+};
+
+// Builds the index over already-loaded files. `files` must be the same
+// vector later handed to the rules (FunctionDef::file indexes into it).
+Index build_index(const Config& cfg, const std::vector<SourceFile>& files);
+
+// Deterministic JSON dump of symbols, call edges, include edges, and
+// layer assignments (the `--index-dump=FILE` document).
+std::string dump_index_json(const Index& idx);
+
+}  // namespace spineless::lint

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "index.h"
 #include "rules.h"
 
 namespace spineless::lint {
@@ -104,6 +105,23 @@ const RuleConfig& Config::rule(const std::string& name) const {
   return it == rules.end() ? kDefault : it->second;
 }
 
+bool Config::allowlisted(const std::string& rule_name,
+                         const std::string& path) const {
+  for (const std::string& a : rule(rule_name).allow)
+    if (starts_with(path, a)) return true;
+  return false;
+}
+
+int Config::layer_rank(const std::string& path, std::string* prefix) const {
+  for (const Layer& l : layers) {
+    if (!starts_with(path, l.prefix)) continue;
+    if (prefix != nullptr) *prefix = l.prefix;
+    return l.rank;
+  }
+  if (prefix != nullptr) prefix->clear();
+  return -1;
+}
+
 bool Config::applies(const std::string& rule_name,
                      const std::string& path) const {
   const RuleConfig& rc = rule(rule_name);
@@ -123,9 +141,11 @@ std::optional<Config> parse_config(const std::string& text,
                                    std::string* error) {
   Config cfg;
   cfg.scan.clear();
-  std::string section;          // "" | "rule" | "audit"
+  std::string section;          // "" | "rule" | "audit" | "layers"
   RuleConfig* rule = nullptr;   // open [rule.<name>] section
   SnapshotAudit* audit = nullptr;  // open [audit.<label>] section
+  bool in_layers = false;          // open [layers] section
+  std::size_t layer_ranks_seen = 0;
 
   std::stringstream in(text);
   std::string raw;
@@ -147,6 +167,7 @@ std::optional<Config> parse_config(const std::string& text,
       const std::string name = trim(line.substr(1, line.size() - 2));
       rule = nullptr;
       audit = nullptr;
+      in_layers = false;
       if (starts_with(name, "rule.")) {
         section = "rule";
         rule = &cfg.rules[name.substr(5)];
@@ -154,6 +175,9 @@ std::optional<Config> parse_config(const std::string& text,
         section = "audit";
         cfg.audits.emplace_back();
         audit = &cfg.audits.back();
+      } else if (name == "layers") {
+        section = "layers";
+        in_layers = true;
       } else {
         *error = "lint.toml:" + std::to_string(lineno) +
                  ": unknown section [" + name + "]";
@@ -202,6 +226,42 @@ std::optional<Config> parse_config(const std::string& text,
                  ": unknown rule key: " + key;
         return std::nullopt;
       }
+    } else if (in_layers) {
+      if (!get_strings()) return std::nullopt;
+      if (starts_with(key, "rank")) {
+        // rankN = ["prefix", ...] — N must be the layer's rank so the
+        // config reads as the DAG it enforces, in order.
+        int rank = -1;
+        try {
+          rank = std::stoi(key.substr(4));
+        } catch (...) {
+        }
+        if (rank != static_cast<int>(layer_ranks_seen)) {
+          *error = "lint.toml:" + std::to_string(lineno) +
+                   ": layer ranks must be rank0, rank1, ... in order (got " +
+                   key + ")";
+          return std::nullopt;
+        }
+        ++layer_ranks_seen;
+        for (const std::string& prefix : strings)
+          cfg.layers.push_back({rank, prefix});
+      } else if (key == "allow") {
+        // "from-prefix -> to-prefix": a sanctioned same-rank edge.
+        for (const std::string& edge : strings) {
+          const std::size_t arrow = edge.find("->");
+          if (arrow == std::string::npos) {
+            *error = "lint.toml:" + std::to_string(lineno) +
+                     ": layer allow entries are \"from -> to\", got: " + edge;
+            return std::nullopt;
+          }
+          cfg.layer_allow.emplace_back(trim(edge.substr(0, arrow)),
+                                       trim(edge.substr(arrow + 2)));
+        }
+      } else {
+        *error = "lint.toml:" + std::to_string(lineno) +
+                 ": unknown layers key: " + key;
+        return std::nullopt;
+      }
     } else if (audit != nullptr) {
       if (!get_strings()) return std::nullopt;
       if (key == "struct") {
@@ -245,11 +305,16 @@ std::optional<SourceFile> load_file(const std::string& root,
 
 LintResult lint_files(const std::string& root, const Config& cfg,
                       std::vector<SourceFile> files) {
-  ProjectView view{root, cfg, files};
+  // Phase 1: the cross-TU symbol index (definitions, call edges, the
+  // include graph). Phase 2: every rule — the per-file rules ignore the
+  // index; the graph rules run on it.
+  auto index = std::make_shared<Index>(build_index(cfg, files));
+  ProjectView view{root, cfg, files, index.get()};
   std::vector<Finding> raw;
   for (const auto& rule : all_rules()) rule->check(view, &raw);
 
   LintResult result;
+  result.index = std::move(index);
   result.files_scanned = files.size();
   for (Finding& f : raw) {
     bool suppressed = false;
@@ -324,13 +389,80 @@ LintResult run_lint(const std::string& root, const Config& cfg,
   return lint_files(root, cfg, std::move(files));
 }
 
+// Baseline key: line numbers deliberately excluded (see lint.h).
+static std::string baseline_key(const Finding& f) {
+  return "spineless-" + f.rule + "\t" + f.path + "\t" + f.message;
+}
+
+std::string write_baseline(const LintResult& r) {
+  std::string out =
+      "# spineless_lint baseline (accept-then-ratchet). One finding per\n"
+      "# line: spineless-<rule>\\t<path>\\t<message>. Delete lines to\n"
+      "# ratchet; the gate fails on any finding not listed here.\n";
+  for (const Finding& f : r.findings) {
+    std::string key = baseline_key(f);
+    // Findings never contain newlines today; keep the format line-safe
+    // anyway so a hand-edited file cannot smuggle extra entries.
+    std::replace(key.begin(), key.end(), '\n', ' ');
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+bool parse_baseline(const std::string& text,
+                    std::vector<std::string>* keys, std::string* error) {
+  std::stringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (std::count(line.begin(), line.end(), '\t') != 2 ||
+        !starts_with(line, "spineless-")) {
+      *error = "baseline:" + std::to_string(lineno) +
+               ": expected spineless-<rule>\\t<path>\\t<message>, got: " +
+               line;
+      return false;
+    }
+    keys->push_back(line);
+  }
+  return true;
+}
+
+void apply_baseline(const std::vector<std::string>& keys, LintResult* r) {
+  std::map<std::string, std::size_t> budget;  // multiset: key -> count
+  for (const std::string& k : keys) ++budget[k];
+  std::vector<Finding> kept;
+  for (Finding& f : r->findings) {
+    const auto it = budget.find(baseline_key(f));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      ++r->baselined;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  r->findings = std::move(kept);
+  for (const auto& kv : budget) r->baseline_stale += kv.second;
+}
+
 std::string report_text(const LintResult& r) {
   std::ostringstream os;
   for (const Finding& f : r.findings)
     os << f.path << ":" << f.line << ": [spineless-" << f.rule << "] "
        << f.message << "\n";
   os << r.files_scanned << " file(s) scanned, " << r.findings.size()
-     << " finding(s), " << r.suppressed << " suppressed\n";
+     << " finding(s), " << r.suppressed << " suppressed";
+  if (r.baselined != 0 || r.baseline_stale != 0) {
+    os << ", " << r.baselined << " baselined";
+    if (r.baseline_stale != 0)
+      os << " (" << r.baseline_stale
+         << " stale baseline entr" << (r.baseline_stale == 1 ? "y" : "ies")
+         << " — ratchet by regenerating with --write-baseline)";
+  }
+  os << "\n";
   return os.str();
 }
 
@@ -365,10 +497,19 @@ void append_json_string(std::string* out, const std::string& s) {
 }
 }  // namespace
 
+std::string json_quote(const std::string& s) {
+  std::string out;
+  append_json_string(&out, s);
+  return out;
+}
+
 std::string report_json(const LintResult& r) {
   std::string out = "{\n  \"tool\": \"spineless_lint\",\n";
+  out += "  \"schema_version\": 2,\n";
   out += "  \"files_scanned\": " + std::to_string(r.files_scanned) + ",\n";
   out += "  \"suppressed\": " + std::to_string(r.suppressed) + ",\n";
+  out += "  \"baselined\": " + std::to_string(r.baselined) + ",\n";
+  out += "  \"baseline_stale\": " + std::to_string(r.baseline_stale) + ",\n";
   out += "  \"finding_count\": " + std::to_string(r.findings.size()) + ",\n";
   out += "  \"findings\": [";
   for (std::size_t i = 0; i < r.findings.size(); ++i) {

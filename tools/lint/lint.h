@@ -16,11 +16,22 @@
 //   atomic-spin          reactor liveness: busy-wait loops on atomics in
 //                        the engine layers must park in a futex-backed
 //                        wait or carry a justified annotation
+//
+// Graph rules (phase 2, over the cross-TU symbol index — graph_rules.cc):
+//   taint-wall-clock     no function in the determinism-critical layers
+//                        transitively reaches a wall-clock read outside
+//                        the sanctioned allowlist
+//   taint-raw-rand       same, for raw randomness outside util/rng
+//   layering             the include graph respects the configured DAG
+//                        ([layers] ranks; back-edges and cycles reported
+//                        with the full path)
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "token.h"
@@ -64,11 +75,22 @@ struct RuleConfig {
 
 // One snapshot-coverage audit: every field of `strct` (declared in
 // `header`) must be mentioned by at least one of the `impl` files, which
-// hold its serialization codec.
+// hold its serialization codec — or, since the codec may delegate, by a
+// function the impl files transitively call (resolved via the symbol
+// index).
 struct SnapshotAudit {
   std::string strct;
   std::string header;
   std::vector<std::string> impl;
+};
+
+// One rank of the enforced include DAG ([layers] in lint.toml). A file
+// belongs to the first layer whose prefix matches its path; an #include
+// may only point at a strictly lower rank, at the same prefix, or along
+// an explicitly sanctioned same-rank edge (Config::layer_allow).
+struct Layer {
+  int rank = 0;
+  std::string prefix;
 };
 
 struct Config {
@@ -76,10 +98,21 @@ struct Config {
   std::vector<std::string> extensions = {".h", ".cc"};
   std::map<std::string, RuleConfig> rules;
   std::vector<SnapshotAudit> audits;
+  std::vector<Layer> layers;  // rank-ascending; empty = layering off
+  // Sanctioned same-rank edges, as (from prefix, to prefix) pairs.
+  std::vector<std::pair<std::string, std::string>> layer_allow;
 
   const RuleConfig& rule(const std::string& name) const;
   // True when `rule` should examine `path` at all.
   bool applies(const std::string& rule, const std::string& path) const;
+  // True when `path` is under the rule's `allow` list. The taint rules
+  // use this as the *sanctioned barrier* test: functions defined in an
+  // allowlisted file neither seed taint nor propagate it (the file is
+  // the reviewed home of the hazard, e.g. util/rng for randomness).
+  bool allowlisted(const std::string& rule, const std::string& path) const;
+  // Layer lookup for a repo-relative path: rank, or -1 when unlayered.
+  // `prefix` (optional) receives the matched layer prefix.
+  int layer_rank(const std::string& path, std::string* prefix = nullptr) const;
 };
 
 // Parses the lint.toml subset: `key = value` pairs, `[section]` headers,
@@ -101,10 +134,15 @@ SourceFile make_source(std::string path, std::string_view text);
 std::optional<SourceFile> load_file(const std::string& root,
                                     const std::string& path);
 
+struct Index;  // index.h — built by lint_files, exposed for --index-dump
+
 struct LintResult {
   std::vector<Finding> findings;
   std::size_t files_scanned = 0;
   std::size_t suppressed = 0;
+  std::size_t baselined = 0;  // findings absorbed by --baseline
+  std::size_t baseline_stale = 0;  // baseline entries that no longer fire
+  std::shared_ptr<const Index> index;
 };
 
 // Runs every enabled rule over the scan roots (or, when `only` is
@@ -119,9 +157,26 @@ LintResult run_lint(const std::string& root, const Config& cfg,
 LintResult lint_files(const std::string& root, const Config& cfg,
                       std::vector<SourceFile> files);
 
+// Baseline support (accept-then-ratchet, CodeChecker-style). A baseline
+// file is line-oriented: "spineless-<rule>\t<path>\t<message>", '#'
+// comments and blank lines ignored. Findings are matched by
+// (rule, path, message) — deliberately not by line, so unrelated edits
+// above a baselined finding don't resurrect it. apply_baseline removes
+// matched findings from r->findings (counting them in r->baselined) and
+// counts stale entries; the ratchet is "no finding outside the baseline",
+// and shrinking the file is the only way to tighten it.
+std::string write_baseline(const LintResult& r);
+bool parse_baseline(const std::string& text,
+                    std::vector<std::string>* keys, std::string* error);
+void apply_baseline(const std::vector<std::string>& keys, LintResult* r);
+
 // Reporters. Text is "path:line: [spineless-<rule>] message" per finding;
-// JSON is a stable machine-readable document for CI consumption.
+// JSON is a stable machine-readable document for CI consumption
+// (schema_version 2: adds baselined counts and the graph rules).
 std::string report_text(const LintResult& r);
 std::string report_json(const LintResult& r);
+
+// JSON string escaping shared by the reporters and the index dump.
+std::string json_quote(const std::string& s);
 
 }  // namespace spineless::lint

@@ -6,6 +6,13 @@
 //   spineless_lint --root=/path/to/repo            # text report, exit 1 on findings
 //   spineless_lint --root=. --json=lint.json       # machine-readable findings
 //   spineless_lint --root=. src/sim/tcp.cc         # lint specific files
+//   spineless_lint --root=. --index-dump=idx.json  # dump the symbol index
+//   spineless_lint --root=. --baseline=b.txt       # accept-then-ratchet
+//
+// Exit codes (stable, asserted by scripts/lint_cli_smoke.sh):
+//   0  clean (no findings outside the baseline)
+//   1  findings
+//   2  config or I/O error (unreadable config/baseline, unwritable output)
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -13,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "index.h"
 #include "lint.h"
 
 namespace {
@@ -45,13 +53,28 @@ bool flag_value(const std::vector<std::string>& args, std::size_t* i,
 int usage() {
   std::cerr
       << "usage: spineless_lint [--root=DIR] [--config=FILE]\n"
-         "                      [--json[=FILE]] [files...]\n"
-         "  --root    repository root (default: .)\n"
-         "  --config  rule config (default: <root>/tools/lint/lint.toml)\n"
-         "  --json    emit findings as JSON (to FILE, or stdout without =)\n"
-         "  files     repo-relative files to lint instead of the\n"
-         "            configured scan directories\n";
+         "                      [--json[=FILE]] [--index-dump=FILE]\n"
+         "                      [--baseline=FILE] [--write-baseline=FILE]\n"
+         "                      [files...]\n"
+         "  --root            repository root (default: .)\n"
+         "  --config          rule config (default: <root>/tools/lint/lint.toml)\n"
+         "  --json            emit findings as JSON (to FILE, or stdout)\n"
+         "  --index-dump      write the cross-TU symbol index as\n"
+         "                    deterministic JSON (same bytes for same tree)\n"
+         "  --baseline        accepted findings; matches don't fail the run\n"
+         "                    (ratchet: shrink the file to tighten)\n"
+         "  --write-baseline  write the current findings as a new baseline\n"
+         "                    and exit 0 (accept step)\n"
+         "  files             repo-relative files to lint instead of the\n"
+         "                    configured scan directories\n"
+         "exit codes: 0 clean, 1 findings, 2 config/IO error\n";
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -61,6 +84,9 @@ int main(int argc, char** argv) {
   std::string config_path;
   bool json = false;
   std::string json_path;
+  std::string index_dump_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
   std::vector<std::string> only;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -68,6 +94,10 @@ int main(int argc, char** argv) {
     const std::string& a = args[i];
     if (flag_value(args, &i, "--root", &root)) continue;
     if (flag_value(args, &i, "--config", &config_path)) continue;
+    if (flag_value(args, &i, "--index-dump", &index_dump_path)) continue;
+    if (flag_value(args, &i, "--baseline", &baseline_path)) continue;
+    if (flag_value(args, &i, "--write-baseline", &write_baseline_path))
+      continue;
     if (a == "--json") {
       json = true;
       continue;
@@ -98,8 +128,43 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const spineless::lint::LintResult result =
+  spineless::lint::LintResult result =
       spineless::lint::run_lint(root, *cfg, only);
+
+  if (!index_dump_path.empty() &&
+      !write_file(index_dump_path,
+                  spineless::lint::dump_index_json(*result.index))) {
+    std::cerr << "spineless_lint: cannot write " << index_dump_path << "\n";
+    return 2;
+  }
+
+  if (!write_baseline_path.empty()) {
+    if (!write_file(write_baseline_path,
+                    spineless::lint::write_baseline(result))) {
+      std::cerr << "spineless_lint: cannot write " << write_baseline_path
+                << "\n";
+      return 2;
+    }
+    std::cout << "spineless_lint: wrote " << result.findings.size()
+              << " finding(s) to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::string baseline_text;
+    if (!read_file(baseline_path, &baseline_text)) {
+      std::cerr << "spineless_lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::vector<std::string> keys;
+    if (!spineless::lint::parse_baseline(baseline_text, &keys, &error)) {
+      std::cerr << "spineless_lint: " << baseline_path << ": " << error
+                << "\n";
+      return 2;
+    }
+    spineless::lint::apply_baseline(keys, &result);
+  }
 
   const std::string json_doc = json ? spineless::lint::report_json(result)
                                     : std::string();

@@ -4,6 +4,9 @@
 #include <string>
 #include <unordered_set>
 
+#include "graph_rules.h"
+#include "index.h"
+
 namespace spineless::lint {
 namespace {
 
@@ -47,41 +50,18 @@ class NoWallClock : public Rule {
   const char* name() const override { return "no-wall-clock"; }
 
   void check(const ProjectView& p, std::vector<Finding>* out) const override {
-    static const std::unordered_set<std::string> kClocks = {
-        "steady_clock",  "system_clock", "high_resolution_clock",
-        "gettimeofday",  "clock_gettime", "timespec_get",
-    };
     for (const SourceFile& f : p.files) {
       if (!p.cfg.applies(name(), f.path)) continue;
       const auto& t = f.tokens;
       for (std::size_t i = 0; i < t.size(); ++i) {
-        if (t[i].kind != TokKind::kIdent) continue;
-        if (kClocks.count(t[i].text) != 0) {
-          out->push_back(
-              {name(), f.path, t[i].line,
-               "wall-clock source '" + t[i].text +
-                   "' — results must be a function of (seed, sim time) "
-                   "only; annotate metadata-only timing with "
-                   "NOLINT(spineless-no-wall-clock): <why>"});
-          continue;
-        }
-        // std::time(...) / time(nullptr) / time(0): require the call shape
-        // so fields and methods merely named `time` stay quiet.
-        if (t[i].text == "time" && i + 1 < t.size() &&
-            is_punct(t[i + 1], "(")) {
-          const bool qualified = i > 0 && is_punct(t[i - 1], "::");
-          const bool member = i > 0 && (is_punct(t[i - 1], ".") ||
-                                        is_punct(t[i - 1], "->"));
-          const bool classic_arg =
-              i + 2 < t.size() &&
-              (is_ident(t[i + 2], "nullptr") || t[i + 2].text == "0" ||
-               is_ident(t[i + 2], "NULL"));
-          if (!member && (qualified || classic_arg)) {
-            out->push_back({name(), f.path, t[i].line,
-                            "wall-clock source 'time()' — results must be "
-                            "a function of (seed, sim time) only"});
-          }
-        }
+        const std::string site = wall_clock_site(t, i);
+        if (site.empty()) continue;
+        out->push_back(
+            {name(), f.path, t[i].line,
+             "wall-clock source '" + site +
+                 "' — results must be a function of (seed, sim time) "
+                 "only; annotate metadata-only timing with "
+                 "NOLINT(spineless-no-wall-clock): <why>"});
       }
     }
   }
@@ -97,34 +77,16 @@ class NoRawRand : public Rule {
   const char* name() const override { return "no-raw-rand"; }
 
   void check(const ProjectView& p, std::vector<Finding>* out) const override {
-    static const std::unordered_set<std::string> kTypes = {
-        "random_device", "mt19937",      "mt19937_64", "minstd_rand",
-        "minstd_rand0",  "default_random_engine",      "knuth_b",
-        "ranlux24",      "ranlux48",
-    };
-    static const std::unordered_set<std::string> kCalls = {
-        "rand", "srand", "random", "srandom", "drand48", "lrand48",
-    };
     for (const SourceFile& f : p.files) {
       if (!p.cfg.applies(name(), f.path)) continue;
       const auto& t = f.tokens;
       for (std::size_t i = 0; i < t.size(); ++i) {
-        if (t[i].kind != TokKind::kIdent) continue;
-        const bool member = i > 0 && (is_punct(t[i - 1], ".") ||
-                                      is_punct(t[i - 1], "->"));
-        if (member) continue;
-        if (kTypes.count(t[i].text) != 0) {
-          out->push_back({name(), f.path, t[i].line,
-                          "raw randomness '" + t[i].text +
-                              "' — draw from util/rng (seeded xoshiro "
-                              "streams) so runs replay from one seed"});
-        } else if (kCalls.count(t[i].text) != 0 && i + 1 < t.size() &&
-                   is_punct(t[i + 1], "(")) {
-          out->push_back({name(), f.path, t[i].line,
-                          "raw randomness '" + t[i].text +
-                              "()' — draw from util/rng (seeded xoshiro "
-                              "streams) so runs replay from one seed"});
-        }
+        const std::string site = raw_rand_site(t, i);
+        if (site.empty()) continue;
+        out->push_back({name(), f.path, t[i].line,
+                        "raw randomness '" + site +
+                            "' — draw from util/rng (seeded xoshiro "
+                            "streams) so runs replay from one seed"});
       }
     }
   }
@@ -303,6 +265,11 @@ class SnapshotCoverage : public Rule {
         for (const Token& tok : f->tokens)
           if (tok.kind == TokKind::kIdent) mentioned.insert(tok.text);
       }
+      // v2: a codec may delegate ("write_header(out, s)" in another TU).
+      // Resolve every function defined in the impl files through the call
+      // graph and count identifiers in all transitively-reached bodies as
+      // codec mentions — a field serialized by a shared helper is covered.
+      if (p.index != nullptr) collect_delegated(p, audit, &mentioned);
       for (const Token& field : fields) {
         if (mentioned.count(field.text) != 0) continue;
         out->push_back({name(), header->path, field.line,
@@ -321,6 +288,40 @@ class SnapshotCoverage : public Rule {
     for (const SourceFile& f : p.files)
       if (f.path == path) return &f;
     return nullptr;
+  }
+
+  static void collect_delegated(const ProjectView& p,
+                                const SnapshotAudit& audit,
+                                std::unordered_set<std::string>* mentioned) {
+    const Index& idx = *p.index;
+    std::set<std::size_t> impl_ids;
+    for (std::size_t fi = 0; fi < idx.files.size(); ++fi)
+      for (const std::string& impl : audit.impl)
+        if (idx.files[fi] == impl) impl_ids.insert(fi);
+    std::vector<char> seen(idx.symbols.size(), 0);
+    std::vector<std::size_t> work;
+    for (std::size_t s = 0; s < idx.symbols.size(); ++s)
+      for (const std::size_t d : idx.symbols[s].defs)
+        if (impl_ids.count(idx.defs[d].file) != 0 && seen[s] == 0) {
+          seen[s] = 1;
+          work.push_back(s);
+        }
+    while (!work.empty()) {
+      const std::size_t s = work.back();
+      work.pop_back();
+      for (const std::size_t d : idx.symbols[s].defs) {
+        const FunctionDef& def = idx.defs[d];
+        const auto& toks = p.files[def.file].tokens;
+        for (std::size_t k = def.tok_begin; k < def.tok_end; ++k)
+          if (toks[k].kind == TokKind::kIdent)
+            mentioned->insert(toks[k].text);
+      }
+      for (const std::size_t c : idx.symbols[s].callees)
+        if (seen[c] == 0) {
+          seen[c] = 1;
+          work.push_back(c);
+        }
+    }
   }
 
   static std::string join(const std::vector<std::string>& v) {
@@ -498,6 +499,48 @@ class AtomicSpin : public Rule {
 
 }  // namespace
 
+std::string wall_clock_site(const std::vector<Token>& t, std::size_t i) {
+  static const std::unordered_set<std::string> kClocks = {
+      "steady_clock",  "system_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "timespec_get",
+  };
+  if (t[i].kind != TokKind::kIdent) return "";
+  if (kClocks.count(t[i].text) != 0) return t[i].text;
+  // std::time(...) / time(nullptr) / time(0): require the call shape so
+  // fields and methods merely named `time` stay quiet.
+  if (t[i].text == "time" && i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+    const bool qualified = i > 0 && is_punct(t[i - 1], "::");
+    const bool member =
+        i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+    const bool classic_arg =
+        i + 2 < t.size() &&
+        (is_ident(t[i + 2], "nullptr") || t[i + 2].text == "0" ||
+         is_ident(t[i + 2], "NULL"));
+    if (!member && (qualified || classic_arg)) return "time()";
+  }
+  return "";
+}
+
+std::string raw_rand_site(const std::vector<Token>& t, std::size_t i) {
+  static const std::unordered_set<std::string> kTypes = {
+      "random_device", "mt19937",      "mt19937_64", "minstd_rand",
+      "minstd_rand0",  "default_random_engine",      "knuth_b",
+      "ranlux24",      "ranlux48",
+  };
+  static const std::unordered_set<std::string> kCalls = {
+      "rand", "srand", "random", "srandom", "drand48", "lrand48",
+  };
+  if (t[i].kind != TokKind::kIdent) return "";
+  const bool member =
+      i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+  if (member) return "";
+  if (kTypes.count(t[i].text) != 0) return t[i].text;
+  if (kCalls.count(t[i].text) != 0 && i + 1 < t.size() &&
+      is_punct(t[i + 1], "("))
+    return t[i].text + "()";
+  return "";
+}
+
 const std::vector<std::unique_ptr<Rule>>& all_rules() {
   static const std::vector<std::unique_ptr<Rule>>* kRules = [] {
     auto* rules = new std::vector<std::unique_ptr<Rule>>();
@@ -507,6 +550,9 @@ const std::vector<std::unique_ptr<Rule>>& all_rules() {
     rules->push_back(std::make_unique<PointerOrdering>());
     rules->push_back(std::make_unique<SnapshotCoverage>());
     rules->push_back(std::make_unique<AtomicSpin>());
+    rules->push_back(make_taint_wall_clock_rule());
+    rules->push_back(make_taint_raw_rand_rule());
+    rules->push_back(make_layering_rule());
     return rules;
   }();
   return *kRules;

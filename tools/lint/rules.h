@@ -8,12 +8,16 @@
 
 namespace spineless::lint {
 
+struct Index;  // index.h — the phase-1 cross-TU symbol index
+
 // Everything a rule may look at. Rules are pure functions of the view —
-// they own no state, so the registry is shared and const.
+// they own no state, so the registry is shared and const. The per-file
+// rules ignore `index`; the graph rules (graph_rules.h) run on it.
 struct ProjectView {
   const std::string& root;
   const Config& cfg;
   const std::vector<SourceFile>& files;
+  const Index* index = nullptr;
 };
 
 class Rule {
@@ -26,5 +30,13 @@ class Rule {
 // All built-in rules, in report order. Adding a rule = appending here and
 // (optionally) giving it a [rule.<name>] section in lint.toml.
 const std::vector<std::unique_ptr<Rule>>& all_rules();
+
+// Shared hazard-site detectors: if token `i` of `t` is a wall-clock read
+// or a raw-randomness use, returns its display name ("steady_clock",
+// "time()", "mt19937"); empty string otherwise. The per-file rules
+// (no-wall-clock, no-raw-rand) and the taint seeding (graph_rules.cc)
+// must agree on what a hazard *is*, so the predicate lives in one place.
+std::string wall_clock_site(const std::vector<Token>& t, std::size_t i);
+std::string raw_rand_site(const std::vector<Token>& t, std::size_t i);
 
 }  // namespace spineless::lint

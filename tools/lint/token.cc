@@ -141,6 +141,11 @@ class Lexer {
     const int line = line_;
     while (pos_ < src_.size() &&
            (is_ident_char(src_[pos_]) || src_[pos_] == '.' ||
+            // C++14 digit separator: 1'000'000 is one literal. Only a
+            // separator when a digit (or hex letter) follows — otherwise
+            // the quote opens a char literal as usual.
+            (src_[pos_] == '\'' && pos_ + 1 < src_.size() &&
+             std::isalnum(static_cast<unsigned char>(src_[pos_ + 1])) != 0) ||
             ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
              (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
               src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')))) {
@@ -227,6 +232,30 @@ class Lexer {
 std::vector<Token> tokenize(std::string_view src,
                             std::vector<Token>* comments) {
   return Lexer(src, comments).run();
+}
+
+std::optional<std::string> include_path(const Token& t, bool* angled) {
+  if (t.kind != TokKind::kPreproc) return std::nullopt;
+  const std::string& s = t.text;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  };
+  if (i >= s.size() || s[i] != '#') return std::nullopt;
+  ++i;
+  skip_ws();
+  static const std::string kInclude = "include";
+  if (s.compare(i, kInclude.size(), kInclude) != 0) return std::nullopt;
+  i += kInclude.size();
+  skip_ws();
+  if (i >= s.size()) return std::nullopt;
+  const char open = s[i];
+  if (open != '"' && open != '<') return std::nullopt;
+  const char close = open == '<' ? '>' : '"';
+  const std::size_t end = s.find(close, i + 1);
+  if (end == std::string::npos) return std::nullopt;
+  if (angled != nullptr) *angled = open == '<';
+  return s.substr(i + 1, end - i - 1);
 }
 
 }  // namespace spineless::lint

@@ -6,6 +6,7 @@
 // directives are kept as single tokens for the same reason.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,5 +34,11 @@ struct Token {
 // are tolerated (the remainder becomes one token) — the linter must never
 // crash on the code it audits.
 std::vector<Token> tokenize(std::string_view src, std::vector<Token>* comments);
+
+// If `t` is an #include directive (a kPreproc token), extracts the
+// included path. `angled` (optional) reports <...> vs "..." form.
+// Returns std::nullopt for every other token or malformed directive —
+// the include-graph builder silently skips what it cannot parse.
+std::optional<std::string> include_path(const Token& t, bool* angled);
 
 }  // namespace spineless::lint
